@@ -1,0 +1,69 @@
+"""Shared infrastructure for the paper-reproduction benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 4 for the index).  Each test
+
+* runs the experiment over the simulated RMA substrate, collecting
+  *simulated-time* metrics (the quantities the paper's figures plot),
+* prints the resulting table and appends it to
+  ``benchmarks/results/<name>.txt`` so the output survives pytest's
+  capture, and
+* wraps one representative wall-clock measurement in pytest-benchmark so
+  ``pytest benchmarks/ --benchmark-only`` also reports real execution
+  times of the Python implementation.
+
+Environment knobs:
+
+* ``REPRO_BENCH_RANKS`` — comma-separated rank counts for the scaling
+  sweeps (default ``1,2,4,8``).
+* ``REPRO_BENCH_OPS`` — OLTP operations per rank (default 120).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_ranks() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_RANKS", "1,2,4,8")
+    return [int(x) for x in raw.split(",") if x.strip()]
+
+
+def bench_ops() -> int:
+    return int(os.environ.get("REPRO_BENCH_OPS", "120"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir, request):
+    """Callable writing a named report section to disk and stdout."""
+    written: list[pathlib.Path] = []
+
+    def _report(name: str, text: str) -> pathlib.Path:
+        path = results_dir / f"{name}.txt"
+        with path.open("a") as fh:
+            fh.write(text.rstrip() + "\n\n")
+        print(f"\n===== {name} =====\n{text}")
+        written.append(path)
+        return path
+
+    return _report
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results():
+    """Start each benchmark session with empty report files."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for f in RESULTS_DIR.glob("*.txt"):
+        f.unlink()
+    yield

@@ -1,0 +1,97 @@
+"""Ablation — the BGDL block-size tradeoff (paper Section 5.5).
+
+"The block size is specified by the user, enabling a tunable tradeoff
+between communication amount and memory consumption": larger blocks mean
+fewer remote fetches per vertex but more internal fragmentation.  This
+ablation sweeps the block size and reports (a) the one-sided operation
+count and simulated latency of the LB mix and (b) the number of blocks
+and total bytes reserved — making the tradeoff measurable.
+"""
+
+from repro.analysis.scaling import format_table
+from repro.gda import GdaConfig, GdaDatabase
+from repro.generator import KroneckerParams, build_lpg, default_schema
+from repro.rma import XC40, run_spmd
+from repro.workloads import MIXES, aggregate_oltp, run_oltp_rank
+
+from conftest import bench_ops
+
+PARAMS = KroneckerParams(scale=8, edge_factor=8, seed=14)
+NRANKS = 4
+# 64 B is below the single-level-indirection capacity needed by the
+# heavy-tail hub vertices of a scale-8 graph (see plan_layout), so the
+# sweep starts at 128 B.
+BLOCK_SIZES = [128, 256, 512, 2048]
+
+
+def _run_block_size(block_size, n_ops):
+    def prog(ctx):
+        db = GdaDatabase.create(
+            ctx,
+            GdaConfig(
+                block_size=block_size,
+                blocks_per_rank=max(
+                    16384, 64 * PARAMS.n_edges // (ctx.nranks * block_size) * 64
+                ),
+            ),
+        )
+        g = build_lpg(ctx, db, PARAMS, default_schema())
+        blocks_used = sum(
+            db.blocks.allocated_count(ctx, r) for r in range(ctx.nranks)
+        )
+        snap = ctx.rt.trace.counters[ctx.rank].snapshot()
+        ctx.barrier()
+        # read-mostly mix: the block-size effect on data movement is not
+        # drowned out by contention-retry atomics
+        oltp = run_oltp_rank(ctx, g, MIXES["RM"], n_ops, seed=15)
+        ops = ctx.rt.trace.counters[ctx.rank].diff(snap)
+        return oltp, blocks_used, ops
+
+    _, res = run_spmd(NRANKS, prog, profile=XC40)
+    agg = aggregate_oltp(MIXES["RM"], [r[0] for r in res])
+    blocks_used = res[0][1]
+    # puts+gets only: block fetches, the quantity the block size governs
+    total_ops = sum(r[2]["puts"] + r[2]["gets"] for r in res)
+    total_bytes = sum(r[2]["bytes_put"] + r[2]["bytes_got"] for r in res)
+    return agg, blocks_used, total_ops, total_bytes
+
+
+def test_blocksize_ablation(benchmark, report):
+    n_ops = bench_ops()
+
+    def run_all():
+        return {bs: _run_block_size(bs, n_ops) for bs in BLOCK_SIZES}
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for bs, (agg, blocks_used, total_ops, total_bytes) in data.items():
+        rows.append(
+            [
+                bs,
+                f"{agg.throughput:,.0f}",
+                total_ops,
+                f"{total_bytes / 1e6:.2f}",
+                blocks_used,
+                f"{blocks_used * bs / 1e6:.2f}",
+            ]
+        )
+    report(
+        "ablation_blocksize",
+        "BGDL block-size ablation (RM mix, scale 8, 4 ranks)\n"
+        + format_table(
+            [
+                "block B",
+                "RM ops/s",
+                "1-sided ops",
+                "MB moved",
+                "blocks",
+                "MB reserved",
+            ],
+            rows,
+        ),
+    )
+    small, large = BLOCK_SIZES[0], BLOCK_SIZES[-1]
+    # the tradeoff: larger blocks -> fewer one-sided operations...
+    assert data[large][2] < data[small][2]
+    # ...but more memory reserved for the same data
+    assert data[large][1] * large > data[small][1] * small

@@ -1,0 +1,92 @@
+"""Validation of the simulated network model against its own formulas.
+
+The scaling shapes of Figures 4 and 6 are only as trustworthy as the cost
+model that produces them.  This benchmark measures simulated costs of the
+substrate's primitives end-to-end (through the runtime, not the formulas)
+and checks the analytic properties the model promises: collectives scale
+as log2(P), alltoall as (P-1), one-sided latency is size-affine, and
+remote atomics cost alpha + gamma.
+"""
+
+import pytest
+
+from repro.analysis.scaling import format_table
+from repro.rma import UNIFORM, RmaRuntime, run_spmd
+from repro.rma.costmodel import log2ceil
+
+
+def _barrier_cost(nranks):
+    def prog(ctx):
+        t0 = ctx.clock
+        ctx.barrier()
+        return ctx.clock - t0
+
+    _, res = run_spmd(nranks, prog, profile=UNIFORM)
+    return res[0]
+
+
+def _alltoall_cost(nranks, nbytes):
+    def prog(ctx):
+        payload = [b"x" * nbytes for _ in range(ctx.nranks)]
+        ctx.barrier()
+        t0 = ctx.clock
+        ctx.alltoall(payload)
+        return ctx.clock - t0
+
+    _, res = run_spmd(nranks, prog, profile=UNIFORM)
+    return res[0]
+
+
+def test_costmodel_validation(benchmark, report):
+    def run_all():
+        barrier = {p: _barrier_cost(p) for p in (2, 4, 8, 16, 32)}
+        alltoall = {p: _alltoall_cost(p, 64) for p in (2, 4, 8, 16)}
+        rt = RmaRuntime(2, profile=UNIFORM)
+        win = rt.allocate_window("w", 1 << 20)
+        c = rt.context(0)
+        onesided = {}
+        for nbytes in (8, 1024, 65536):
+            t0 = c.clock
+            c.put(win, 1, 0, b"x" * nbytes)
+            onesided[nbytes] = c.clock - t0
+        t0 = c.clock
+        c.cas(win, 1, 0, 0, 1)
+        atomic = c.clock - t0
+        t0 = c.clock
+        c.put(win, 0, 0, b"x" * 1024)
+        local = c.clock - t0
+        return barrier, alltoall, onesided, atomic, local
+
+    barrier, alltoall, onesided, atomic, local = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    rows = [["barrier", p, f"{t * 1e6:.3f}"] for p, t in barrier.items()]
+    rows += [["alltoall(64B)", p, f"{t * 1e6:.3f}"] for p, t in alltoall.items()]
+    rows += [
+        [f"put({n}B remote)", 2, f"{t * 1e6:.3f}"] for n, t in onesided.items()
+    ]
+    rows += [["cas remote", 2, f"{atomic * 1e6:.3f}"]]
+    rows += [["put(1KiB local)", 1, f"{local * 1e6:.3f}"]]
+    report(
+        "costmodel_validation",
+        "Simulated primitive costs (us) measured through the runtime\n"
+        + format_table(["primitive", "ranks", "us"], rows),
+    )
+
+    # barrier ~ log2(P) * alpha
+    for p, t in barrier.items():
+        assert t == pytest.approx(log2ceil(p) * UNIFORM.alpha, rel=1e-9)
+    # alltoall ~ (P-1) * (alpha + n*beta)
+    for p, t in alltoall.items():
+        expect = (p - 1) * (UNIFORM.alpha + 64 * UNIFORM.beta)
+        assert t == pytest.approx(expect, rel=1e-9)
+    # one-sided: affine in size
+    assert onesided[1024] == pytest.approx(
+        UNIFORM.alpha + 1024 * UNIFORM.beta, rel=1e-9
+    )
+    assert onesided[65536] > onesided[1024] > onesided[8]
+    # atomics: alpha + gamma
+    assert atomic == pytest.approx(UNIFORM.alpha + UNIFORM.gamma, rel=1e-9)
+    # local ops are much cheaper than remote
+    assert local < onesided[1024] / 5

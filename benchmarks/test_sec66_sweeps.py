@@ -1,0 +1,121 @@
+"""Section 6.6 — varying labels, properties, and edge factors.
+
+Sweeps the number of labels (0..20), property types (0..13), and the
+Kronecker edge factor (8/16/32), running the LB mix and BFS on each
+configuration.
+
+Expected shapes: GDA's advantages hold across the sweep; fewer
+labels/properties mean single-block vertices (fast irregular reads);
+more rich data means multi-block holders (more communication per access)
+and thus lower OLTP throughput; a larger edge factor increases per-vertex
+work for traversals.
+"""
+
+from repro.analysis.scaling import format_table
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gdi import EdgeOrientation
+from repro.generator import KroneckerParams, build_lpg, default_schema
+from repro.rma import XC40, run_spmd
+from repro.workloads import MIXES, aggregate_oltp, bfs, run_oltp_rank
+
+from conftest import bench_ops
+
+NRANKS = 4
+SCALE = 8
+
+
+def _run_config(n_labels, n_props, edge_factor, n_ops):
+    params = KroneckerParams(scale=SCALE, edge_factor=edge_factor, seed=8)
+    n_vertex_labels = max(0, n_labels - 4)
+    n_edge_labels = min(4, n_labels)
+    schema = default_schema(
+        n_vertex_labels=n_vertex_labels,
+        n_edge_labels=n_edge_labels,
+        n_properties=n_props,
+    )
+
+    def prog(ctx):
+        db = GdaDatabase.create(
+            ctx,
+            GdaConfig(
+                blocks_per_rank=max(16384, 8 * params.n_edges // ctx.nranks)
+            ),
+        )
+        g = build_lpg(ctx, db, params, schema)
+        ctx.barrier()
+        oltp = run_oltp_rank(ctx, g, MIXES["LB"], n_ops, seed=9)
+        ctx.barrier()
+        t0 = ctx.clock
+        bfs(ctx, g, 0, EdgeOrientation.ANY)
+        ctx.barrier()
+        t_bfs = ctx.clock - t0
+        blocks_used = sum(
+            db.blocks.allocated_count(ctx, r) for r in range(ctx.nranks)
+        )
+        return oltp, t_bfs, blocks_used
+
+    _, res = run_spmd(NRANKS, prog, profile=XC40)
+    agg = aggregate_oltp(MIXES["LB"], [r[0] for r in res])
+    return agg, res[0][1], res[0][2]
+
+
+def test_sec66_label_property_sweep(benchmark, report):
+    n_ops = bench_ops()
+    configs = [(0, 0), (8, 4), (20, 13)]  # (labels, p-types)
+
+    def run_all():
+        return {
+            cfg: _run_config(cfg[0], cfg[1], 16, n_ops) for cfg in configs
+        }
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for (n_labels, n_props), (agg, t_bfs, blocks) in data.items():
+        rows.append(
+            [
+                n_labels,
+                n_props,
+                f"{agg.throughput:,.0f}",
+                f"{agg.failed_fraction * 100:.2f}%",
+                f"{t_bfs * 1e3:.3f}",
+                blocks,
+            ]
+        )
+    report(
+        "sec66_sweeps",
+        "Section 6.6: varying labels & property types "
+        f"(scale {SCALE}, e=16, {NRANKS} ranks)\n"
+        + format_table(
+            ["labels", "p-types", "LB ops/s", "failed", "BFS ms", "blocks"],
+            rows,
+        ),
+    )
+    # richer data -> more storage; throughput advantage preserved
+    blocks_plain = data[(0, 0)][2]
+    blocks_rich = data[(20, 13)][2]
+    assert blocks_rich > blocks_plain
+    for cfg, (agg, _, _) in data.items():
+        assert agg.throughput > 10_000, cfg  # far above the RPC baseline
+
+
+def test_sec66_edge_factor_sweep(benchmark, report):
+    n_ops = bench_ops()
+    factors = [8, 16, 32]
+
+    def run_all():
+        return {e: _run_config(8, 4, e, n_ops) for e in factors}
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for e, (agg, t_bfs, blocks) in data.items():
+        rows.append(
+            [e, f"{agg.throughput:,.0f}", f"{t_bfs * 1e3:.3f}", blocks]
+        )
+    report(
+        "sec66_sweeps",
+        "Section 6.6: varying the edge factor (default e=16)\n"
+        + format_table(["edge factor", "LB ops/s", "BFS ms", "blocks"], rows),
+    )
+    # denser graphs need more storage and more BFS time
+    assert data[32][2] > data[8][2]
+    assert data[32][1] > data[8][1]

@@ -1,0 +1,86 @@
+"""Section 6.8 / Table 1 — extreme scales by measured-curve extrapolation.
+
+The paper's largest runs use the full Piz Daint machine: 7,142 servers /
+121,680 cores, 549.8B edges for OLTP and 274.9B for OLAP.  Those scales
+cannot be instantiated here (DESIGN.md substitution), so this benchmark
+
+1. measures OLTP (RM) throughput at every instantiable rank count,
+2. fits the ``T(P) = aP / (1 + b log2 P)`` scaling curve,
+3. extrapolates to the paper's core counts, and
+4. checks the paper's Section 6.8 quantitative claim: increasing servers
+   by 3.49x increases throughput by roughly 3x (mild sublinearity).
+"""
+
+from repro.analysis.scaling import (
+    PIZ_DAINT_FULL_CORES,
+    PIZ_DAINT_FULL_SERVERS,
+    fit_throughput_curve,
+    format_table,
+)
+from repro.gda import GdaConfig, GdaDatabase
+from repro.generator import KroneckerParams, build_lpg, default_schema
+from repro.rma import XC40, run_spmd
+from repro.workloads import MIXES, aggregate_oltp, run_oltp_rank
+
+from conftest import bench_ops, bench_ranks
+
+BASE_SCALE = 6
+
+
+def _throughput_at(nranks, n_ops):
+    params = KroneckerParams(
+        scale=BASE_SCALE + max(0, (nranks - 1).bit_length()),
+        edge_factor=8,
+        seed=12,
+    )
+
+    def prog(ctx):
+        db = GdaDatabase.create(
+            ctx,
+            GdaConfig(
+                blocks_per_rank=max(16384, 8 * params.n_edges // ctx.nranks)
+            ),
+        )
+        g = build_lpg(ctx, db, params, default_schema())
+        ctx.barrier()
+        return run_oltp_rank(ctx, g, MIXES["RM"], n_ops, seed=13)
+
+    _, res = run_spmd(nranks, prog, profile=XC40)
+    return aggregate_oltp(MIXES["RM"], res).throughput
+
+
+def test_sec68(benchmark, report):
+    ranks = sorted({r for r in bench_ranks() if r >= 2} | {2, 4, 8, 16})
+    n_ops = bench_ops()
+
+    def run_all():
+        return {r: _throughput_at(r, n_ops) for r in ranks}
+
+    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    curve = fit_throughput_curve(list(measured), list(measured.values()))
+
+    rows = [[r, f"{t:,.0f}", "measured"] for r, t in measured.items()]
+    for cores in (1024, 16384, PIZ_DAINT_FULL_CORES // 2, PIZ_DAINT_FULL_CORES):
+        rows.append([cores, f"{curve.throughput(cores):,.0f}", "extrapolated"])
+    report(
+        "sec68_extreme_scale",
+        "Section 6.8: RM throughput (ops/s, simulated) and extrapolation\n"
+        f"fitted curve: T(P) = {curve.a:,.0f} * P / (1 + {curve.b:.4f} log2 P)\n"
+        + format_table(["cores", "ops/s", "kind"], rows),
+    )
+
+    # paper's headline configuration remains beneficial
+    t_full = curve.throughput(PIZ_DAINT_FULL_CORES)
+    t_half = curve.throughput(PIZ_DAINT_FULL_CORES // 2)
+    assert t_full > t_half > 0
+
+    # Section 6.8 ratio: 3.49x servers -> ~3x throughput.
+    ratio = curve.speedup_ratio(
+        PIZ_DAINT_FULL_SERVERS / 3.49, PIZ_DAINT_FULL_SERVERS
+    )
+    report(
+        "sec68_extreme_scale",
+        f"3.49x server increase at full scale -> throughput ratio "
+        f"{ratio:.2f}x (paper: ~3x)",
+    )
+    assert 1.8 < ratio <= 3.49

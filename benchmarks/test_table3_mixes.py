@@ -1,0 +1,98 @@
+"""Table 3 — OLTP workload mixes: definition check + per-mix throughput.
+
+Regenerates the Table 3 operation-fraction matrix from the implementation
+and runs each mix once at a fixed configuration, reporting throughput,
+failure fraction, and the per-operation mean latencies.
+"""
+
+from repro.analysis import summarize
+from repro.analysis.scaling import format_table
+from repro.gda import GdaConfig, GdaDatabase
+from repro.generator import KroneckerParams, build_lpg, default_schema
+from repro.rma import XC40, run_spmd
+from repro.workloads import MIXES, OpType, aggregate_oltp, run_oltp_rank
+
+from conftest import bench_ops
+
+PARAMS = KroneckerParams(scale=8, edge_factor=8, seed=1)
+NRANKS = 4
+
+
+def _run_all_mixes(n_ops):
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=65536))
+        g = build_lpg(ctx, db, PARAMS, default_schema())
+        out = {}
+        for name in ("RM", "RI", "LB", "WI"):
+            ctx.barrier()
+            out[name] = run_oltp_rank(ctx, g, MIXES[name], n_ops, seed=3)
+        return out
+
+    _, res = run_spmd(NRANKS, prog, profile=XC40)
+    return {
+        name: aggregate_oltp(MIXES[name], [r[name] for r in res])
+        for name in ("RM", "RI", "LB", "WI")
+    }
+
+
+def test_table3(benchmark, report):
+    # Part 1: the mix definition matrix (the table itself).
+    ops = [
+        OpType.GET_PROPS,
+        OpType.COUNT_EDGES,
+        OpType.GET_EDGES,
+        OpType.ADD_VERTEX,
+        OpType.DEL_VERTEX,
+        OpType.UPD_PROP,
+        OpType.ADD_EDGE,
+    ]
+    rows = []
+    for op in ops:
+        rows.append(
+            [op.value]
+            + [f"{MIXES[m].fractions.get(op, 0) * 100:.1f}%" for m in ("RM", "RI", "WI", "LB")]
+        )
+    rows.append(
+        ["read fraction"]
+        + [f"{MIXES[m].read_fraction * 100:.1f}%" for m in ("RM", "RI", "WI", "LB")]
+    )
+    report(
+        "table3_mixes",
+        "Table 3: OLTP operation mixes\n"
+        + format_table(["operation", "RM", "RI", "WI", "LB"], rows),
+    )
+
+    # Part 2: execute each mix once (wall time measured by the fixture).
+    results = benchmark.pedantic(
+        _run_all_mixes, args=(bench_ops(),), rounds=1, iterations=1
+    )
+    rows = []
+    for name, agg in results.items():
+        reads = [
+            l
+            for op, ls in agg.latencies.items()
+            if not op.is_update
+            for l in ls
+        ]
+        s = summarize([l * 1e6 for l in reads], warmup_fraction=0.0)
+        rows.append(
+            [
+                name,
+                agg.n_ops,
+                f"{agg.throughput:,.0f}",
+                f"{agg.failed_fraction * 100:.2f}%",
+                f"{s.mean:.2f}",
+            ]
+        )
+    report(
+        "table3_mixes",
+        f"Execution at {NRANKS} ranks, Kronecker scale {PARAMS.scale} "
+        f"(XC40 profile)\n"
+        + format_table(
+            ["mix", "ops", "ops/s (sim)", "failed", "mean read lat (us)"],
+            rows,
+        ),
+    )
+    # shape checks: read-heavier mixes achieve higher throughput
+    assert results["RM"].throughput > results["WI"].throughput
+    assert results["RM"].failed_fraction <= results["WI"].failed_fraction + 0.02

@@ -1,0 +1,29 @@
+"""Final step of the harness: assemble REPORT.md from all results.
+
+Named ``test_zz_*`` so pytest's alphabetical collection runs it after
+every experiment has written its section.
+"""
+
+import pathlib
+
+from repro.analysis.report import build_report, write_report
+
+
+def test_zz_build_report(benchmark, results_dir):
+    out = benchmark.pedantic(
+        lambda: write_report(results_dir, results_dir.parent / "REPORT.md"),
+        rounds=1,
+        iterations=1,
+    )
+    text = pathlib.Path(out).read_text()
+    assert text.startswith("# Regenerated evaluation")
+    # every experiment that wrote results is present
+    for stem in (p.stem for p in results_dir.glob("*.txt")):
+        assert stem in text or any(
+            heading in text
+            for s, heading in __import__(
+                "repro.analysis.report", fromlist=["SECTION_ORDER"]
+            ).SECTION_ORDER
+            if s == stem
+        )
+    print(f"\nconsolidated report: {out} ({len(text.splitlines())} lines)")

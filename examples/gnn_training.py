@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""GNN over the database — the paper's Listing 2 (OLAP / graph ML).
+
+Runs forward passes of a graph convolution network directly against GDI:
+per layer, every rank aggregates neighbor feature vectors (remote reads
+through vertex handles), applies an MLP + non-linearity, and writes the
+updated feature property back — one collective transaction per layer.
+
+Run:  python examples/gnn_training.py
+"""
+
+import numpy as np
+
+from repro.gdi import GraphDatabase
+from repro.gdi.database import GdaConfig
+from repro.generator import KroneckerParams, build_lpg, default_schema
+from repro.rma import run_spmd
+from repro.workloads import gcn_forward, random_gcn_weights
+
+DIM = 8
+LAYERS = 3
+PARAMS = KroneckerParams(scale=7, edge_factor=6, seed=3)
+SCHEMA = default_schema(feature_dim=DIM)
+
+
+def app(ctx):
+    db = GraphDatabase.create(ctx, GdaConfig(blocks_per_rank=16384))
+    graph = build_lpg(ctx, db, PARAMS, SCHEMA)
+    ctx.barrier()
+    weights = random_gcn_weights(LAYERS, DIM, seed=1)
+
+    t0 = ctx.clock
+    features = gcn_forward(ctx, graph, weights)
+    elapsed = ctx.clock - t0
+
+    # simple readout: global mean embedding (a graph-level representation)
+    local_sum = np.zeros(DIM)
+    for f in features.values():
+        local_sum += f
+    global_sum = ctx.allreduce(local_sum, op=lambda a, b: a + b)
+    readout = global_sum / graph.n_vertices
+    return elapsed, readout, len(features)
+
+
+if __name__ == "__main__":
+    runtime, results = run_spmd(4, app)
+    elapsed, readout, _ = results[0]
+    total_feats = sum(r[2] for r in results)
+    print(f"GCN: {LAYERS} layers over {PARAMS.n_vertices} vertices "
+          f"({PARAMS.n_edges} edges), feature dim {DIM}")
+    print(f"vertices embedded: {total_feats}")
+    print(f"graph-level readout (mean embedding): "
+          f"{np.array2string(readout, precision=3)}")
+    print(f"simulated time for all layers: {elapsed * 1e3:.2f} ms")
+    assert total_feats == PARAMS.n_vertices
+    print("gnn training example OK")

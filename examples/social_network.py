@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Interactive OLTP on a social network — the paper's Listing 1.
+
+Builds a Kronecker social graph, then runs the Listing 1 query ("retrieve
+the first and last name of all persons that a given person is friends
+with") as a single-process read transaction, followed by a burst of the
+LinkBench (LB) operation mix from Table 3 with latency statistics.
+
+Run:  python examples/social_network.py
+"""
+
+from repro.analysis import summarize
+from repro.gdi import Datatype, EdgeOrientation, GraphDatabase
+from repro.gdi.database import GdaConfig
+from repro.generator import KroneckerParams, LpgSchema, PropertySpec, build_lpg
+from repro.rma import run_spmd
+from repro.workloads import MIXES, aggregate_oltp, run_oltp_rank
+
+PARAMS = KroneckerParams(scale=8, edge_factor=8, seed=42)
+
+# A social-network-flavoured schema: one Person label, FRIENDOF edges,
+# first/last names — the exact shape Listing 1 assumes.
+SCHEMA = LpgSchema(
+    n_vertex_labels=1,
+    n_edge_labels=1,
+    properties=[
+        PropertySpec("fname", Datatype.STRING, length=6),
+        PropertySpec("lname", Datatype.STRING, length=8),
+        PropertySpec("p_ts", Datatype.INT64),
+    ],
+    secondary_label_density=0.0,
+)
+
+
+def listing1_friends_query(ctx, graph, person_app_id):
+    """Listing 1, line by line (GDI_* calls as handle methods)."""
+    db = graph.db
+    fname = graph.ptype("fname")
+    lname = graph.ptype("lname")
+    friendof = graph.edge_label(0)
+
+    tx = db.start_transaction(ctx)                      # GDI_StartTransaction
+    vid = tx.translate_vertex_id(person_app_id)         # GDI_TranslateVertexID
+    vh = tx.associate_vertex(vid)                       # GDI_AssociateVertex
+    neighbor_ids = []
+    for eh in vh.edges(EdgeOrientation.OUTGOING):       # GDI_GetEdgesOfVertex
+        labels = eh.labels()                            # GDI_GetAllLabelsOfEdge
+        if any(l.int_id == friendof.int_id for l in labels):
+            _, target = eh.endpoints()                  # GDI_GetVerticesOfEdge
+            neighbor_ids.append(target)
+    names = []
+    for nid in neighbor_ids:
+        nh = tx.associate_vertex(nid)                   # GDI_AssociateVertex
+        names.append((nh.property(fname), nh.property(lname)))
+    tx.commit()                                         # GDI_CloseTransaction
+    return names
+
+
+def app(ctx):
+    db = GraphDatabase.create(ctx, GdaConfig(blocks_per_rank=32768))
+    graph = build_lpg(ctx, db, PARAMS, SCHEMA)
+    ctx.barrier()
+
+    if ctx.rank == 0:
+        names = listing1_friends_query(ctx, graph, person_app_id=5)
+        print(f"[Listing 1] person 5 has {len(names)} friends; first few: "
+              f"{sorted(names)[:3]}")
+    ctx.barrier()
+
+    # LinkBench mix (Table 3, LB column), concurrently from all ranks.
+    result = run_oltp_rank(ctx, graph, MIXES["LB"], n_ops=150, seed=7)
+    return result
+
+
+if __name__ == "__main__":
+    runtime, results = run_spmd(4, app)
+    agg = aggregate_oltp(MIXES["LB"], results)
+    print(f"\nLinkBench mix on 4 ranks: {agg.n_ops} ops, "
+          f"{agg.failed_fraction * 100:.2f}% failed transactions")
+    print(f"throughput: {agg.throughput:,.0f} ops/s (simulated)")
+    for op, lat in sorted(agg.latencies.items(), key=lambda kv: kv[0].value):
+        s = summarize([l * 1e6 for l in lat], warmup_fraction=0.0)
+        print(f"  {op.value:24s} n={s.n:4d}  mean={s.mean:8.2f} us  "
+              f"95% CI of median=[{s.ci_low:.2f}, {s.ci_high:.2f}] us")

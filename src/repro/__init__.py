@@ -1,0 +1,27 @@
+"""Reproduction of "The Graph Database Interface" (Besta et al., SC 2023).
+
+Subpackages
+-----------
+``repro.rma``
+    Simulated distributed-memory RMA substrate (windows, one-sided ops,
+    atomics, collectives, LogGP-style cost model) standing in for
+    foMPI/MPI-3 RMA on Cray hardware.
+``repro.gdi``
+    The Graph Database Interface specification layer: databases, labels,
+    property types, vertices, edges, constraints, indexes, transactions.
+``repro.gda``
+    GDI-RMA ("GDA"): the paper's distributed-memory implementation —
+    BGDL block layout, distributed pointers, lock-free DHT, scalable
+    reader-writer locks, replicated metadata, transactions.
+``repro.generator``
+    Distributed in-memory LPG Kronecker graph generator (paper Section 6.3).
+``repro.workloads``
+    OLTP mixes (Table 3), OLAP analytics (BFS/PR/CDLP/WCC/LCC/k-hop),
+    GNN, and OLSP/BI workloads from Section 4.
+``repro.baselines``
+    JanusGraph-class RPC baseline and Graph500-style raw BFS baseline.
+``repro.analysis``
+    Statistics (Section 6.1 methodology) and scaling-harness helpers.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""Measurement methodology (Section 6.1) and scaling-harness helpers."""
+
+from .stats import Summary, log_histogram, median_ci, summarize, trim_warmup
+
+__all__ = ["Summary", "log_histogram", "median_ci", "summarize", "trim_warmup"]

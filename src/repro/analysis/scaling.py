@@ -1,0 +1,106 @@
+"""Weak/strong scaling harness and extreme-scale extrapolation (§6.8).
+
+The paper's largest runs use 7,142 servers / 121,680 cores — far beyond
+what an in-process simulation can instantiate.  Following the DESIGN.md
+substitution rule, the extreme-scale experiments are reproduced by
+
+1. *measuring* simulated throughput/runtime at instantiable rank counts
+   (2..32), and
+2. *fitting* the throughput model ``T(P) = a * P / (1 + b * log2(P))`` —
+   linear per-rank service rate damped by the logarithmic collective /
+   synchronization share, which is the asymptotic behaviour of GDA's
+   communication structure — and extrapolating to the paper's scales.
+
+Section 6.8's quantitative check ("moving from 275B to 550B edges
+increases OLTP throughput by ~3x while #servers increases 3.49x") is a
+statement about this curve's mild sublinearity; the fitted model
+reproduces it when ``b > 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ScalingCurve",
+    "fit_throughput_curve",
+    "format_table",
+    "PIZ_DAINT_FULL_CORES",
+    "PIZ_DAINT_FULL_SERVERS",
+]
+
+#: The paper's largest configuration (Table 1 / Section 6.8).
+PIZ_DAINT_FULL_CORES = 121_680
+PIZ_DAINT_FULL_SERVERS = 7_142
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """Fitted ``T(P) = a * P / (1 + b * log2(P))`` throughput curve."""
+
+    a: float
+    b: float
+
+    def throughput(self, nranks: float) -> float:
+        if nranks <= 1:
+            return self.a * nranks
+        return self.a * nranks / (1.0 + self.b * math.log2(nranks))
+
+    def speedup_ratio(self, p_from: float, p_to: float) -> float:
+        """Throughput ratio when scaling from ``p_from`` to ``p_to`` ranks."""
+        return self.throughput(p_to) / self.throughput(p_from)
+
+
+def fit_throughput_curve(
+    rank_counts: Sequence[int], throughputs: Sequence[float]
+) -> ScalingCurve:
+    """Least-squares fit of the two-parameter scaling model.
+
+    Linearised: ``P / T = (1 + b log2 P) / a`` is linear in ``log2 P``,
+    so an ordinary least-squares solve recovers ``(a, b)``.  ``b`` is
+    clamped to be non-negative (super-linear scaling would be a
+    measurement artifact at these sizes).
+    """
+    p = np.asarray(rank_counts, dtype=np.float64)
+    t = np.asarray(throughputs, dtype=np.float64)
+    if len(p) < 2 or np.any(t <= 0):
+        raise ValueError("need >= 2 positive throughput samples")
+    y = p / t  # = 1/a + (b/a) log2 P
+    x = np.log2(np.maximum(p, 1.0))
+    design = np.stack([np.ones_like(x), x], axis=1)
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    inv_a, b_over_a = coef
+    inv_a = max(inv_a, 1e-30)
+    a = 1.0 / inv_a
+    b = max(0.0, float(b_over_a * a))
+    return ScalingCurve(a=float(a), b=b)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width ASCII table used by the benchmark harness output."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3e}"
+        return f"{v:.3f}"
+    return str(v)

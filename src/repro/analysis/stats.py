@@ -1,0 +1,135 @@
+"""Measurement methodology of the paper's Section 6.1.
+
+"For measurements, we omit the first 1% of performance data as warmup.
+We derive enough data for the mean and 95% non-parametric confidence
+intervals.  We use arithmetic means as summaries."
+
+This module implements exactly that: warmup trimming, arithmetic means,
+and non-parametric (order-statistics / bootstrap-free) confidence
+intervals for the median and percentile-based intervals for the
+distribution, plus the log-spaced histogram buckets used by Figure 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "trim_warmup", "median_ci", "log_histogram"]
+
+
+def trim_warmup(samples, fraction: float = 0.01) -> np.ndarray:
+    """Drop the first ``fraction`` of samples (paper: first 1% as warmup)."""
+    arr = np.asarray(samples, dtype=np.float64)
+    k = int(math.floor(len(arr) * fraction))
+    return arr[k:]
+
+
+def median_ci(samples, confidence: float = 0.95) -> tuple[float, float]:
+    """Non-parametric CI for the median via binomial order statistics.
+
+    Distribution-free: if X(1) <= ... <= X(n) are the order statistics,
+    P(X(l) < median < X(u)) follows Binomial(n, 1/2).
+    """
+    arr = np.sort(np.asarray(samples, dtype=np.float64))
+    n = len(arr)
+    if n == 0:
+        return (math.nan, math.nan)
+    if n == 1:
+        return (arr[0], arr[0])
+    # normal approximation to the binomial quantiles (standard practice)
+    z = 1.959963984540054 if confidence == 0.95 else _z_of(confidence)
+    half = z * math.sqrt(n) / 2.0
+    lo = max(0, int(math.floor(n / 2.0 - half)))
+    hi = min(n - 1, int(math.ceil(n / 2.0 + half)))
+    return (float(arr[lo]), float(arr[hi]))
+
+
+def _z_of(confidence: float) -> float:
+    # inverse error function via Newton iterations; avoids a scipy import
+    p = (1 + confidence) / 2
+    x = 0.0
+    for _ in range(60):
+        c = 0.5 * (1 + math.erf(x / math.sqrt(2))) - p
+        d = math.exp(-x * x / 2) / math.sqrt(2 * math.pi)
+        x -= c / d
+    return x
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Arithmetic-mean summary with a 95% non-parametric median CI."""
+
+    n: int
+    mean: float
+    median: float
+    ci_low: float
+    ci_high: float
+    p5: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return (
+            f"n={self.n} mean={self.mean:.3g} median={self.median:.3g} "
+            f"95%CI=[{self.ci_low:.3g}, {self.ci_high:.3g}]"
+        )
+
+
+def summarize(samples, warmup_fraction: float = 0.01) -> Summary:
+    """Full Section 6.1 treatment of one sample series."""
+    arr = trim_warmup(samples, warmup_fraction)
+    if len(arr) == 0:
+        nan = math.nan
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    lo, hi = median_ci(arr)
+    return Summary(
+        n=len(arr),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        ci_low=lo,
+        ci_high=hi,
+        p5=float(np.percentile(arr, 5)),
+        p95=float(np.percentile(arr, 95)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def log_histogram(
+    samples,
+    n_buckets: int = 24,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> list[tuple[float, float, int]]:
+    """Log-spaced latency histogram as plotted in the paper's Figure 5.
+
+    Returns ``(bucket_low, bucket_high, count)`` triples.  Bounds default
+    to the sample range (zero samples are clamped to the smallest
+    positive value).
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if len(arr) == 0:
+        return []
+    positive = arr[arr > 0]
+    floor = positive.min() if len(positive) else 1e-9
+    arr = np.clip(arr, floor, None)
+    lo = lo if lo is not None else float(arr.min())
+    hi = hi if hi is not None else float(arr.max())
+    if lo <= 0:
+        lo = floor
+    if hi <= lo:
+        hi = lo * 10
+    edges = np.logspace(math.log10(lo), math.log10(hi), n_buckets + 1)
+    # guard against log/exp rounding pushing the extremes out of range
+    edges[0] = min(edges[0], float(arr.min()))
+    edges[-1] = max(edges[-1], float(arr.max()))
+    counts, _ = np.histogram(arr, bins=edges)
+    return [
+        (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+        for i in range(n_buckets)
+    ]

@@ -1,0 +1,24 @@
+"""Comparison baselines of the paper's evaluation (Sections 6.2, 6.5).
+
+A JanusGraph-class RPC/eventual-consistency baseline calibrated to the
+paper's JanusGraph measurements (:mod:`.janusgraph_sim`) and a
+Graph500-class raw-CSR BFS (:mod:`.graph500_bfs`).
+"""
+
+from .graph500_bfs import CsrShard, build_csr_shard, graph500_bfs
+from .janusgraph_sim import (
+    JanusGraphSim,
+    JanusScaleError,
+    janus_bfs,
+    run_janus_oltp_rank,
+)
+
+__all__ = [
+    "CsrShard",
+    "build_csr_shard",
+    "graph500_bfs",
+    "JanusGraphSim",
+    "JanusScaleError",
+    "janus_bfs",
+    "run_janus_oltp_rank",
+]

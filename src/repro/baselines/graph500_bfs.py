@@ -1,0 +1,126 @@
+"""Graph500-class BFS baseline (paper Section 6.5).
+
+The paper compares GDA's transactional BFS against the Graph500 reference
+implementation — "a highly tuned BFS code" operating on static simple
+graphs with no labels, properties, or transactions.  This module is the
+equivalent for our substrate: a level-synchronous distributed BFS over a
+raw CSR shard built directly from the Kronecker generator, running on the
+*same* simulated network (so the GDA-vs-Graph500 gap isolates exactly what
+the paper's comparison isolates: the overhead of the LPG data model and
+the transactional storage engine).
+
+The expected shape (paper): GDA is at most 2-4x slower, occasionally
+comparable — because both codes have the same communication structure and
+GDA adds per-vertex holder fetches and transaction bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..generator.kronecker import KroneckerParams, generate_edges
+from ..rma.runtime import RankContext
+
+__all__ = ["CsrShard", "build_csr_shard", "graph500_bfs"]
+
+
+@dataclass
+class CsrShard:
+    """This rank's CSR shard: vertices ``app % nranks == rank``.
+
+    ``index[u]`` gives the row of local vertex ``u`` in ``offsets``.
+    """
+
+    nranks: int
+    local_vertices: np.ndarray  # app ids, sorted
+    offsets: np.ndarray  # len = n_local + 1
+    targets: np.ndarray  # concatenated neighbor app ids
+    index: dict[int, int]
+
+    def neighbors(self, app_id: int) -> np.ndarray:
+        row = self.index[app_id]
+        return self.targets[self.offsets[row] : self.offsets[row + 1]]
+
+    def home(self, app_id: int) -> int:
+        return app_id % self.nranks
+
+
+def build_csr_shard(
+    ctx: RankContext,
+    params: KroneckerParams,
+    undirected: bool = True,
+) -> CsrShard:
+    """Exchange generated edges and compress this rank's shard to CSR.
+
+    Charges the alltoall and the (vectorized) local sort to the simulated
+    clock; this mirrors Graph500's timed graph-construction phase, which
+    the paper's BFS comparison excludes — benchmarks therefore time
+    :func:`graph500_bfs` separately.
+    """
+    edges = generate_edges(params, ctx.rank, ctx.nranks)
+    outboxes: list[list[tuple[int, int]]] = [[] for _ in range(ctx.nranks)]
+    for s, d in edges.tolist():
+        outboxes[s % ctx.nranks].append((s, d))
+        if undirected and s != d:
+            outboxes[d % ctx.nranks].append((d, s))
+    received = ctx.alltoall(outboxes)
+    pairs = [p for box in received for p in box]
+    local_vertices = np.arange(ctx.rank, params.n_vertices, ctx.nranks)
+    index = {int(u): i for i, u in enumerate(local_vertices)}
+    counts = np.zeros(len(local_vertices) + 1, dtype=np.int64)
+    for s, _ in pairs:
+        counts[index[s] + 1] += 1
+    offsets = np.cumsum(counts)
+    targets = np.zeros(len(pairs), dtype=np.int64)
+    cursor = offsets[:-1].copy()
+    for s, d in pairs:
+        row = index[s]
+        targets[cursor[row]] = d
+        cursor[row] += 1
+    ctx.compute(len(pairs) * 2)
+    return CsrShard(
+        nranks=ctx.nranks,
+        local_vertices=local_vertices,
+        offsets=offsets,
+        targets=targets,
+        index=index,
+    )
+
+
+def graph500_bfs(
+    ctx: RankContext, shard: CsrShard, root: int
+) -> dict[int, int]:
+    """Level-synchronous BFS on the raw CSR shard; returns local depths.
+
+    One local scalar op per scanned edge (the tuned-kernel cost), one
+    alltoall per level — the minimal communication structure a
+    distributed BFS can have.
+    """
+    depth: dict[int, int] = {}
+    frontier: list[int] = []
+    if shard.home(root) == ctx.rank and root in shard.index:
+        depth[root] = 0
+        frontier = [root]
+    level = 0
+    while True:
+        if not ctx.allreduce(len(frontier)):
+            break
+        outboxes: list[list[int]] = [[] for _ in range(ctx.nranks)]
+        scanned = 0
+        for u in frontier:
+            for nbr in shard.neighbors(u).tolist():
+                outboxes[nbr % shard.nranks].append(nbr)
+                scanned += 1
+        ctx.compute(scanned)
+        received = ctx.alltoall(outboxes)
+        level += 1
+        frontier = []
+        for box in received:
+            for v in box:
+                if v not in depth:
+                    depth[v] = level
+                    frontier.append(v)
+        ctx.compute(sum(len(b) for b in received))
+    return depth

@@ -1,0 +1,219 @@
+"""Blocked Graph Data Layout (BGDL) — the block level of GDA (Section 5.5).
+
+All graph data is mapped onto fixed-size memory blocks carved out of one
+large distributed-memory pool.  The block size is a user tunable trading
+communication (larger blocks → one fetch covers more of a vertex) against
+memory (internal fragmentation).  Three RMA windows implement the pool:
+
+* the **data** window — the blocks themselves,
+* the **usage** window — a per-rank free list: element ``i`` holds the
+  index of the next free block after block ``i``,
+* the **system** window — the tagged head pointer of the free list, an
+  allocation counter, and the per-block lock words used by the
+  reader-writer locks of Section 5.6.
+
+``acquire_block``/``release_block`` follow the paper's lock-free protocol:
+AGET the list head, AGET the successor, CAS the head forward; the 32-bit
+tag in the head word increments on every successful CAS, which defeats the
+ABA problem.  On CAS failure the protocol restarts at step 2 reusing the
+value the CAS returned (no extra AGET), exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rma.runtime import RankContext
+from ..rma.window import Window
+from .dptr import (
+    TAG_NULL_INDEX,
+    pack_dptr,
+    pack_tagged,
+    unpack_dptr,
+    unpack_tagged,
+)
+
+__all__ = ["BlockManager", "OutOfBlocksError", "SYS_HEAD_OFF", "SYS_COUNT_OFF", "SYS_LOCKS_OFF"]
+
+#: System-window layout (per rank).
+SYS_HEAD_OFF = 0  # tagged free-list head
+SYS_COUNT_OFF = 8  # allocated-block counter
+SYS_LOCKS_OFF = 16  # per-block RW lock words
+
+
+class OutOfBlocksError(MemoryError):
+    """Raised when no rank can supply a free block."""
+
+
+@dataclass
+class BlockManager:
+    """Manages the three BGDL windows of one database.
+
+    The manager object itself is immutable shared metadata (window handles
+    and sizes); all state lives in the windows, so any rank context may
+    call any method concurrently.
+    """
+
+    data_win: Window
+    usage_win: Window
+    system_win: Window
+    block_size: int
+    blocks_per_rank: int
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        ctx: RankContext,
+        block_size: int,
+        blocks_per_rank: int,
+        name_prefix: str = "bgdl",
+    ) -> "BlockManager":
+        """Collectively allocate and initialize the BGDL windows.
+
+        Every rank initializes its own segment: blocks chained
+        ``0 -> 1 -> ... -> n-1 -> NULL``, head ``(tag=0, index=0)``,
+        counter zero, lock words zero.
+        """
+        if block_size < 16 or block_size % 8 != 0:
+            raise ValueError("block_size must be >= 16 and 8-byte aligned")
+        if blocks_per_rank < 1 or blocks_per_rank >= TAG_NULL_INDEX:
+            raise ValueError("blocks_per_rank out of range")
+        data_win = ctx.win_allocate(
+            f"{name_prefix}.data", block_size * blocks_per_rank
+        )
+        usage_win = ctx.win_allocate(f"{name_prefix}.usage", 8 * blocks_per_rank)
+        system_win = ctx.win_allocate(
+            f"{name_prefix}.system", SYS_LOCKS_OFF + 8 * blocks_per_rank
+        )
+        mgr = cls(data_win, usage_win, system_win, block_size, blocks_per_rank)
+        mgr._init_local_segment(ctx)
+        ctx.barrier()
+        return mgr
+
+    def _init_local_segment(self, ctx: RankContext) -> None:
+        me = ctx.rank
+        for i in range(self.blocks_per_rank - 1):
+            self.usage_win.write_i64(me, 8 * i, i + 1)
+        self.usage_win.write_i64(
+            me, 8 * (self.blocks_per_rank - 1), TAG_NULL_INDEX
+        )
+        self.system_win.write_i64(me, SYS_HEAD_OFF, pack_tagged(0, 0))
+        self.system_win.write_i64(me, SYS_COUNT_OFF, 0)
+
+    # -- address arithmetic ---------------------------------------------------
+    def block_index(self, dptr: int) -> int:
+        """Block index within its owner rank for a block DPtr."""
+        return unpack_dptr(dptr).offset // self.block_size
+
+    def lock_location(self, dptr: int) -> tuple[int, int]:
+        """(rank, system-window offset) of the lock word guarding ``dptr``.
+
+        Section 5.6: the lock of a vertex lives in the system window at the
+        offset corresponding to the primary block of its holder.
+        """
+        d = unpack_dptr(dptr)
+        return d.rank, SYS_LOCKS_OFF + 8 * (d.offset // self.block_size)
+
+    # -- allocation -------------------------------------------------------------
+    def acquire_block(self, ctx: RankContext, target: int) -> int | None:
+        """Lock-free allocation of one block on ``target``.
+
+        Returns the packed DPtr of the block, or ``None`` if the target
+        has no free blocks (the paper's NULL-handle case).
+        """
+        sw, uw = self.system_win, self.usage_win
+        head = ctx.aget(sw, target, SYS_HEAD_OFF)  # step 1
+        while True:
+            tag, idx = unpack_tagged(head)
+            if idx == TAG_NULL_INDEX:
+                return None
+            nxt = ctx.aget(uw, target, 8 * idx)  # step 2
+            new_head = pack_tagged(tag + 1, nxt)
+            found = ctx.cas(sw, target, SYS_HEAD_OFF, head, new_head)  # step 3
+            if found == head:
+                ctx.faa(sw, target, SYS_COUNT_OFF, 1)
+                return pack_dptr(target, idx * self.block_size)
+            head = found  # restart at step 2 with the CAS result
+
+    def acquire_block_anywhere(
+        self, ctx: RankContext, preferred: int
+    ) -> int:
+        """Allocate on ``preferred`` if possible, else spill round-robin.
+
+        Paper Section 5.3: blocks of one vertex need not live on one
+        process; this is the policy that makes that happen under memory
+        pressure.  Raises :class:`OutOfBlocksError` when the whole pool is
+        exhausted.
+        """
+        for hop in range(ctx.nranks):
+            target = (preferred + hop) % ctx.nranks
+            dptr = self.acquire_block(ctx, target)
+            if dptr is not None:
+                return dptr
+        raise OutOfBlocksError(
+            f"no free blocks on any of {ctx.nranks} ranks "
+            f"({self.blocks_per_rank} blocks x {self.block_size} B each)"
+        )
+
+    def release_block(self, ctx: RankContext, dptr: int) -> None:
+        """Lock-free release of a block back to its owner's free list."""
+        d = unpack_dptr(dptr)
+        idx = d.offset // self.block_size
+        sw, uw = self.system_win, self.usage_win
+        head = ctx.aget(sw, d.rank, SYS_HEAD_OFF)
+        while True:
+            tag, hidx = unpack_tagged(head)
+            ctx.aput(uw, d.rank, 8 * idx, hidx)  # our block points at old head
+            ctx.flush(uw, d.rank)
+            new_head = pack_tagged(tag + 1, idx)
+            found = ctx.cas(sw, d.rank, SYS_HEAD_OFF, head, new_head)
+            if found == head:
+                ctx.faa(sw, d.rank, SYS_COUNT_OFF, -1)
+                return
+            head = found
+
+    def allocated_count(self, ctx: RankContext, target: int) -> int:
+        """Number of blocks currently allocated on ``target``."""
+        return ctx.aget(self.system_win, target, SYS_COUNT_OFF)
+
+    # -- block data access ----------------------------------------------------------
+    def read_block(
+        self, ctx: RankContext, dptr: int, offset: int = 0, nbytes: int | None = None
+    ) -> bytes:
+        """One-sided read of (part of) a block."""
+        d = unpack_dptr(dptr)
+        if nbytes is None:
+            nbytes = self.block_size - offset
+        if offset < 0 or offset + nbytes > self.block_size:
+            raise ValueError("read outside block bounds")
+        return ctx.get(self.data_win, d.rank, d.offset + offset, nbytes)
+
+    def write_block(
+        self, ctx: RankContext, dptr: int, data: bytes, offset: int = 0
+    ) -> None:
+        """One-sided write of (part of) a block."""
+        d = unpack_dptr(dptr)
+        if offset < 0 or offset + len(data) > self.block_size:
+            raise ValueError("write outside block bounds")
+        ctx.put(self.data_win, d.rank, d.offset + offset, data)
+
+    def iwrite_block(
+        self, ctx: RankContext, dptr: int, data: bytes, offset: int = 0
+    ):
+        """Non-blocking block write; complete with a data-window flush."""
+        d = unpack_dptr(dptr)
+        if offset < 0 or offset + len(data) > self.block_size:
+            raise ValueError("write outside block bounds")
+        return ctx.iput(self.data_win, d.rank, d.offset + offset, data)
+
+    def iread_block(
+        self, ctx: RankContext, dptr: int, offset: int = 0, nbytes: int | None = None
+    ):
+        """Non-blocking block read; data valid after flush/wait."""
+        d = unpack_dptr(dptr)
+        if nbytes is None:
+            nbytes = self.block_size - offset
+        if offset < 0 or offset + nbytes > self.block_size:
+            raise ValueError("read outside block bounds")
+        return ctx.iget(self.data_win, d.rank, d.offset + offset, nbytes)

@@ -1,0 +1,205 @@
+"""Global database consistency checker (test/diagnostic collective).
+
+Verifies the structural invariants that GDA's design promises hold at any
+quiescent point (no open transactions):
+
+1. **Directory ↔ DHT agreement** — every vertex in the directory has a
+   DHT mapping from its application ID to its primary DPtr, and every DHT
+   entry names a directory vertex.
+2. **Holder integrity** — every directory entry deserializes into a
+   vertex holder whose ``app_id`` matches the DHT key.
+3. **Edge reciprocity** — every lightweight slot has a matching
+   reciprocal slot on the other endpoint (OUT↔IN with equal label,
+   UNDIR↔UNDIR), and every heavyweight slot points at an edge holder
+   that (a) exists, (b) names this vertex as an endpoint, and (c) is
+   referenced from both endpoints.
+4. **Storage accounting** — the number of allocated blocks equals the
+   blocks reachable from live holders (no leaks, no double use).
+
+Used by the integration tests after concurrent OLTP storms; returns a
+report object whose ``ok`` flag and ``problems`` list make failures
+debuggable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..rma.runtime import RankContext
+from .database_impl import GdaDatabase
+from .holder import DIR_IN, DIR_OUT, DIR_UNDIR, KIND_EDGE, KIND_VERTEX
+
+__all__ = ["ConsistencyReport", "check_consistency"]
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of one consistency sweep."""
+
+    n_vertices: int = 0
+    n_lightweight_slots: int = 0
+    n_heavy_slots: int = 0
+    n_edge_holders: int = 0
+    blocks_allocated: int = 0
+    blocks_reachable: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _reciprocal(direction: int) -> int:
+    if direction == DIR_OUT:
+        return DIR_IN
+    if direction == DIR_IN:
+        return DIR_OUT
+    return DIR_UNDIR
+
+
+def check_consistency(ctx: RankContext, db: GdaDatabase) -> ConsistencyReport:
+    """Collectively verify the invariants; all ranks get the same report."""
+    report = ConsistencyReport()
+
+    # ---- gather the global picture -------------------------------------
+    local_vids = db.directory.local_vertices(ctx)
+    local_holders = {}
+    for vid in local_vids:
+        try:
+            stored = db.storage.read(ctx, vid)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            report.problems.append(f"vertex {vid:#x}: unreadable ({exc})")
+            continue
+        if stored.holder.kind != KIND_VERTEX:
+            report.problems.append(f"vertex {vid:#x}: holder kind mismatch")
+            continue
+        local_holders[vid] = stored
+
+    # replicate (vid -> app_id, slot summary) for reciprocity checking
+    slot_summary = {}
+    for vid, stored in local_holders.items():
+        slots = []
+        for slot in stored.holder.edges:
+            slots.append((slot.dptr, slot.label_id, slot.flags))
+        slot_summary[vid] = (stored.holder.app_id, slots)
+    global_slots: dict[int, tuple[int, list]] = {}
+    for part in ctx.allgather(slot_summary):
+        global_slots.update(part)
+    report.n_vertices = len(global_slots)
+
+    # ---- invariant 1: directory <-> DHT --------------------------------
+    dht_items = dict(db.dht.items(ctx)) if ctx.rank == 0 else None
+    dht_items = ctx.bcast(dht_items, root=0)
+    for vid, (app_id, _) in global_slots.items():
+        mapped = dht_items.get(app_id)
+        if mapped != vid:
+            report.problems.append(
+                f"app {app_id}: DHT maps to "
+                f"{mapped if mapped is None else hex(mapped)}, directory "
+                f"has {vid:#x}"
+            )
+    for app_id, vid in dht_items.items():
+        if vid not in global_slots:
+            report.problems.append(
+                f"DHT entry app {app_id} -> {vid:#x} has no directory vertex"
+            )
+
+    # ---- invariants 3: edge reciprocity ---------------------------------
+    from .holder import DIR_MASK, SLOT_HEAVY
+
+    heavy_refs: Counter = Counter()
+    lw_multiset: Counter = Counter()
+    for vid, (app_id, slots) in global_slots.items():
+        for dptr, label_id, flags in slots:
+            if flags & SLOT_HEAVY:
+                heavy_refs[dptr] += 1
+                report.n_heavy_slots += 1
+            else:
+                report.n_lightweight_slots += 1
+                lw_multiset[(vid, dptr, label_id, flags & DIR_MASK)] += 1
+    for (vid, other, label_id, direction), count in lw_multiset.items():
+        if other not in global_slots:
+            report.problems.append(
+                f"slot {vid:#x} -> {other:#x}: target vertex missing"
+            )
+            continue
+        want = (other, vid, label_id, _reciprocal(direction))
+        back = lw_multiset.get(want, 0)
+        if direction == DIR_UNDIR and vid == other:
+            continue  # undirected self-loop: single slot by design
+        if back != count:
+            report.problems.append(
+                f"slot {vid:#x} -> {other:#x} (label {label_id}, "
+                f"dir {direction}) x{count}: reciprocal x{back}"
+            )
+
+    # heavy holders: read each once (owner = rank of the holder's dptr)
+    local_heavy = {}
+    for dptr in heavy_refs:
+        from .dptr import unpack_dptr
+
+        if unpack_dptr(dptr).rank != ctx.rank:
+            continue
+        try:
+            stored = db.storage.read(ctx, dptr)
+        except Exception as exc:  # noqa: BLE001
+            report.problems.append(f"edge holder {dptr:#x}: unreadable ({exc})")
+            continue
+        if stored.holder.kind != KIND_EDGE:
+            report.problems.append(f"edge holder {dptr:#x}: kind mismatch")
+            continue
+        local_heavy[dptr] = (
+            stored.holder.src,
+            stored.holder.dst,
+            stored.holder.directed,
+            1 + len(stored.data_blocks) + len(stored.index_blocks),
+        )
+    global_heavy: dict[int, tuple] = {}
+    for part in ctx.allgather(local_heavy):
+        global_heavy.update(part)
+    report.n_edge_holders = len(global_heavy)
+    for dptr, refs in heavy_refs.items():
+        meta = global_heavy.get(dptr)
+        if meta is None:
+            report.problems.append(f"heavy slot -> {dptr:#x}: holder missing")
+            continue
+        src, dst, directed, _ = meta
+        if src not in global_slots or dst not in global_slots:
+            report.problems.append(
+                f"edge holder {dptr:#x}: endpoint missing "
+                f"({src:#x}, {dst:#x})"
+            )
+        expected_refs = 1 if src == dst and not directed else 2
+        if src == dst and directed:
+            expected_refs = 2
+        if refs != expected_refs:
+            report.problems.append(
+                f"edge holder {dptr:#x}: referenced {refs}x, "
+                f"expected {expected_refs}"
+            )
+
+    # ---- invariant 4: storage accounting ----------------------------------
+    local_reachable = 0
+    for stored in local_holders.values():
+        local_reachable += 1 + len(stored.data_blocks) + len(stored.index_blocks)
+    for meta in local_heavy.values():
+        local_reachable += meta[3]
+    report.blocks_reachable = ctx.allreduce(local_reachable)
+    report.blocks_allocated = sum(
+        db.blocks.allocated_count(ctx, r) for r in range(ctx.nranks)
+    )
+    if report.blocks_allocated != report.blocks_reachable:
+        report.problems.append(
+            f"storage leak: {report.blocks_allocated} blocks allocated, "
+            f"{report.blocks_reachable} reachable from live holders"
+        )
+
+    # every rank returns the merged problem list
+    all_problems: list[str] = []
+    for part in ctx.allgather(report.problems):
+        for p in part:
+            if p not in all_problems:
+                all_problems.append(p)
+    report.problems = all_problems
+    return report

@@ -1,0 +1,353 @@
+"""The GDA database object: window layout, sharding, metadata, indexes.
+
+One :class:`GdaDatabase` corresponds to one ``GDI_Database``.  Creation is
+collective; the object bundles
+
+* the BGDL :class:`~repro.gda.blocks.BlockManager` and
+  :class:`~repro.gda.holder.HolderStorage` (graph data, sharded),
+* the internal :class:`~repro.gda.dht.DistributedHashTable` translating
+  application vertex IDs to internal DPtrs (Section 5.7),
+* the replicated :class:`~repro.gda.metadata.MetadataStore` with one
+  :class:`~repro.gda.metadata.MetadataReplica` per rank (Section 5.8),
+* the :class:`~repro.gda.index_impl.VertexDirectory` and explicit
+  indexes (Section 3.6),
+* per-rank transaction statistics (commits/aborts — the paper's
+  failed-transaction percentages come from these counters).
+
+GDI supports multiple parallel databases (Section 3.9): each
+:class:`GdaDatabase` allocates its windows under a unique name prefix, so
+several instances coexist in one runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+from ..gdi.constants import EntityType, Multiplicity, SizeType
+from ..gdi.constraint import Constraint
+from ..gdi.errors import GdiInvalidArgument, GdiNotFound
+from ..gdi.types import Datatype
+from ..rma.runtime import RankContext
+from .blocks import BlockManager
+from .dht import DistributedHashTable
+from .holder import HolderStorage
+from .index_impl import ExplicitEdgeIndex, ExplicitIndex, VertexDirectory
+from .metadata import Label, MetadataReplica, MetadataStore, PropertyType
+
+__all__ = ["GdaConfig", "GdaDatabase", "TxStats"]
+
+_db_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class GdaConfig:
+    """Tunables of one database instance.
+
+    ``block_size`` is the paper's central communication/memory tradeoff
+    (Section 5.5); benchmarks sweep it as an ablation.
+    """
+
+    block_size: int = 512
+    blocks_per_rank: int = 4096
+    dht_buckets_per_rank: int = 1024
+    dht_entries_per_rank: int = 4096
+    lock_max_retries: int = 64
+
+
+@dataclass
+class TxStats:
+    """Per-rank transaction outcome counters."""
+
+    started: int = 0
+    committed: int = 0
+    aborted: int = 0
+    failed: int = 0  # aborted due to a transaction-critical error
+
+    @property
+    def failure_fraction(self) -> float:
+        return self.failed / self.started if self.started else 0.0
+
+
+class GdaDatabase:
+    """One distributed graph database instance (shared across ranks)."""
+
+    def __init__(
+        self,
+        config: GdaConfig,
+        blocks: BlockManager,
+        storage: HolderStorage,
+        dht: DistributedHashTable,
+        nranks: int,
+        name: str,
+    ) -> None:
+        self.config = config
+        self.blocks = blocks
+        self.storage = storage
+        self.dht = dht
+        self.nranks = nranks
+        self.name = name
+        self.metadata = MetadataStore()
+        self.replicas = [MetadataReplica(self.metadata) for _ in range(nranks)]
+        self.directory = VertexDirectory(nranks)
+        self.indexes: dict[str, ExplicitIndex] = {}
+        self.edge_indexes: dict[str, ExplicitEdgeIndex] = {}
+        self._index_lock = threading.Lock()
+        self.stats = [TxStats() for _ in range(nranks)]
+        self.commit_log: list[tuple] = []  # durability: in-memory redo log
+        self._commit_log_lock = threading.Lock()
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def create(
+        cls, ctx: RankContext, config: GdaConfig | None = None
+    ) -> "GdaDatabase":
+        """Collectively create a database (``GDI_CreateDatabase``)."""
+        config = config or GdaConfig()
+        name = ctx.bcast(
+            f"gdadb{next(_db_counter)}" if ctx.rank == 0 else None, root=0
+        )
+        blocks = BlockManager.create(
+            ctx,
+            block_size=config.block_size,
+            blocks_per_rank=config.blocks_per_rank,
+            name_prefix=f"{name}.bgdl",
+        )
+        dht = DistributedHashTable.create(
+            ctx,
+            buckets_per_rank=config.dht_buckets_per_rank,
+            entries_per_rank=config.dht_entries_per_rank,
+            name_prefix=f"{name}.index",
+        )
+        db = None
+        if ctx.rank == 0:
+            db = cls(
+                config=config,
+                blocks=blocks,
+                storage=HolderStorage(blocks),
+                dht=dht,
+                nranks=ctx.nranks,
+                name=name,
+            )
+        db = ctx.bcast(db, root=0)
+        ctx.barrier()
+        return db
+
+    # -- metadata (eventually consistent, Section 3.8) -------------------------
+    def create_label(self, ctx: RankContext, name: str) -> Label:
+        """Create a label; other ranks see it after their next sync."""
+        label = self.metadata.create_label(name)
+        self.replicas[ctx.rank].sync()
+        return label
+
+    def create_property_type(
+        self,
+        ctx: RankContext,
+        name: str,
+        *,
+        entity_type: EntityType = EntityType.BOTH,
+        dtype: Datatype = Datatype.BYTES,
+        size_type: SizeType = SizeType.UNBOUNDED,
+        size_limit: int = 0,
+        multiplicity: Multiplicity = Multiplicity.SINGLE,
+    ) -> PropertyType:
+        ptype = self.metadata.create_property_type(
+            name,
+            entity_type=entity_type,
+            dtype=dtype,
+            size_type=size_type,
+            size_limit=size_limit,
+            multiplicity=multiplicity,
+        )
+        self.replicas[ctx.rank].sync()
+        return ptype
+
+    def label(self, ctx: RankContext, name: str) -> Label:
+        item = self.replicas[ctx.rank].labels.by_name(name)
+        if item is None:
+            raise GdiNotFound(f"label {name!r} unknown to rank {ctx.rank}")
+        return item
+
+    def property_type(self, ctx: RankContext, name: str) -> PropertyType:
+        item = self.replicas[ctx.rank].ptypes.by_name(name)
+        if item is None:
+            raise GdiNotFound(
+                f"property type {name!r} unknown to rank {ctx.rank}"
+            )
+        return item
+
+    def replica(self, ctx: RankContext) -> MetadataReplica:
+        return self.replicas[ctx.rank]
+
+    def all_labels(self, ctx: RankContext) -> list[Label]:
+        """Labels known to this rank's replica, in creation order."""
+        return list(self.replicas[ctx.rank].labels)
+
+    def all_property_types(self, ctx: RankContext) -> list[PropertyType]:
+        """Property types known to this rank's replica, in creation order."""
+        return list(self.replicas[ctx.rank].ptypes)
+
+    def drop_label(self, ctx: RankContext, label: Label) -> None:
+        """Drop a label; propagates to other replicas eventually."""
+        self.metadata.drop_label(label.int_id)
+        self.replicas[ctx.rank].sync()
+
+    def drop_property_type(self, ctx: RankContext, ptype: PropertyType) -> None:
+        """Drop a property type; propagates eventually."""
+        self.metadata.drop_property_type(ptype.int_id)
+        self.replicas[ctx.rank].sync()
+
+    # -- transactions -----------------------------------------------------------
+    def start_transaction(self, ctx: RankContext, write: bool = False):
+        """``GDI_StartTransaction``: a local, single-process transaction."""
+        from .transaction_impl import Transaction
+
+        self.replicas[ctx.rank].sync()
+        self.stats[ctx.rank].started += 1
+        return Transaction(self, ctx, write=write, collective=False)
+
+    def start_collective_transaction(
+        self, ctx: RankContext, write: bool = False
+    ):
+        """``GDI_StartCollectiveTransaction``: all ranks participate."""
+        from .transaction_impl import Transaction
+
+        ctx.barrier()
+        self.replicas[ctx.rank].sync()
+        self.stats[ctx.rank].started += 1
+        return Transaction(self, ctx, write=write, collective=True)
+
+    # -- sharding policy ------------------------------------------------------------
+    def home_rank(self, app_id: int) -> int:
+        """Round-robin vertex distribution (paper Section 6.3)."""
+        return app_id % self.nranks
+
+    # -- explicit indexes (Section 3.6) -----------------------------------------------
+    def create_index(
+        self, ctx: RankContext, name: str, constraint: Constraint
+    ) -> ExplicitIndex:
+        """Collectively create and build an explicit vertex index."""
+        with self._index_lock:
+            if ctx.rank == 0 and name in self.indexes:
+                raise GdiInvalidArgument(f"index {name!r} already exists")
+        ctx.barrier()
+        index = None
+        if ctx.rank == 0:
+            index = ExplicitIndex(
+                name=name, constraint=constraint, nranks=self.nranks
+            )
+            with self._index_lock:
+                self.indexes[name] = index
+        index = ctx.bcast(index, root=0)
+        # Build: every rank scans its local vertices inside a collective
+        # read transaction and fills its own shard.
+        tx = self.start_collective_transaction(ctx, write=False)
+        try:
+            matched = []
+            dtype_of = self.replicas[ctx.rank].dtype_of
+            for vid in self.directory.local_vertices(ctx):
+                holder = tx.read_holder(vid).holder
+                if index.matches(holder, dtype_of):
+                    matched.append(vid)
+            index.bulk_add_local(ctx, matched)
+            tx.commit()
+        except BaseException:
+            tx.abort()
+            raise
+        return index
+
+    def create_edge_index(
+        self, ctx: RankContext, name: str, constraint: Constraint
+    ) -> ExplicitEdgeIndex:
+        """Collectively create and build an explicit *edge* index.
+
+        Stores the source vertices carrying at least one matching edge
+        (edge UIDs are volatile, Section 3.4); queries re-resolve the
+        matching handles inside the reading transaction.
+        """
+        with self._index_lock:
+            if ctx.rank == 0 and name in self.edge_indexes:
+                raise GdiInvalidArgument(f"edge index {name!r} already exists")
+        ctx.barrier()
+        index = None
+        if ctx.rank == 0:
+            index = ExplicitEdgeIndex(
+                name=name, constraint=constraint, nranks=self.nranks
+            )
+            with self._index_lock:
+                self.edge_indexes[name] = index
+        index = ctx.bcast(index, root=0)
+        tx = self.start_collective_transaction(ctx, write=False)
+        try:
+            matched = []
+            for vid in self.directory.local_vertices(ctx):
+                txv = tx._load_vertex(vid, for_write=False)
+                if index.source_matches(tx, txv):
+                    matched.append(vid)
+            index.bulk_add_local(ctx, matched)
+            tx.commit()
+        except BaseException:
+            tx.abort()
+            raise
+        return index
+
+    def edge_index(self, name: str) -> ExplicitEdgeIndex:
+        with self._index_lock:
+            try:
+                return self.edge_indexes[name]
+            except KeyError:
+                raise GdiNotFound(f"no edge index named {name!r}") from None
+
+    def index(self, name: str) -> ExplicitIndex:
+        with self._index_lock:
+            try:
+                return self.indexes[name]
+            except KeyError:
+                raise GdiNotFound(f"no index named {name!r}") from None
+
+    def drop_index(self, ctx: RankContext, name: str) -> None:
+        ctx.barrier()
+        if ctx.rank == 0:
+            with self._index_lock:
+                self.indexes.pop(name, None)
+        ctx.barrier()
+
+    # -- durability (in-memory redo log; the paper's system is in-memory) ----------------
+    def log_commit(self, record: tuple) -> None:
+        with self._commit_log_lock:
+            self.commit_log.append(record)
+
+    # -- statistics ----------------------------------------------------------------------
+    def total_stats(self) -> TxStats:
+        agg = TxStats()
+        for s in self.stats:
+            agg.started += s.started
+            agg.committed += s.committed
+            agg.aborted += s.aborted
+            agg.failed += s.failed
+        return agg
+
+    def num_vertices(self, ctx: RankContext) -> int:
+        return self.directory.count(ctx)
+
+    # -- teardown --------------------------------------------------------------------------
+    def destroy(self, ctx: RankContext) -> None:
+        """Collectively free the database's windows (``GDI_FreeDatabase``).
+
+        Any later access through the freed windows raises; transactions
+        must not be open.
+        """
+        ctx.barrier()
+        if ctx.rank == 0:
+            for win in (
+                self.blocks.data_win,
+                self.blocks.usage_win,
+                self.blocks.system_win,
+                self.dht.table_win,
+                self.dht.heap.data_win,
+                self.dht.heap.usage_win,
+                self.dht.heap.system_win,
+            ):
+                ctx.rt.free_window(win)
+        ctx.barrier()

@@ -1,0 +1,279 @@
+"""Lock-free, fully-offloaded distributed hash table (paper Section 5.7).
+
+GDA resolves performance-critical mappings — above all application vertex
+ID → internal DPtr — with a DHT whose every operation (including delete)
+uses only one-sided communication: puts, gets, atomics, and flushes.  The
+design is the paper's Listing 4:
+
+* a sharded **table** of buckets, each an 8-byte distributed pointer to a
+  chain of entries,
+* a **heap** of fixed 24-byte entries ``[key | value | next]`` allocated
+  from a lock-free free list (we reuse :class:`repro.gda.blocks.BlockManager`
+  with a 24-byte block size — the heap allocator *is* the BGDL allocator),
+* **insert**: write the entry, then CAS it onto the bucket head,
+* **lookup**: chase the chain; an entry whose next pointer points to
+  itself is being deleted, so the lookup restarts,
+* **delete**: two CASes — first mark the victim by pointing its next
+  field at itself, then swing the predecessor's pointer past it.
+
+Memory reclamation: Listing 4 deallocates an entry immediately after the
+second CAS.  With immediate reuse a concurrent chain traversal holding a
+stale pointer could wander into a recycled entry, so — like production
+lock-free stores — we park unlinked entries on a per-rank *limbo list* and
+return them to the free list at quiescent points (:meth:`quiesce`, a
+collective, called by GDA between collective transactions; this is also
+when the paper's volatile IDs expire, Section 3.4).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..rma.runtime import RankContext
+from ..rma.window import Window
+from .blocks import BlockManager
+from .dptr import DPTR_NULL, is_null, pack_dptr, unpack_dptr
+
+__all__ = ["DistributedHashTable", "ENTRY_BYTES"]
+
+#: Heap entry layout: key (8) | value (8) | next pointer (8).
+ENTRY_BYTES = 24
+_KEY_OFF = 0
+_VAL_OFF = 8
+_NEXT_OFF = 16
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: avalanche a key into a bucket hash."""
+    x = (x + 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & ((1 << 64) - 1)
+    x ^= x >> 31
+    return x
+
+
+@dataclass
+class DistributedHashTable:
+    """One sharded lock-free hash table over an RMA runtime."""
+
+    table_win: Window
+    heap: BlockManager
+    buckets_per_rank: int
+    nranks: int
+    _limbo: list[list[int]] = field(default_factory=list, repr=False)
+    _limbo_locks: list[threading.Lock] = field(default_factory=list, repr=False)
+
+    @classmethod
+    def create(
+        cls,
+        ctx: RankContext,
+        buckets_per_rank: int,
+        entries_per_rank: int,
+        name_prefix: str = "dht",
+    ) -> "DistributedHashTable":
+        """Collectively allocate table and heap, init buckets to NULL."""
+        table_win = ctx.win_allocate(
+            f"{name_prefix}.table", 8 * buckets_per_rank
+        )
+        heap = BlockManager.create(
+            ctx,
+            block_size=ENTRY_BYTES,
+            blocks_per_rank=entries_per_rank,
+            name_prefix=f"{name_prefix}.heap",
+        )
+        # The DHT object carries shared mutable state (the limbo lists),
+        # so exactly one instance exists: rank 0 builds it, everyone else
+        # receives the same object via bcast (windows are shared anyway).
+        dht = None
+        if ctx.rank == 0:
+            dht = cls(
+                table_win=table_win,
+                heap=heap,
+                buckets_per_rank=buckets_per_rank,
+                nranks=ctx.nranks,
+                _limbo=[[] for _ in range(ctx.nranks)],
+                _limbo_locks=[threading.Lock() for _ in range(ctx.nranks)],
+            )
+        dht = ctx.bcast(dht, root=0)
+        for b in range(buckets_per_rank):
+            table_win.write_i64(ctx.rank, 8 * b, DPTR_NULL)
+        ctx.barrier()
+        return dht
+
+    # -- addressing ---------------------------------------------------------
+    def bucket_of(self, key: int) -> tuple[int, int]:
+        """(rank, table-window offset) of the bucket owning ``key``."""
+        # int() guards against numpy integer keys, whose fixed width
+        # overflows on the 64-bit mask arithmetic below.
+        h = _mix64(int(key) & ((1 << 64) - 1))
+        global_bucket = h % (self.nranks * self.buckets_per_rank)
+        return (
+            global_bucket // self.buckets_per_rank,
+            8 * (global_bucket % self.buckets_per_rank),
+        )
+
+    # -- entry I/O ------------------------------------------------------------
+    def _read_entry(self, ctx: RankContext, ptr: int) -> tuple[int, int, int]:
+        """Fetch one 24-byte heap entry with a single one-sided get."""
+        d = unpack_dptr(ptr)
+        blob = ctx.get(self.heap.data_win, d.rank, d.offset, ENTRY_BYTES)
+        key = int.from_bytes(blob[0:8], "little", signed=True)
+        val = int.from_bytes(blob[8:16], "little", signed=True)
+        nxt = int.from_bytes(blob[16:24], "little", signed=True)
+        return key, val, nxt
+
+    def _write_entry(
+        self, ctx: RankContext, ptr: int, key: int, value: int, nxt: int
+    ) -> None:
+        d = unpack_dptr(ptr)
+        blob = (
+            key.to_bytes(8, "little", signed=True)
+            + value.to_bytes(8, "little", signed=True)
+            + nxt.to_bytes(8, "little", signed=True)
+        )
+        ctx.iput(self.heap.data_win, d.rank, d.offset, blob)
+        ctx.flush(self.heap.data_win, d.rank)
+
+    # -- operations (paper Listing 4) -------------------------------------------
+    def insert(self, ctx: RankContext, key: int, value: int) -> None:
+        """Prepend a (key, value) entry to the key's bucket chain."""
+        rank, boff = self.bucket_of(key)
+        entry_ptr = self.heap.acquire_block_anywhere(ctx, preferred=rank)
+        head = ctx.aget(self.table_win, rank, boff)
+        while True:
+            self._write_entry(ctx, entry_ptr, key, value, head)
+            found = ctx.cas(self.table_win, rank, boff, head, entry_ptr)
+            if found == head:
+                return
+            head = found  # concurrent insert/delete; retry with fresh head
+
+    def lookup(self, ctx: RankContext, key: int) -> int | None:
+        """Return the most recently inserted value for ``key``, else None."""
+        while True:
+            rank, boff = self.bucket_of(key)
+            ptr = ctx.aget(self.table_win, rank, boff)
+            restart = False
+            while not is_null(ptr):
+                k, v, nxt = self._read_entry(ctx, ptr)
+                if nxt == ptr:  # entry is being deleted: restart
+                    restart = True
+                    break
+                if k == key:
+                    return v
+                ptr = nxt
+            if not restart:
+                return None
+
+    def delete(self, ctx: RankContext, key: int) -> bool:
+        """Unlink and reclaim the first entry matching ``key``.
+
+        Returns ``True`` if an entry was deleted.  Implements the two-CAS
+        protocol: CAS 1 marks the victim (next := self), CAS 2 swings the
+        predecessor pointer past it.  If the predecessor changes (it was
+        itself deleted or a new entry was inserted), the unlink re-walks
+        the chain from the bucket, which is the restart the paper
+        describes.
+        """
+        while True:
+            outcome = self._try_delete(ctx, key)
+            if outcome is not None:
+                return outcome
+
+    def _try_delete(self, ctx: RankContext, key: int) -> bool | None:
+        """One delete attempt; ``None`` means restart from the bucket."""
+        rank, boff = self.bucket_of(key)
+        prev_is_bucket = True
+        prev_ptr = 0  # entry holding the pointer to `ptr` when not bucket
+        ptr = ctx.aget(self.table_win, rank, boff)
+        while not is_null(ptr):
+            k, _, nxt = self._read_entry(ctx, ptr)
+            if nxt == ptr:
+                return None  # concurrent deletion in the chain: restart
+            if k == key:
+                # CAS 1: mark the victim by pointing next at itself.
+                d = unpack_dptr(ptr)
+                found = ctx.cas(
+                    self.heap.data_win, d.rank, d.offset + _NEXT_OFF, nxt, ptr
+                )
+                if found != nxt:
+                    return None  # lost the race (or successor deleted)
+                self._unlink(ctx, rank, boff, ptr, nxt)
+                self._park(ptr)
+                return True
+            prev_is_bucket = False
+            prev_ptr = ptr
+            ptr = nxt
+        del prev_is_bucket, prev_ptr  # walk state only; unlink re-walks
+        return False
+
+    def _unlink(
+        self, ctx: RankContext, rank: int, boff: int, victim: int, nxt: int
+    ) -> None:
+        """CAS 2 (with helping re-walks): bypass the marked ``victim``."""
+        while True:
+            # Find the current predecessor location of `victim`.
+            cur = ctx.aget(self.table_win, rank, boff)
+            prev_loc: tuple[str, int, int] = ("bucket", rank, boff)
+            found_victim = False
+            while not is_null(cur):
+                if cur == victim:
+                    found_victim = True
+                    break
+                _, _, cnxt = self._read_entry(ctx, cur)
+                if cnxt == cur:
+                    break  # a marked entry in the path; re-walk
+                d = unpack_dptr(cur)
+                prev_loc = ("entry", d.rank, d.offset + _NEXT_OFF)
+                cur = cnxt
+            if not found_victim:
+                if is_null(cur):
+                    # Victim no longer reachable: already bypassed.
+                    return
+                continue  # re-walk past the marked entry
+            kind, trank, toff = prev_loc
+            win = self.table_win if kind == "bucket" else self.heap.data_win
+            if ctx.cas(win, trank, toff, victim, nxt) == victim:
+                return
+
+    # -- memory reclamation -------------------------------------------------------
+    def _park(self, ptr: int) -> None:
+        d = unpack_dptr(ptr)
+        with self._limbo_locks[d.rank]:
+            self._limbo[d.rank].append(ptr)
+
+    def quiesce(self, ctx: RankContext) -> int:
+        """Collective: return limbo entries of this rank to the free list.
+
+        Must be called when no DHT traversal is in flight (GDA calls it at
+        collective-transaction boundaries).  Returns the number of entries
+        this rank reclaimed.
+        """
+        ctx.barrier()
+        with self._limbo_locks[ctx.rank]:
+            parked, self._limbo[ctx.rank] = self._limbo[ctx.rank], []
+        for ptr in parked:
+            self.heap.release_block(ctx, ptr)
+        ctx.barrier()
+        return len(parked)
+
+    # -- diagnostics ----------------------------------------------------------------
+    def items(self, ctx: RankContext) -> list[tuple[int, int]]:
+        """Non-atomic full scan (tests/diagnostics only)."""
+        out: list[tuple[int, int]] = []
+        for rank in range(self.nranks):
+            for b in range(self.buckets_per_rank):
+                ptr = ctx.aget(self.table_win, rank, 8 * b)
+                while not is_null(ptr):
+                    k, v, nxt = self._read_entry(ctx, ptr)
+                    if nxt == ptr:
+                        break
+                    out.append((k, v))
+                    ptr = nxt
+        return out
+
+    def local_count(self, ctx: RankContext) -> int:
+        """Entries currently allocated on this rank's heap shard."""
+        return self.heap.allocated_count(ctx, ctx.rank)

@@ -1,0 +1,130 @@
+"""Label/property entry wire format (paper Section 5.4.3).
+
+GDA stores the labels and properties of a vertex or edge as a stream of
+*entries* inside the holder object.  Labels are treated internally as
+properties.  Each entry starts with a 32-bit integer ID with the paper's
+meaning:
+
+* ``0`` — unused/empty slot,
+* ``1`` — the last entry (stream terminator),
+* ``2`` — a label entry (payload: the 32-bit label integer ID),
+* any other value — a property entry of that property-type integer ID
+  (payload: 32-bit length followed by the encoded value bytes).
+
+Property-type integer IDs therefore start at
+:data:`FIRST_PTYPE_ID` (= 3).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+__all__ = [
+    "ENTRY_EMPTY",
+    "ENTRY_LAST",
+    "ENTRY_LABEL",
+    "FIRST_PTYPE_ID",
+    "EntryFormatError",
+    "encode_entries",
+    "decode_entries",
+    "entries_nbytes",
+]
+
+ENTRY_EMPTY = 0
+ENTRY_LAST = 1
+ENTRY_LABEL = 2
+FIRST_PTYPE_ID = 3
+
+_HDR = struct.Struct("<i")
+_LABEL = struct.Struct("<ii")
+_PROP_HDR = struct.Struct("<ii")
+
+
+class EntryFormatError(ValueError):
+    """Raised when an entry stream is malformed or an ID is invalid."""
+
+
+def encode_entries(
+    labels: Iterable[int],
+    properties: Iterable[tuple[int, bytes]],
+) -> bytes:
+    """Serialize labels and properties into an entry stream.
+
+    Parameters
+    ----------
+    labels:
+        Label integer IDs (each must be positive).
+    properties:
+        ``(ptype_int_id, value_bytes)`` pairs; IDs must be
+        >= :data:`FIRST_PTYPE_ID`.  A property type may repeat (GDI
+        supports multi-entry property types, Section 3.7).
+    """
+    parts: list[bytes] = []
+    for label_id in labels:
+        if label_id <= 0:
+            raise EntryFormatError(f"invalid label integer ID {label_id}")
+        parts.append(_LABEL.pack(ENTRY_LABEL, label_id))
+    for ptype_id, value in properties:
+        if ptype_id < FIRST_PTYPE_ID:
+            raise EntryFormatError(
+                f"property-type integer ID {ptype_id} collides with "
+                f"reserved entry IDs (must be >= {FIRST_PTYPE_ID})"
+            )
+        if not isinstance(value, (bytes, bytearray)):
+            raise EntryFormatError("property value must be bytes")
+        parts.append(_PROP_HDR.pack(ptype_id, len(value)))
+        parts.append(bytes(value))
+    parts.append(_HDR.pack(ENTRY_LAST))
+    return b"".join(parts)
+
+
+def decode_entries(blob: bytes) -> tuple[list[int], list[tuple[int, bytes]]]:
+    """Parse an entry stream back into (labels, properties).
+
+    Unused (``0``) entries are skipped — a GDA implementation may leave
+    holes after in-place deletions.  Parsing stops at the terminator.
+    """
+    labels: list[int] = []
+    properties: list[tuple[int, bytes]] = []
+    pos = 0
+    n = len(blob)
+    while True:
+        if pos + 4 > n:
+            raise EntryFormatError("entry stream missing terminator")
+        (eid,) = _HDR.unpack_from(blob, pos)
+        if eid == ENTRY_LAST:
+            return labels, properties
+        if eid == ENTRY_EMPTY:
+            pos += 4
+            continue
+        if eid == ENTRY_LABEL:
+            if pos + 8 > n:
+                raise EntryFormatError("truncated label entry")
+            (_, label_id) = _LABEL.unpack_from(blob, pos)
+            if label_id <= 0:
+                raise EntryFormatError(f"corrupt label ID {label_id}")
+            labels.append(label_id)
+            pos += 8
+            continue
+        if eid < 0:
+            raise EntryFormatError(f"corrupt entry ID {eid}")
+        # property entry
+        if pos + 8 > n:
+            raise EntryFormatError("truncated property header")
+        (ptype_id, length) = _PROP_HDR.unpack_from(blob, pos)
+        pos += 8
+        if length < 0 or pos + length > n:
+            raise EntryFormatError("truncated property payload")
+        properties.append((ptype_id, bytes(blob[pos : pos + length])))
+        pos += length
+
+
+def entries_nbytes(
+    labels: Iterable[int], properties: Iterable[tuple[int, bytes]]
+) -> int:
+    """Exact byte size :func:`encode_entries` would produce."""
+    size = 4  # terminator
+    size += 8 * len(list(labels))
+    size += sum(8 + len(v) for _, v in properties)
+    return size

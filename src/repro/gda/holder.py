@@ -1,0 +1,421 @@
+"""Vertex and edge holder objects: the Logical Layout level (Section 5.4).
+
+A *holder* is the variable-sized structure describing one vertex or one
+heavyweight edge: selected metadata, the addresses of the blocks storing
+the data, lightweight edges (stored inline in the source vertex holder,
+Section 5.4.2), and the label/property entry stream (Section 5.4.3).
+
+The holder is serialized into fixed-size BGDL blocks:
+
+* the **primary block** starts with a 40-byte header followed by the
+  block-address area and the beginning of the payload;
+* the payload continues into *continuation data blocks* in order;
+* for very large holders (heavy-tail vertices can have thousands of
+  edges) the address area switches to **indirect addressing**: the
+  primary block stores the addresses of *index blocks*, each packed with
+  data-block addresses.  This keeps access depth at O(1) (two fetch
+  rounds) regardless of holder size, in the spirit of the paper's
+  "one remote operation per block" design.
+
+Payload layout:
+
+* vertex: ``edge_count`` 16-byte edge slots, then the entry stream;
+* edge:   two 8-byte endpoint DPtrs, then the entry stream.
+
+Edge slots pack ``(target DPtr, label integer ID, flags)`` where flags
+carry the direction (OUT/IN/UNDIRECTED) and a HEAVY bit marking slots
+whose DPtr points at an edge holder instead of a neighbor vertex.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..gdi.errors import GdiNoMemory, GdiStateError
+from ..rma.runtime import RankContext
+from .blocks import BlockManager
+from .entries import decode_entries, encode_entries, entries_nbytes
+from .dptr import unpack_dptr
+
+__all__ = [
+    "HEADER_BYTES",
+    "SLOT_BYTES",
+    "DIR_OUT",
+    "DIR_IN",
+    "DIR_UNDIR",
+    "DIR_MASK",
+    "SLOT_HEAVY",
+    "KIND_VERTEX",
+    "KIND_EDGE",
+    "EdgeSlot",
+    "VertexHolder",
+    "EdgeHolder",
+    "StoredHolder",
+    "HolderStorage",
+    "plan_layout",
+]
+
+HEADER_BYTES = 40
+SLOT_BYTES = 16
+
+KIND_VERTEX = 1
+KIND_EDGE = 2
+
+# flags byte
+FLAG_DIRECTED = 1  # edge holders: the edge is directed
+FLAG_INDIRECT = 2  # address area holds index-block addresses
+
+# edge-slot flags word
+DIR_OUT = 1
+DIR_IN = 2
+DIR_UNDIR = 3
+DIR_MASK = 3
+SLOT_HEAVY = 4
+
+_HEADER = struct.Struct("<BBHIIqIIII")  # 36 bytes, padded to 40
+_SLOT = struct.Struct("<qii")
+_ENDPOINTS = struct.Struct("<qq")
+
+
+@dataclass
+class EdgeSlot:
+    """One edge slot inside a vertex holder.
+
+    For lightweight edges ``dptr`` addresses the neighbor vertex and
+    ``label_id`` is the (single, optional — 0 means none) edge label.
+    For heavy slots (``flags & SLOT_HEAVY``) ``dptr`` addresses the edge
+    holder and ``label_id`` is unused.
+    """
+
+    dptr: int
+    label_id: int
+    flags: int
+
+    @property
+    def direction(self) -> int:
+        return self.flags & DIR_MASK
+
+    @property
+    def heavy(self) -> bool:
+        return bool(self.flags & SLOT_HEAVY)
+
+
+@dataclass
+class VertexHolder:
+    """Decoded vertex: application ID, labels, properties, edge slots."""
+
+    app_id: int
+    labels: list[int] = field(default_factory=list)
+    properties: list[tuple[int, bytes]] = field(default_factory=list)
+    edges: list[EdgeSlot] = field(default_factory=list)
+
+    kind = KIND_VERTEX
+
+    def payload(self) -> tuple[bytes, int]:
+        slots = b"".join(
+            _SLOT.pack(s.dptr, s.label_id, s.flags) for s in self.edges
+        )
+        stream = encode_entries(self.labels, self.properties)
+        return slots + stream, 0
+
+    def payload_nbytes(self) -> int:
+        return SLOT_BYTES * len(self.edges) + entries_nbytes(
+            self.labels, self.properties
+        )
+
+
+@dataclass
+class EdgeHolder:
+    """Decoded heavyweight edge: endpoints, direction, labels, properties."""
+
+    src: int
+    dst: int
+    directed: bool = True
+    labels: list[int] = field(default_factory=list)
+    properties: list[tuple[int, bytes]] = field(default_factory=list)
+
+    kind = KIND_EDGE
+    app_id = 0
+    edges: list = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def payload(self) -> tuple[bytes, int]:
+        stream = encode_entries(self.labels, self.properties)
+        flags = FLAG_DIRECTED if self.directed else 0
+        return _ENDPOINTS.pack(self.src, self.dst) + stream, flags
+
+    def payload_nbytes(self) -> int:
+        return 16 + entries_nbytes(self.labels, self.properties)
+
+
+def plan_layout(payload_len: int, block_size: int) -> tuple[int, int]:
+    """Choose (nindex, ndata) for a holder of ``payload_len`` bytes.
+
+    Returns ``nindex == 0`` for direct addressing.  Raises
+    :class:`GdiNoMemory` if the holder cannot be represented even with
+    full indirection (the user should raise the block size).
+    """
+    head_room = block_size - HEADER_BYTES
+    if head_room < 8:
+        raise GdiNoMemory(f"block size {block_size} below holder minimum")
+    # Direct: primary holds ndata addresses + leading payload bytes.
+    if payload_len <= head_room:
+        return 0, 0
+    # smallest ndata such that (head_room - 8*ndata) + ndata*block_size >= payload_len
+    ndata = -(-(payload_len - head_room) // (block_size - 8))
+    if HEADER_BYTES + 8 * ndata <= block_size:
+        return 0, ndata
+    # Indirect: primary holds nindex index-block addresses.
+    per_index = block_size // 8
+    max_index = head_room // 8
+    for nindex in range(1, max_index + 1):
+        cap_primary = head_room - 8 * nindex
+        remaining = payload_len - cap_primary
+        ndata = -(-remaining // block_size)
+        if ndata <= nindex * per_index:
+            return nindex, ndata
+    raise GdiNoMemory(
+        f"holder payload of {payload_len} B exceeds the addressing capacity "
+        f"of {block_size}-byte blocks; increase the block size"
+    )
+
+
+@dataclass
+class StoredHolder:
+    """A holder together with its block placement (transaction cache unit)."""
+
+    holder: VertexHolder | EdgeHolder
+    primary: int
+    data_blocks: list[int] = field(default_factory=list)
+    index_blocks: list[int] = field(default_factory=list)
+
+    @property
+    def all_blocks(self) -> list[int]:
+        return [self.primary, *self.index_blocks, *self.data_blocks]
+
+    @property
+    def home_rank(self) -> int:
+        return unpack_dptr(self.primary).rank
+
+
+class HolderStorage:
+    """Reads and writes holders over a :class:`BlockManager`.
+
+    This is the translation layer between the Logical Layout (rich,
+    variable-sized holders) and BGDL (fixed-size blocks) — the core of
+    Section 5.5.
+    """
+
+    def __init__(self, blocks: BlockManager) -> None:
+        self.blocks = blocks
+
+    # -- serialization helpers --------------------------------------------
+    def _pack_header(
+        self, holder, flags: int, nindex: int, ndata: int, payload_len: int
+    ) -> bytes:
+        entries_len = entries_nbytes(holder.labels, holder.properties)
+        edge_count = len(holder.edges) if holder.kind == KIND_VERTEX else 0
+        hdr = _HEADER.pack(
+            holder.kind,
+            flags,
+            0,
+            ndata,
+            nindex,
+            holder.app_id,
+            edge_count,
+            entries_len,
+            payload_len,
+            0,
+        )
+        return hdr + b"\x00" * (HEADER_BYTES - len(hdr))
+
+    @staticmethod
+    def _parse_payload(kind: int, flags: int, edge_count: int, payload: bytes):
+        if kind == KIND_VERTEX:
+            edges = []
+            for i in range(edge_count):
+                dptr, label_id, slot_flags = _SLOT.unpack_from(
+                    payload, SLOT_BYTES * i
+                )
+                edges.append(EdgeSlot(dptr, label_id, slot_flags))
+            labels, props = decode_entries(payload[SLOT_BYTES * edge_count :])
+            # app_id is filled in by the caller from the header
+            return VertexHolder(
+                app_id=0, labels=labels, properties=props, edges=edges
+            )
+        if kind == KIND_EDGE:
+            src, dst = _ENDPOINTS.unpack_from(payload, 0)
+            labels, props = decode_entries(payload[16:])
+            return EdgeHolder(
+                src=src,
+                dst=dst,
+                directed=bool(flags & FLAG_DIRECTED),
+                labels=labels,
+                properties=props,
+            )
+        raise GdiStateError(f"corrupt holder kind {kind}")
+
+    # -- write -----------------------------------------------------------------
+    def write_new(
+        self, ctx: RankContext, holder, home_rank: int
+    ) -> StoredHolder:
+        """Allocate blocks and write a fresh holder; returns its placement."""
+        payload, extra_flags = holder.payload()
+        nindex, ndata = plan_layout(len(payload), self.blocks.block_size)
+        primary = self.blocks.acquire_block_anywhere(ctx, preferred=home_rank)
+        stored = StoredHolder(holder=holder, primary=primary)
+        stored.index_blocks = [
+            self.blocks.acquire_block_anywhere(ctx, home_rank)
+            for _ in range(nindex)
+        ]
+        stored.data_blocks = [
+            self.blocks.acquire_block_anywhere(ctx, home_rank)
+            for _ in range(ndata)
+        ]
+        self._write_blocks(ctx, stored, payload, extra_flags)
+        return stored
+
+    def rewrite(self, ctx: RankContext, stored: StoredHolder) -> None:
+        """Write back a (mutated) holder, resizing its block set in place.
+
+        Reuses the primary block and as many existing continuation blocks
+        as possible; acquires extras or releases surplus as the holder
+        grew or shrank.
+        """
+        payload, extra_flags = stored.holder.payload()
+        nindex, ndata = plan_layout(len(payload), self.blocks.block_size)
+        home = stored.home_rank
+        self._resize(ctx, stored.data_blocks, ndata, home)
+        self._resize(ctx, stored.index_blocks, nindex, home)
+        self._write_blocks(ctx, stored, payload, extra_flags)
+
+    def _resize(
+        self, ctx: RankContext, blocks: list[int], want: int, home: int
+    ) -> None:
+        """Grow or shrink a block list in place to ``want`` entries."""
+        while len(blocks) < want:
+            blocks.append(self.blocks.acquire_block_anywhere(ctx, home))
+        while len(blocks) > want:
+            self.blocks.release_block(ctx, blocks.pop())
+
+    def _write_blocks(
+        self,
+        ctx: RankContext,
+        stored: StoredHolder,
+        payload: bytes,
+        extra_flags: int,
+    ) -> None:
+        bs = self.blocks.block_size
+        holder = stored.holder
+        flags = extra_flags | (FLAG_INDIRECT if stored.index_blocks else 0)
+        nindex = len(stored.index_blocks)
+        ndata = len(stored.data_blocks)
+        header = self._pack_header(holder, flags, nindex, ndata, len(payload))
+        if nindex:
+            addr_area = b"".join(
+                p.to_bytes(8, "little", signed=True) for p in stored.index_blocks
+            )
+            # index blocks hold the data-block addresses, packed.
+            per_index = bs // 8
+            for j, iptr in enumerate(stored.index_blocks):
+                chunk = stored.data_blocks[j * per_index : (j + 1) * per_index]
+                blob = b"".join(
+                    p.to_bytes(8, "little", signed=True) for p in chunk
+                )
+                self.blocks.iwrite_block(ctx, iptr, blob)
+        else:
+            addr_area = b"".join(
+                p.to_bytes(8, "little", signed=True) for p in stored.data_blocks
+            )
+        cap_primary = bs - HEADER_BYTES - len(addr_area)
+        head = payload[:cap_primary]
+        primary_blob = header + addr_area + head
+        primary_blob += b"\x00" * (bs - len(primary_blob))
+        # All block writes are non-blocking and complete at one flush:
+        # the paper's overlap of one-sided communication (Section 5.1).
+        self.blocks.iwrite_block(ctx, stored.primary, primary_blob)
+        pos = len(head)
+        for dptr in stored.data_blocks:
+            chunk = payload[pos : pos + bs]
+            self.blocks.iwrite_block(ctx, dptr, chunk)
+            pos += len(chunk)
+        ctx.flush(self.blocks.data_win)
+
+    # -- read -------------------------------------------------------------------
+    def read(self, ctx: RankContext, primary: int) -> StoredHolder:
+        """Fetch and decode the holder whose primary block is ``primary``."""
+        bs = self.blocks.block_size
+        blob = self.blocks.read_block(ctx, primary)
+        (
+            kind,
+            flags,
+            _,
+            ndata,
+            nindex,
+            app_id,
+            edge_count,
+            _entries_len,
+            payload_len,
+            _,
+        ) = _HEADER.unpack_from(blob, 0)
+        if kind not in (KIND_VERTEX, KIND_EDGE):
+            raise GdiStateError(f"no holder at {primary:#x} (kind={kind})")
+        pos = HEADER_BYTES
+        index_blocks: list[int] = []
+        data_blocks: list[int] = []
+        if flags & FLAG_INDIRECT:
+            for _ in range(nindex):
+                index_blocks.append(
+                    int.from_bytes(blob[pos : pos + 8], "little", signed=True)
+                )
+                pos += 8
+            per_index = bs // 8
+            remaining = ndata
+            for iptr in index_blocks:
+                take = min(per_index, remaining)
+                iblob = self.blocks.read_block(ctx, iptr, nbytes=8 * take)
+                for k in range(take):
+                    data_blocks.append(
+                        int.from_bytes(
+                            iblob[8 * k : 8 * k + 8], "little", signed=True
+                        )
+                    )
+                remaining -= take
+        else:
+            for _ in range(ndata):
+                data_blocks.append(
+                    int.from_bytes(blob[pos : pos + 8], "little", signed=True)
+                )
+                pos += 8
+        parts = [blob[pos : pos + min(payload_len, bs - pos)]]
+        got = len(parts[0])
+        requests = []
+        for dptr in data_blocks:
+            take = min(bs, payload_len - got)
+            requests.append(self.blocks.iread_block(ctx, dptr, nbytes=take))
+            got += take
+        if requests:
+            ctx.flush(self.blocks.data_win)  # all fetches overlap
+        parts.extend(r.result() for r in requests)
+        payload = b"".join(parts)
+        holder = self._parse_payload(kind, flags, edge_count, payload)
+        holder.app_id = app_id
+        return StoredHolder(
+            holder=holder,
+            primary=primary,
+            data_blocks=data_blocks,
+            index_blocks=index_blocks,
+        )
+
+    # -- delete --------------------------------------------------------------------
+    def delete(self, ctx: RankContext, stored: StoredHolder) -> None:
+        """Release every block of the holder (primary last)."""
+        for dptr in stored.data_blocks:
+            self.blocks.release_block(ctx, dptr)
+        for dptr in stored.index_blocks:
+            self.blocks.release_block(ctx, dptr)
+        # Clear the header so stale reads fail loudly, then free.
+        self.blocks.write_block(ctx, stored.primary, b"\x00" * HEADER_BYTES)
+        self.blocks.release_block(ctx, stored.primary)
+        stored.data_blocks = []
+        stored.index_blocks = []

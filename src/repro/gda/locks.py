@@ -1,0 +1,119 @@
+"""Scalable reader-writer locks for ACI (paper Section 5.6).
+
+One 64-bit lock word per vertex, located in the BGDL *system* window at the
+offset corresponding to the vertex's primary block.  The word packs a write
+bit and a reader counter:
+
+* bit 62 — write bit (a process holds the write lock),
+* bits 0..61 — reader count.
+
+Acquisition is try-lock style with bounded retries: GDA transactions that
+cannot obtain a lock fail (the paper reports failed-transaction percentages
+rather than blocking forever), and the GDI user starts a new transaction.
+
+Protocol (all via remote atomics, two network ops worst case per attempt):
+
+* **read acquire** — FAA(+1); if the fetched word had the write bit set,
+  FAA(-1) to back out and retry.
+* **write acquire** — CAS(0 → WRITE_BIT); succeeds only with no readers
+  and no writer.
+* **upgrade read→write** — CAS(1 → WRITE_BIT): we are the sole reader and
+  atomically become the writer.
+* **releases** — FAA(-1) / CAS(WRITE_BIT → 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rma.runtime import RankContext
+from ..rma.window import Window
+
+__all__ = ["RWLock", "LockTimeout", "WRITE_BIT"]
+
+WRITE_BIT = 1 << 62
+
+
+class LockTimeout(RuntimeError):
+    """Raised when a lock cannot be obtained within the retry budget.
+
+    Transactions translate this into a transaction-critical error and
+    abort, which is what produces the "failed transactions" percentages in
+    the paper's Figure 4.
+    """
+
+
+@dataclass
+class RWLock:
+    """A distributed reader-writer lock at a fixed (window, rank, offset).
+
+    The object is a cheap addressing handle; all state is the remote word.
+    """
+
+    window: Window
+    rank: int
+    offset: int
+    max_retries: int = 64
+
+    # -- read side --------------------------------------------------------
+    def acquire_read(self, ctx: RankContext) -> None:
+        for _ in range(self.max_retries):
+            old = ctx.faa(self.window, self.rank, self.offset, 1)
+            if not old & WRITE_BIT:
+                return
+            ctx.faa(self.window, self.rank, self.offset, -1)  # back out
+        raise LockTimeout(
+            f"read lock at rank {self.rank} offset {self.offset} busy"
+        )
+
+    def release_read(self, ctx: RankContext) -> None:
+        old = ctx.faa(self.window, self.rank, self.offset, -1)
+        if old & WRITE_BIT or (old & ~WRITE_BIT) <= 0:
+            raise RuntimeError("release_read without a held read lock")
+
+    # -- write side -------------------------------------------------------
+    def acquire_write(self, ctx: RankContext) -> None:
+        for _ in range(self.max_retries):
+            if ctx.cas(self.window, self.rank, self.offset, 0, WRITE_BIT) == 0:
+                return
+        raise LockTimeout(
+            f"write lock at rank {self.rank} offset {self.offset} busy"
+        )
+
+    def release_write(self, ctx: RankContext) -> None:
+        # FAA, not CAS: while we hold the write bit, readers may be
+        # mid-backoff (their transient +1/-1 pairs race with the release),
+        # so the word is WRITE_BIT plus a small transient reader count.
+        old = ctx.faa(self.window, self.rank, self.offset, -WRITE_BIT)
+        if not old & WRITE_BIT:
+            ctx.faa(self.window, self.rank, self.offset, WRITE_BIT)  # undo
+            raise RuntimeError("release_write without the write lock held")
+
+    # -- upgrade / downgrade -----------------------------------------------
+    def upgrade(self, ctx: RankContext) -> None:
+        """Atomically turn a held read lock into the write lock.
+
+        Succeeds only while we are the sole reader; under contention the
+        caller's transaction must abort (lock-order-free deadlock
+        avoidance).
+        """
+        for _ in range(self.max_retries):
+            if ctx.cas(self.window, self.rank, self.offset, 1, WRITE_BIT) == 1:
+                return
+        raise LockTimeout(
+            f"upgrade at rank {self.rank} offset {self.offset} failed "
+            "(concurrent readers or writer)"
+        )
+
+    def downgrade(self, ctx: RankContext) -> None:
+        """Turn the held write lock into a read lock without a gap."""
+        old = ctx.faa(self.window, self.rank, self.offset, 1 - WRITE_BIT)
+        if not old & WRITE_BIT:
+            ctx.faa(self.window, self.rank, self.offset, WRITE_BIT - 1)  # undo
+            raise RuntimeError("downgrade without the write lock held")
+
+    # -- introspection -----------------------------------------------------
+    def peek(self, ctx: RankContext) -> tuple[bool, int]:
+        """(write bit set?, reader count) — diagnostics and tests only."""
+        word = ctx.aget(self.window, self.rank, self.offset)
+        return bool(word & WRITE_BIT), word & ~WRITE_BIT

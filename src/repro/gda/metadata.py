@@ -1,0 +1,277 @@
+"""Replicated graph metadata: labels and property types (Section 5.8).
+
+Because |L| and |K| are tiny compared to |V|, GDA *replicates* metadata on
+every process instead of sharding it.  Each replica keeps a doubly linked
+list (O(1) add/remove given the handle) plus hash maps by name and by
+integer ID (O(1) existence checks) — the exact structure the paper
+describes.
+
+Consistency (Section 3.8): metadata is *eventually consistent*.  Here a
+single authoritative :class:`MetadataStore` (the role played by agreed-on
+metadata broadcasts in the real system) assigns integer IDs and appends
+change records to a log; each rank's :class:`MetadataReplica` applies the
+log lazily via :meth:`MetadataReplica.sync` — GDA calls it when
+transactions start.  A transaction that encounters an integer ID its
+replica has not yet applied raises
+:class:`~repro.gdi.errors.GdiStaleMetadata` and aborts, which is exactly
+the detect-and-abort behaviour the spec requires.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..gdi.constants import EntityType, Multiplicity, SizeType
+from ..gdi.errors import GdiInvalidArgument, GdiNotFound, GdiStaleMetadata
+from ..gdi.types import Datatype
+from .entries import FIRST_PTYPE_ID
+
+__all__ = [
+    "Label",
+    "PropertyType",
+    "MetadataStore",
+    "MetadataReplica",
+    "LinkedRegistry",
+]
+
+
+@dataclass(frozen=True)
+class Label:
+    """A label: name + the integer ID stored in holder entry streams."""
+
+    name: str
+    int_id: int
+
+
+@dataclass(frozen=True)
+class PropertyType:
+    """A property type with the optional hints of Section 3.7."""
+
+    name: str
+    int_id: int
+    entity_type: EntityType = EntityType.BOTH
+    dtype: Datatype = Datatype.BYTES
+    size_type: SizeType = SizeType.UNBOUNDED
+    size_limit: int = 0  # elements; meaningful for FIXED/MAX
+    multiplicity: Multiplicity = Multiplicity.SINGLE
+
+
+class _Node:
+    __slots__ = ("item", "prev", "next")
+
+    def __init__(self, item) -> None:
+        self.item = item
+        self.prev: "_Node | None" = None
+        self.next: "_Node | None" = None
+
+
+class LinkedRegistry:
+    """Doubly linked list + hash maps, as prescribed by Section 5.8.
+
+    The list yields O(1) insertion/removal given the handle (the node);
+    the maps give O(1) lookup by name and by integer ID.  (A Python dict
+    alone would suffice functionally; the explicit structure mirrors the
+    paper's design and keeps removal-by-handle O(1) under iteration.)
+    """
+
+    def __init__(self) -> None:
+        self._head: _Node | None = None
+        self._tail: _Node | None = None
+        self._by_name: dict[str, _Node] = {}
+        self._by_id: dict[int, _Node] = {}
+
+    def add(self, item) -> None:
+        if item.name in self._by_name:
+            raise GdiInvalidArgument(f"metadata name {item.name!r} exists")
+        node = _Node(item)
+        node.prev = self._tail
+        if self._tail is not None:
+            self._tail.next = node
+        else:
+            self._head = node
+        self._tail = node
+        self._by_name[item.name] = node
+        self._by_id[item.int_id] = node
+
+    def remove_by_id(self, int_id: int) -> None:
+        node = self._by_id.pop(int_id, None)
+        if node is None:
+            raise GdiNotFound(f"metadata integer ID {int_id} unknown")
+        del self._by_name[node.item.name]
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+
+    def by_name(self, name: str):
+        node = self._by_name.get(name)
+        return None if node is None else node.item
+
+    def by_id(self, int_id: int):
+        node = self._by_id.get(int_id)
+        return None if node is None else node.item
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator:
+        node = self._head
+        while node is not None:
+            yield node.item
+            node = node.next
+
+
+@dataclass
+class _Record:
+    """One metadata change in the global log."""
+
+    kind: str  # "label" | "ptype" | "drop_label" | "drop_ptype"
+    item: object
+
+
+class MetadataStore:
+    """Authoritative metadata state + append-only change log.
+
+    Thread-safe; exactly one instance per database, shared by all ranks.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._log: list[_Record] = []
+        self._names_labels: set[str] = set()
+        self._names_ptypes: set[str] = set()
+        self._live_label_ids: set[int] = set()
+        self._live_ptype_ids: set[int] = set()
+        self._next_label_id = 1
+        self._next_ptype_id = FIRST_PTYPE_ID
+
+    @property
+    def version(self) -> int:
+        return len(self._log)
+
+    def create_label(self, name: str) -> Label:
+        if not name:
+            raise GdiInvalidArgument("label name must be non-empty")
+        with self._lock:
+            if name in self._names_labels:
+                raise GdiInvalidArgument(f"label {name!r} already exists")
+            label = Label(name=name, int_id=self._next_label_id)
+            self._next_label_id += 1
+            self._names_labels.add(name)
+            self._live_label_ids.add(label.int_id)
+            self._log.append(_Record("label", label))
+            return label
+
+    def create_property_type(
+        self,
+        name: str,
+        *,
+        entity_type: EntityType = EntityType.BOTH,
+        dtype: Datatype = Datatype.BYTES,
+        size_type: SizeType = SizeType.UNBOUNDED,
+        size_limit: int = 0,
+        multiplicity: Multiplicity = Multiplicity.SINGLE,
+    ) -> PropertyType:
+        if not name:
+            raise GdiInvalidArgument("property-type name must be non-empty")
+        if size_type in (SizeType.FIXED, SizeType.MAX) and size_limit <= 0:
+            raise GdiInvalidArgument(
+                "FIXED/MAX size types require a positive size_limit"
+            )
+        with self._lock:
+            if name in self._names_ptypes:
+                raise GdiInvalidArgument(
+                    f"property type {name!r} already exists"
+                )
+            ptype = PropertyType(
+                name=name,
+                int_id=self._next_ptype_id,
+                entity_type=entity_type,
+                dtype=dtype,
+                size_type=size_type,
+                size_limit=size_limit,
+                multiplicity=multiplicity,
+            )
+            self._next_ptype_id += 1
+            self._names_ptypes.add(name)
+            self._live_ptype_ids.add(ptype.int_id)
+            self._log.append(_Record("ptype", ptype))
+            return ptype
+
+    def drop_label(self, int_id: int) -> None:
+        with self._lock:
+            if int_id not in self._live_label_ids:
+                raise GdiNotFound(f"label ID {int_id} unknown")
+            self._live_label_ids.discard(int_id)
+            for rec in self._log:
+                if rec.kind == "label" and rec.item.int_id == int_id:
+                    self._names_labels.discard(rec.item.name)
+            self._log.append(_Record("drop_label", int_id))
+
+    def drop_property_type(self, int_id: int) -> None:
+        with self._lock:
+            if int_id not in self._live_ptype_ids:
+                raise GdiNotFound(f"property-type ID {int_id} unknown")
+            self._live_ptype_ids.discard(int_id)
+            for rec in self._log:
+                if rec.kind == "ptype" and rec.item.int_id == int_id:
+                    self._names_ptypes.discard(rec.item.name)
+            self._log.append(_Record("drop_ptype", int_id))
+
+    def records_since(self, version: int) -> list[_Record]:
+        with self._lock:
+            return self._log[version:]
+
+
+class MetadataReplica:
+    """One rank's replicated view: linked lists + hash maps, lazily synced."""
+
+    def __init__(self, store: MetadataStore) -> None:
+        self._store = store
+        self.version = 0
+        self.labels = LinkedRegistry()
+        self.ptypes = LinkedRegistry()
+
+    def sync(self) -> int:
+        """Apply all outstanding log records; returns #records applied."""
+        records = self._store.records_since(self.version)
+        for rec in records:
+            if rec.kind == "label":
+                self.labels.add(rec.item)
+            elif rec.kind == "ptype":
+                self.ptypes.add(rec.item)
+            elif rec.kind == "drop_label":
+                self.labels.remove_by_id(rec.item)
+            elif rec.kind == "drop_ptype":
+                self.ptypes.remove_by_id(rec.item)
+        self.version += len(records)
+        return len(records)
+
+    # -- lookups used by transactions (stale IDs abort) ---------------------
+    def label_by_id(self, int_id: int) -> Label:
+        item = self.labels.by_id(int_id)
+        if item is None:
+            raise GdiStaleMetadata(
+                f"label ID {int_id} not (yet) known to this process"
+            )
+        return item
+
+    def ptype_by_id(self, int_id: int) -> PropertyType:
+        item = self.ptypes.by_id(int_id)
+        if item is None:
+            raise GdiStaleMetadata(
+                f"property-type ID {int_id} not (yet) known to this process"
+            )
+        return item
+
+    def dtype_of(self, ptype_id: int) -> Datatype:
+        return self.ptype_by_id(ptype_id).dtype

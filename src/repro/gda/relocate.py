@@ -1,0 +1,149 @@
+"""Dynamic vertex relocation between collective transactions (Section 3.4).
+
+The paper's motivation for *volatile* internal IDs: "it facilitates
+redistributing the graph across processes between collective
+transactions, without fearing that internal IDs become stale".  This
+module implements that redistribution:
+
+* :func:`plan_balance` computes a greedy move plan equalizing per-rank
+  vertex counts;
+* :func:`rebalance` collectively executes a plan: each rank copies its
+  departing vertex holders to their new owners, republishes the
+  application-ID mapping in the internal DHT, migrates directory and
+  index postings, and — after an allgather of the old→new ID map — every
+  rank patches the edge slots and edge-holder endpoints that referenced
+  moved vertices.
+
+Correctness contract: no transactions may be open during a rebalance
+(exactly the quiescent point between collective transactions the paper
+describes).  *Permanent* internal IDs held by the application become
+stale after a rebalance — the reason users who want relocation choose
+volatile IDs.
+"""
+
+from __future__ import annotations
+
+from ..rma.runtime import RankContext
+from .database_impl import GdaDatabase
+from .dptr import unpack_dptr
+from .holder import KIND_EDGE
+
+__all__ = ["plan_balance", "rebalance"]
+
+
+def plan_balance(
+    ctx: RankContext, db: GdaDatabase, tolerance: int = 1
+) -> dict[int, int]:
+    """Greedy move plan ``{vid: target_rank}`` flattening shard sizes.
+
+    Ranks above the mean shed their excess vertices round-robin onto the
+    ranks below the mean.  The plan only names vertices local to the
+    calling rank; every rank computes a consistent global view from the
+    allgathered shard sizes.
+    """
+    sizes = ctx.allgather(len(db.directory.local_vertices(ctx)))
+    total = sum(sizes)
+    mean = total / ctx.nranks
+    deficits = [
+        (r, int(mean - sizes[r])) for r in range(ctx.nranks)
+        if sizes[r] < mean - tolerance
+    ]
+    if not deficits or sizes[ctx.rank] <= mean + tolerance:
+        return {}
+    surplus = int(sizes[ctx.rank] - mean)
+    # deterministic carve-up: this rank takes a slice of each deficit
+    # proportional to its share of the global surplus
+    overs = [r for r in range(ctx.nranks) if sizes[r] > mean + tolerance]
+    my_pos = overs.index(ctx.rank)
+    plan: dict[int, int] = {}
+    movable = sorted(db.directory.local_vertices(ctx))[:surplus]
+    cursor = my_pos  # stagger starting deficit per overloaded rank
+    for vid in movable:
+        for _ in range(len(deficits)):
+            r, need = deficits[cursor % len(deficits)]
+            if need > 0:
+                deficits[cursor % len(deficits)] = (r, need - 1)
+                plan[vid] = r
+                cursor += 1
+                break
+            cursor += 1
+        else:
+            break
+    return plan
+
+
+def rebalance(
+    ctx: RankContext,
+    db: GdaDatabase,
+    plan: dict[int, int] | None = None,
+) -> dict[int, int]:
+    """Collectively move vertices per ``plan`` (default: balance shards).
+
+    Returns the global ``{old_vid: new_vid}`` mapping.  Must run with no
+    open transactions.
+    """
+    if plan is None:
+        plan = plan_balance(ctx, db)
+    moved_local: dict[int, int] = {}
+    for old_vid, target in plan.items():
+        if unpack_dptr(old_vid).rank != ctx.rank:
+            continue  # only the owner moves a vertex
+        stored = db.storage.read(ctx, old_vid)
+        if target == ctx.rank:
+            continue
+        # place the holder on the target rank (skip the move if full)
+        primary = db.blocks.acquire_block(ctx, target)
+        if primary is None:
+            continue
+        new_stored = type(stored)(holder=stored.holder, primary=primary)
+        db.storage.rewrite(ctx, new_stored)
+        app_id = stored.holder.app_id
+        db.dht.delete(ctx, app_id)
+        db.dht.insert(ctx, app_id, primary)
+        db.storage.delete(ctx, stored)
+        db.directory.relocate(ctx, old_vid, primary)
+        for idx in db.indexes.values():
+            idx.relocate(ctx, old_vid, primary)
+        for eidx in db.edge_indexes.values():
+            eidx.relocate(ctx, old_vid, primary)
+        moved_local[old_vid] = primary
+
+    # publish the mapping and patch all references
+    mapping: dict[int, int] = {}
+    for part in ctx.allgather(moved_local):
+        mapping.update(part)
+    if mapping:
+        _patch_references(ctx, db, mapping)
+    ctx.barrier()
+    db.dht.quiesce(ctx)
+    return mapping
+
+
+def _patch_references(
+    ctx: RankContext, db: GdaDatabase, mapping: dict[int, int]
+) -> None:
+    """Rewrite edge slots and edge-holder endpoints naming moved vertices."""
+    for vid in db.directory.local_vertices(ctx):
+        stored = db.storage.read(ctx, vid)
+        holder = stored.holder
+        dirty = False
+        for slot in holder.edges:
+            if slot.heavy:
+                eh_stored = db.storage.read(ctx, slot.dptr)
+                eh = eh_stored.holder
+                if eh.kind != KIND_EDGE:
+                    continue
+                patched = False
+                if eh.src in mapping:
+                    eh.src = mapping[eh.src]
+                    patched = True
+                if eh.dst in mapping:
+                    eh.dst = mapping[eh.dst]
+                    patched = True
+                if patched:
+                    db.storage.rewrite(ctx, eh_stored)
+            elif slot.dptr in mapping:
+                slot.dptr = mapping[slot.dptr]
+                dirty = True
+        if dirty:
+            db.storage.rewrite(ctx, stored)

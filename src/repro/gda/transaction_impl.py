@@ -1,0 +1,1060 @@
+"""GDA transactions: 2-phase RW locking, local caches, commit/abort.
+
+Implements Sections 3.3-3.5 and 5.6 of the paper:
+
+* **Local transactions** run on one process; **collective transactions**
+  actively involve every rank (OLAP/OLSP).  Both come in read-only and
+  write flavours.
+* All changes are **visible only locally** until commit: the transaction
+  state caches vertex/edge holders in hash maps keyed by internal ID and
+  tracks dirty holders in a vector, exactly the bookkeeping structure mix
+  the paper calls out as a major design choice.
+* **ACI** via two-phase reader-writer locking with one lock word per
+  vertex (:mod:`repro.gda.locks`).  Lock acquisition is try-lock with a
+  bounded retry budget; exhaustion raises
+  :class:`~repro.gdi.errors.GdiLockFailed`, a transaction-critical error —
+  the transaction is guaranteed to fail and the caller must abort and
+  start a new one.  These aborts are the paper's "failed transactions".
+* Collective *read* transactions are lock-free: GDI read transactions may
+  assume no participant modifies the data (Section 3.3).  Collective
+  *write* transactions (bulk ingestion) are also lock-free but require
+  ranks to mutate disjoint vertices, which the bulk loader guarantees by
+  exchanging data so that every vertex is only touched by its home rank.
+* **Handles** (Section 3.5) are opaque per-process objects; vertex and
+  edge handles are only valid inside their transaction (volatile IDs,
+  Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..gdi.constants import EdgeOrientation, Multiplicity, SizeType
+from ..gdi.constraint import Constraint
+from ..gdi.errors import (
+    GdiInvalidArgument,
+    GdiLockFailed,
+    GdiNonUniqueId,
+    GdiNotFound,
+    GdiObjectMismatch,
+    GdiReadOnly,
+    GdiSizeLimit,
+    GdiStateError,
+)
+from ..gdi.types import Datatype, decode_value, encode_value, value_nbytes
+from ..rma.runtime import RankContext
+from .dptr import pack_edge_uid, unpack_dptr, unpack_edge_uid
+from .holder import (
+    DIR_IN,
+    DIR_MASK,
+    DIR_OUT,
+    DIR_UNDIR,
+    SLOT_HEAVY,
+    EdgeHolder,
+    EdgeSlot,
+    StoredHolder,
+    VertexHolder,
+)
+from .locks import LockTimeout, RWLock
+from .metadata import Label, PropertyType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database_impl import GdaDatabase
+
+__all__ = ["Transaction", "VertexHandle", "EdgeHandle", "VolatileVertexId"]
+
+
+@dataclass(frozen=True)
+class VolatileVertexId:
+    """A volatile internal vertex ID (Section 3.4).
+
+    Valid only inside the transaction that produced it; using it in any
+    other transaction raises :class:`~repro.gdi.errors.GdiStateError`.
+    """
+
+    token: int
+    txn: int  # identity of the owning transaction
+
+_LOCK_NONE, _LOCK_READ, _LOCK_WRITE = 0, 1, 2
+
+
+@dataclass
+class _TxVertex:
+    """Transaction-cache entry of one vertex."""
+
+    vid: int
+    stored: StoredHolder
+    lock_mode: int = _LOCK_NONE
+    dirty: bool = False
+    created: bool = False
+    deleted: bool = False
+    index_preimage: dict[str, bool] = field(default_factory=dict)
+    edge_index_preimage: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def holder(self) -> VertexHolder:
+        return self.stored.holder  # type: ignore[return-value]
+
+
+@dataclass
+class _TxEdge:
+    """Transaction-cache entry of one heavyweight edge holder."""
+
+    dptr: int
+    stored: StoredHolder
+    dirty: bool = False
+    created: bool = False
+    deleted: bool = False
+
+    @property
+    def holder(self) -> EdgeHolder:
+        return self.stored.holder  # type: ignore[return-value]
+
+
+class Transaction:
+    """One GDI transaction bound to a database and a rank context."""
+
+    def __init__(
+        self,
+        db: "GdaDatabase",
+        ctx: RankContext,
+        *,
+        write: bool,
+        collective: bool,
+    ) -> None:
+        self.db = db
+        self.ctx = ctx
+        self.write = write
+        self.collective = collective
+        self.open = True
+        self.failed = False
+        self._vertices: dict[int, _TxVertex] = {}
+        self._edges: dict[int, _TxEdge] = {}
+        self._dirty_order: list[int] = []  # the paper's dirty-block vector
+        self._created_app_ids: dict[int, int] = {}  # app_id -> vid
+        self._volatile_ids: dict[int, int] = {}  # volatile token -> vid
+
+    # -- context manager: abort on error, commit must be explicit ----------
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.open:
+            self.abort()
+
+    # -- guards --------------------------------------------------------------
+    def _check_open(self) -> None:
+        if not self.open:
+            raise GdiStateError("transaction already closed")
+        if self.failed:
+            raise GdiStateError(
+                "transaction failed; abort it and start a new one"
+            )
+
+    def _check_write(self) -> None:
+        if not self.write:
+            raise GdiReadOnly("mutation inside a read-only transaction")
+
+    def _fail(self) -> None:
+        self.failed = True
+
+    def _deleted_in_txn(self, vid: int) -> bool:
+        """Is ``vid`` a vertex this transaction has marked deleted?
+
+        Allows re-creating an application ID whose old vertex is deleted
+        within the same transaction (delete + create in one unit).
+        """
+        txv = self._vertices.get(vid)
+        return txv is not None and txv.deleted
+
+    def _acquire_or_fail(self, home: int) -> int:
+        """Allocate a primary block or fail the transaction (no memory)."""
+        from .blocks import OutOfBlocksError
+        from ..gdi.errors import GdiNoMemory
+
+        try:
+            return self.db.blocks.acquire_block_anywhere(self.ctx, home)
+        except OutOfBlocksError as exc:
+            self._fail()
+            raise GdiNoMemory(str(exc)) from exc
+
+    # -- locking ---------------------------------------------------------------
+    def _lock_of(self, vid: int) -> RWLock:
+        rank, offset = self.db.blocks.lock_location(vid)
+        return RWLock(
+            self.db.blocks.system_win,
+            rank=rank,
+            offset=offset,
+            max_retries=self.db.config.lock_max_retries,
+        )
+
+    def _ensure_lock(self, txv: _TxVertex, want_write: bool) -> None:
+        if self.collective or txv.created:
+            return  # collective txns are lock-free; private until commit
+        want = _LOCK_WRITE if want_write else _LOCK_READ
+        if txv.lock_mode >= want:
+            return
+        lock = self._lock_of(txv.vid)
+        try:
+            if txv.lock_mode == _LOCK_NONE:
+                if want_write:
+                    lock.acquire_write(self.ctx)
+                else:
+                    lock.acquire_read(self.ctx)
+            else:  # read -> write upgrade
+                lock.upgrade(self.ctx)
+        except LockTimeout as exc:
+            self._fail()
+            raise GdiLockFailed(str(exc)) from exc
+        txv.lock_mode = want
+
+    def _release_locks(self) -> None:
+        for txv in self._vertices.values():
+            if txv.created:
+                continue
+            lock = self._lock_of(txv.vid)
+            if txv.lock_mode == _LOCK_READ:
+                lock.release_read(self.ctx)
+            elif txv.lock_mode == _LOCK_WRITE:
+                lock.release_write(self.ctx)
+            txv.lock_mode = _LOCK_NONE
+
+    # -- vertex loading ------------------------------------------------------------
+    def _load_vertex(
+        self, vid: int, for_write: bool, expected_app_id: int | None = None
+    ) -> _TxVertex:
+        self._check_open()
+        if for_write:
+            self._check_write()
+        txv = self._vertices.get(vid)
+        if txv is not None:
+            if txv.deleted:
+                raise GdiNotFound(f"vertex {vid:#x} deleted in this transaction")
+            self._ensure_lock(txv, for_write)
+            return txv
+        # Lock *before* reading so the fetched holder is stable (2PL).
+        placeholder = _TxVertex(vid=vid, stored=None)  # type: ignore[arg-type]
+        self._ensure_lock(placeholder, for_write)
+        try:
+            stored = self.db.storage.read(self.ctx, vid)
+        except GdiStateError:
+            # The holder vanished between the ID translation and this read
+            # (vertex deleted, block freed): a normal read-miss outcome.
+            self._rollback_placeholder_lock(placeholder)
+            raise GdiNotFound(f"vertex {vid:#x} no longer exists") from None
+        except BaseException:
+            # Undo the lock taken for a vertex we failed to read.
+            self._rollback_placeholder_lock(placeholder)
+            raise
+        if stored.holder.kind != 1:
+            self._rollback_placeholder_lock(placeholder)
+            raise GdiObjectMismatch(f"{vid:#x} is not a vertex")
+        if (
+            expected_app_id is not None
+            and stored.holder.app_id != expected_app_id
+        ):
+            # The block was freed and recycled into a different vertex
+            # between translate and associate: treat as a read miss.
+            self._rollback_placeholder_lock(placeholder)
+            raise GdiNotFound(
+                f"vertex {vid:#x} was recycled (expected application ID "
+                f"{expected_app_id}, found {stored.holder.app_id})"
+            )
+        txv = _TxVertex(
+            vid=vid, stored=stored, lock_mode=placeholder.lock_mode
+        )
+        txv.index_preimage = self._index_matches(stored.holder)
+        self._vertices[vid] = txv
+        txv.edge_index_preimage = self._edge_index_matches(txv)
+        return txv
+
+    def _rollback_placeholder_lock(self, placeholder: _TxVertex) -> None:
+        if self.collective:
+            return
+        lock = self._lock_of(placeholder.vid)
+        if placeholder.lock_mode == _LOCK_READ:
+            lock.release_read(self.ctx)
+        elif placeholder.lock_mode == _LOCK_WRITE:
+            lock.release_write(self.ctx)
+
+    def _index_matches(self, holder) -> dict[str, bool]:
+        dtype_of = self.db.replica(self.ctx).dtype_of
+        return {
+            name: idx.matches(holder, dtype_of)
+            for name, idx in self.db.indexes.items()
+        }
+
+    def _edge_index_matches(self, txv: _TxVertex) -> dict[str, bool]:
+        if not self.db.edge_indexes:
+            return {}
+        return {
+            name: idx.source_matches(self, txv)
+            for name, idx in self.db.edge_indexes.items()
+        }
+
+    def _mark_dirty(self, txv: _TxVertex) -> None:
+        if not txv.dirty:
+            txv.dirty = True
+            self._dirty_order.append(txv.vid)
+
+    def read_holder(self, vid: int) -> StoredHolder:
+        """Raw holder access (index building, analytics fast paths)."""
+        return self._load_vertex(vid, for_write=False).stored
+
+    # -- ID translation (Section 3.4) --------------------------------------------------
+    def translate_vertex_id(self, app_id: int, volatile: bool = False):
+        """``GDI_TranslateVertexID``: application ID -> internal ID.
+
+        GDI offers two internal-ID flavours (Section 3.4):
+
+        * **permanent** (default here): the raw 64-bit DPtr, shareable
+          across transactions — fewer translations, but pins the vertex's
+          placement;
+        * **volatile** (``volatile=True``): a :class:`VolatileVertexId`
+          valid *only inside this transaction*, which lets the
+          implementation relocate data between transactions (dynamic load
+          balancing) without fear of stale IDs.
+        """
+        self._check_open()
+        app_id = int(app_id)  # accept numpy integers
+        if app_id in self._created_app_ids:
+            vid = self._created_app_ids[app_id]
+        else:
+            vid = self.db.dht.lookup(self.ctx, app_id)
+            if vid is None:
+                raise GdiNotFound(f"no vertex with application ID {app_id}")
+        if not volatile:
+            return vid
+        token = VolatileVertexId(token=len(self._volatile_ids), txn=id(self))
+        self._volatile_ids[token.token] = vid
+        return token
+
+    def _resolve_vid(self, vid) -> int:
+        if isinstance(vid, VolatileVertexId):
+            if vid.txn != id(self):
+                raise GdiStateError(
+                    "volatile internal ID used outside the transaction "
+                    "that obtained it (Section 3.4)"
+                )
+            return self._volatile_ids[vid.token]
+        return vid
+
+    def find_vertex(self, app_id: int) -> "VertexHandle | None":
+        """Convenience: translate + associate, ``None`` if absent.
+
+        Validates that the holder still belongs to ``app_id``, guarding
+        against the translate/associate race with a concurrent delete
+        that recycled the primary block.
+        """
+        try:
+            vid = self.translate_vertex_id(app_id)
+            return VertexHandle(
+                self,
+                self._load_vertex(vid, for_write=False, expected_app_id=app_id),
+            )
+        except GdiNotFound:
+            return None
+
+    # -- vertex CRUD ------------------------------------------------------------------------
+    def create_vertex(
+        self,
+        app_id: int,
+        labels: Iterable[Label] = (),
+        properties: Iterable[tuple[PropertyType, Any]] = (),
+    ) -> "VertexHandle":
+        """``GDI_CreateVertex``: new vertex, private until commit."""
+        self._check_open()
+        self._check_write()
+        app_id = int(app_id)  # accept numpy integers
+        if app_id in self._created_app_ids:
+            self._fail()
+            raise GdiNonUniqueId(f"application ID {app_id} created twice")
+        existing = self.db.dht.lookup(self.ctx, app_id)
+        if existing is not None and not self._deleted_in_txn(existing):
+            self._fail()
+            raise GdiNonUniqueId(f"application ID {app_id} already in use")
+        home = self.db.home_rank(app_id)
+        primary = self._acquire_or_fail(home)
+        holder = VertexHolder(app_id=app_id)
+        txv = _TxVertex(
+            vid=primary,
+            stored=StoredHolder(holder=holder, primary=primary),
+            lock_mode=_LOCK_WRITE,
+            created=True,
+        )
+        txv.index_preimage = {name: False for name in self.db.indexes}
+        txv.edge_index_preimage = {name: False for name in self.db.edge_indexes}
+        self._vertices[primary] = txv
+        self._mark_dirty(txv)
+        self._created_app_ids[app_id] = primary
+        handle = VertexHandle(self, txv)
+        for label in labels:
+            handle.add_label(label)
+        for ptype, value in properties:
+            handle.set_property(ptype, value)
+        return handle
+
+    def associate_vertex(self, vid) -> "VertexHandle":
+        """``GDI_AssociateVertex``: make a handle for an existing vertex.
+
+        Accepts both permanent (raw DPtr) and volatile internal IDs.
+        """
+        return VertexHandle(
+            self, self._load_vertex(self._resolve_vid(vid), for_write=False)
+        )
+
+    def delete_vertex(self, handle: "VertexHandle") -> None:
+        """``GDI_FreeVertex`` (delete): remove vertex and incident edges.
+
+        Expensive by design: every incident edge's counterpart slot on the
+        neighboring vertex must be removed, which write-locks each
+        neighbor (Figure 5 shows vertex deletion as the slowest OLTP op).
+        """
+        self._check_open()
+        self._check_write()
+        txv = handle._txv
+        self._ensure_lock(txv, want_write=True)
+        for slot in list(txv.holder.edges):
+            other_vid = self._slot_other_endpoint(txv.vid, slot)
+            if slot.heavy:
+                self._mark_edge_holder_deleted(slot.dptr)
+            if other_vid != txv.vid:
+                other = self._load_vertex(other_vid, for_write=True)
+                self._remove_reciprocal_slot(other, txv.vid, slot)
+                self._mark_dirty(other)
+        txv.holder.edges.clear()
+        txv.deleted = True
+        self._mark_dirty(txv)
+
+    # -- vertex mutation helpers (used by VertexHandle) ---------------------------------------
+    def _mutate(self, txv: _TxVertex) -> VertexHolder:
+        self._check_open()
+        self._check_write()
+        if txv.deleted:
+            raise GdiNotFound("vertex deleted in this transaction")
+        self._ensure_lock(txv, want_write=True)
+        self._mark_dirty(txv)
+        return txv.holder
+
+    # -- edges ------------------------------------------------------------------------------------
+    def create_edge(
+        self,
+        src: "VertexHandle",
+        dst: "VertexHandle",
+        *,
+        label: Label | None = None,
+        directed: bool = True,
+        labels: Iterable[Label] = (),
+        properties: Iterable[tuple[PropertyType, Any]] = (),
+        force_heavy: bool = False,
+    ) -> "EdgeHandle":
+        """``GDI_CreateEdge``.
+
+        Becomes a *lightweight* edge (stored inline in the source holder,
+        at most one label, no properties — Section 5.4.2) whenever
+        possible; otherwise (or when ``force_heavy``) a heavyweight edge
+        holder is created.
+        """
+        self._check_open()
+        self._check_write()
+        if src._tx is not self or dst._tx is not self:
+            raise GdiObjectMismatch("handles belong to another transaction")
+        label_list = list(labels)
+        if label is not None:
+            label_list.insert(0, label)
+        props = [
+            (pt, self._encode_property(pt, value)) for pt, value in properties
+        ]
+        heavy = force_heavy or bool(props) or len(label_list) > 1
+        src_holder = self._mutate(src._txv)
+        dst_txv = dst._txv
+        if heavy:
+            home = unpack_dptr(src._txv.vid).rank
+            edge_holder = EdgeHolder(
+                src=src._txv.vid,
+                dst=dst_txv.vid,
+                directed=directed,
+                labels=[l.int_id for l in label_list],
+                properties=[(pt.int_id, blob) for pt, blob in props],
+            )
+            eptr = self._acquire_or_fail(home)
+            self._edges[eptr] = _TxEdge(
+                dptr=eptr,
+                stored=StoredHolder(holder=edge_holder, primary=eptr),
+                created=True,
+                dirty=True,
+            )
+            fwd = EdgeSlot(eptr, 0, (DIR_OUT if directed else DIR_UNDIR) | SLOT_HEAVY)
+            rev = EdgeSlot(eptr, 0, (DIR_IN if directed else DIR_UNDIR) | SLOT_HEAVY)
+        else:
+            lid = label_list[0].int_id if label_list else 0
+            fwd = EdgeSlot(dst_txv.vid, lid, DIR_OUT if directed else DIR_UNDIR)
+            rev = EdgeSlot(src._txv.vid, lid, DIR_IN if directed else DIR_UNDIR)
+        src_holder.edges.append(fwd)
+        if dst_txv.vid != src._txv.vid:
+            dst_holder = self._mutate(dst_txv)
+            dst_holder.edges.append(rev)
+        elif directed:
+            # directed self-loop: the vertex sees it both outgoing and
+            # incoming; undirected self-loops keep a single slot.
+            src_holder.edges.append(rev)
+        return EdgeHandle(self, src._txv, fwd)
+
+    def associate_edge(self, uid: bytes) -> "EdgeHandle":
+        """``GDI_AssociateEdge``: resolve a 12-byte edge UID to a handle."""
+        self._check_open()
+        vid, slot_idx = unpack_edge_uid(uid)
+        txv = self._load_vertex(vid, for_write=False)
+        if slot_idx >= len(txv.holder.edges):
+            raise GdiNotFound(f"edge slot {slot_idx} out of range")
+        return EdgeHandle(self, txv, txv.holder.edges[slot_idx])
+
+    def delete_edge(self, handle: "EdgeHandle") -> None:
+        """``GDI_FreeEdge`` (delete): remove both endpoint slots."""
+        self._check_open()
+        self._check_write()
+        txv = handle._base
+        slot = handle._slot
+        holder = self._mutate(txv)
+        removed = _remove_by_identity(holder.edges, slot)
+        if not removed:
+            raise GdiNotFound("edge already removed in this transaction")
+        other_vid = self._slot_other_endpoint(txv.vid, slot)
+        if slot.heavy:
+            self._mark_edge_holder_deleted(slot.dptr)
+        if other_vid != txv.vid:
+            other = self._load_vertex(other_vid, for_write=True)
+            self._remove_reciprocal_slot(other, txv.vid, slot)
+            self._mark_dirty(other)
+        elif slot.direction != DIR_UNDIR:
+            # directed self-loop: drop the complementary slot too
+            self._remove_reciprocal_slot(txv, txv.vid, slot)
+
+    def bulk_append_half_edge(
+        self,
+        vid: int,
+        other_vid: int,
+        direction: int,
+        label_id: int = 0,
+        heavy_dptr: int | None = None,
+    ) -> None:
+        """Bulk-ingestion fast path: append one edge slot to ``vid``.
+
+        Used by the bulk data-loading collectives (Section 4, BULK): the
+        loader exchanges edges so that each rank appends only to vertices
+        it owns, making lock-free collective write transactions safe.  The
+        caller is responsible for appending the reciprocal slot on the
+        other endpoint (usually in a second exchange phase).  When
+        ``heavy_dptr`` is given the slot references that heavyweight edge
+        holder instead of the neighbor vertex.
+        """
+        if not self.collective:
+            raise GdiStateError(
+                "bulk_append_half_edge requires a collective transaction"
+            )
+        txv = self._load_vertex(vid, for_write=True)
+        if heavy_dptr is not None:
+            slot = EdgeSlot(heavy_dptr, 0, direction | SLOT_HEAVY)
+        else:
+            slot = EdgeSlot(other_vid, label_id, direction)
+        txv.holder.edges.append(slot)
+        self._mark_dirty(txv)
+
+    def bulk_create_edge_holder(
+        self,
+        src_vid: int,
+        dst_vid: int,
+        *,
+        directed: bool = True,
+        labels: Iterable[Label] = (),
+        properties: Iterable[tuple[PropertyType, Any]] = (),
+    ) -> int:
+        """Bulk-ingestion fast path: materialize a heavyweight edge holder.
+
+        Returns its DPtr; the caller routes it to both endpoints' owners,
+        which attach the slots with :meth:`bulk_append_half_edge`.
+        """
+        if not self.collective:
+            raise GdiStateError(
+                "bulk_create_edge_holder requires a collective transaction"
+            )
+        self._check_open()
+        self._check_write()
+        props = [
+            (pt.int_id, self._encode_property(pt, value))
+            for pt, value in properties
+        ]
+        holder = EdgeHolder(
+            src=src_vid,
+            dst=dst_vid,
+            directed=directed,
+            labels=[l.int_id for l in labels],
+            properties=props,
+        )
+        eptr = self._acquire_or_fail(unpack_dptr(src_vid).rank)
+        self._edges[eptr] = _TxEdge(
+            dptr=eptr,
+            stored=StoredHolder(holder=holder, primary=eptr),
+            created=True,
+            dirty=True,
+        )
+        return eptr
+
+    def _slot_other_endpoint(self, base_vid: int, slot: EdgeSlot) -> int:
+        if not slot.heavy:
+            return slot.dptr
+        e = self._load_edge_holder(slot.dptr)
+        h = e.holder
+        return h.dst if h.src == base_vid else h.src
+
+    def _remove_reciprocal_slot(
+        self, other: _TxVertex, base_vid: int, slot: EdgeSlot
+    ) -> None:
+        """Remove one slot on ``other`` matching the reciprocal of ``slot``."""
+        want_dir = _reciprocal_direction(slot.direction)
+        for cand in other.holder.edges:
+            if cand is slot:
+                continue
+            if slot.heavy:
+                if cand.heavy and cand.dptr == slot.dptr:
+                    _remove_by_identity(other.holder.edges, cand)
+                    return
+            elif (
+                not cand.heavy
+                and cand.dptr == base_vid
+                and cand.label_id == slot.label_id
+                and cand.direction == want_dir
+            ):
+                _remove_by_identity(other.holder.edges, cand)
+                return
+        # The reciprocal slot must exist if the graph is consistent.
+        raise GdiStateError(
+            f"reciprocal edge slot missing on vertex {other.vid:#x}"
+        )
+
+    # -- heavy edge holders -------------------------------------------------------------------------
+    def _load_edge_holder(self, eptr: int) -> _TxEdge:
+        txe = self._edges.get(eptr)
+        if txe is not None:
+            if txe.deleted:
+                raise GdiNotFound("edge deleted in this transaction")
+            return txe
+        stored = self.db.storage.read(self.ctx, eptr)
+        if stored.holder.kind != 2:
+            raise GdiObjectMismatch(f"{eptr:#x} is not an edge holder")
+        txe = _TxEdge(dptr=eptr, stored=stored)
+        self._edges[eptr] = txe
+        return txe
+
+    def _mark_edge_holder_deleted(self, eptr: int) -> None:
+        txe = self._load_edge_holder(eptr)
+        txe.deleted = True
+        txe.dirty = True
+
+    # -- property encoding with the Section 3.7 hints ---------------------------------------------------
+    def _encode_property(self, ptype: PropertyType, value: Any) -> bytes:
+        blob = encode_value(ptype.dtype, value)
+        n = value_nbytes(ptype.dtype, value)
+        if ptype.size_type == SizeType.FIXED and n != ptype.size_limit:
+            raise GdiSizeLimit(
+                f"{ptype.name}: value size {n} != fixed size {ptype.size_limit}"
+            )
+        if ptype.size_type == SizeType.MAX and n > ptype.size_limit:
+            raise GdiSizeLimit(
+                f"{ptype.name}: value size {n} exceeds limit {ptype.size_limit}"
+            )
+        return blob
+
+    # -- commit / abort ------------------------------------------------------------------------------------
+    def commit(self) -> None:
+        """``GDI_CloseTransaction``: write back, publish, unlock."""
+        self._check_open()
+        if self.collective:
+            self.ctx.barrier()
+        stats = self.db.stats[self.ctx.rank]
+        try:
+            if self.write:
+                self._commit_writes()
+        except BaseException:
+            self._release_locks()
+            self.open = False
+            stats.aborted += 1
+            if self.failed:
+                stats.failed += 1
+            raise
+        self._release_locks()
+        self.open = False
+        stats.committed += 1
+        if self.collective:
+            self.db.dht.quiesce(self.ctx)
+
+    def _commit_writes(self) -> None:
+        ctx = self.ctx
+        # Final uniqueness validation of created application IDs.
+        for app_id in self._created_app_ids:
+            existing = self.db.dht.lookup(ctx, app_id)
+            if existing is not None and not self._deleted_in_txn(existing):
+                self._rollback_created()
+                self._fail()
+                raise GdiNonUniqueId(
+                    f"application ID {app_id} concurrently created"
+                )
+        # Heavy edge holders first so endpoint slots never dangle.
+        for txe in self._edges.values():
+            if txe.deleted:
+                if txe.created:
+                    self.db.blocks.release_block(ctx, txe.stored.primary)
+                else:
+                    self.db.storage.delete(ctx, txe.stored)
+            elif txe.dirty:
+                self.db.storage.rewrite(ctx, txe.stored)
+        log_entries = []
+        ordered = sorted(self._vertices.values(), key=lambda t: not t.deleted)
+        for txv in ordered:
+            if txv.deleted and txv.created:
+                self.db.blocks.release_block(ctx, txv.stored.primary)
+                continue
+            if txv.deleted:
+                # Unpublish (DHT, directory, indexes) BEFORE freeing the
+                # blocks: a concurrent create may otherwise reuse the
+                # primary block and have its fresh directory entry removed
+                # by this very deletion.
+                self.db.dht.delete(ctx, txv.holder.app_id)
+                self.db.directory.remove(ctx, txv.vid)
+                self._apply_index_updates(txv, deleted=True)
+                self.db.storage.delete(ctx, txv.stored)
+                log_entries.append(("del_v", txv.holder.app_id))
+            elif txv.created:
+                self.db.storage.rewrite(ctx, txv.stored)
+                self.db.dht.insert(ctx, txv.holder.app_id, txv.vid)
+                self.db.directory.add(ctx, txv.vid)
+                self._apply_index_updates(txv)
+                log_entries.append(("new_v", txv.holder.app_id))
+            elif txv.dirty:
+                self.db.storage.rewrite(ctx, txv.stored)
+                self._apply_index_updates(txv)
+                log_entries.append(("upd_v", txv.holder.app_id))
+        if log_entries:
+            self.db.log_commit((ctx.rank, tuple(log_entries)))
+
+    def _apply_index_updates(self, txv: _TxVertex, deleted: bool = False) -> None:
+        dtype_of = self.db.replica(self.ctx).dtype_of
+        for name, idx in self.db.indexes.items():
+            before = txv.index_preimage.get(name, False)
+            after = False if deleted else idx.matches(txv.holder, dtype_of)
+            idx.update_on_commit(self.ctx, txv.vid, before, after)
+        for name, eidx in self.db.edge_indexes.items():
+            before = txv.edge_index_preimage.get(name, False)
+            after = False if deleted else eidx.source_matches(self, txv)
+            eidx.update_on_commit(self.ctx, txv.vid, before, after)
+
+    def _rollback_created(self) -> None:
+        for txv in self._vertices.values():
+            if txv.created:
+                self.db.blocks.release_block(self.ctx, txv.stored.primary)
+        for txe in self._edges.values():
+            if txe.created:
+                self.db.blocks.release_block(self.ctx, txe.stored.primary)
+
+    def abort(self) -> None:
+        """``GDI_AbortTransaction``: discard all local changes."""
+        if not self.open:
+            raise GdiStateError("transaction already closed")
+        self._rollback_created()
+        self._release_locks()
+        self.open = False
+        stats = self.db.stats[self.ctx.rank]
+        stats.aborted += 1
+        if self.failed:
+            stats.failed += 1
+        if self.collective:
+            self.ctx.barrier()
+
+
+def _reciprocal_direction(direction: int) -> int:
+    if direction == DIR_OUT:
+        return DIR_IN
+    if direction == DIR_IN:
+        return DIR_OUT
+    return DIR_UNDIR
+
+
+def _remove_by_identity(slots: list[EdgeSlot], victim: EdgeSlot) -> bool:
+    for i, s in enumerate(slots):
+        if s is victim:
+            del slots[i]
+            return True
+    return False
+
+
+class VertexHandle:
+    """Opaque per-process vertex access object (Section 3.5)."""
+
+    __slots__ = ("_tx", "_txv")
+
+    def __init__(self, tx: Transaction, txv: _TxVertex) -> None:
+        self._tx = tx
+        self._txv = txv
+
+    # handles support assignment/comparison per the spec
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VertexHandle) and other._txv is self._txv
+
+    def __hash__(self) -> int:
+        return hash(id(self._txv))
+
+    @property
+    def vid(self) -> int:
+        """The internal ID (64-bit DPtr) this handle is associated with."""
+        return self._txv.vid
+
+    @property
+    def app_id(self) -> int:
+        return self._holder().app_id
+
+    def _holder(self) -> VertexHolder:
+        """Read access guard: transaction open, vertex not deleted."""
+        self._tx._check_open()
+        if self._txv.deleted:
+            raise GdiNotFound("vertex deleted in this transaction")
+        return self._txv.holder
+
+    # -- labels ------------------------------------------------------------
+    def labels(self) -> list[Label]:
+        """``GDI_GetAllLabelsOfVertex``."""
+        replica = self._tx.db.replica(self._tx.ctx)
+        return [replica.label_by_id(i) for i in self._holder().labels]
+
+    def has_label(self, label: Label) -> bool:
+        return label.int_id in self._holder().labels
+
+    def add_label(self, label: Label) -> None:
+        """``GDI_AddLabelToVertex`` (idempotent)."""
+        holder = self._tx._mutate(self._txv)
+        if label.int_id not in holder.labels:
+            holder.labels.append(label.int_id)
+
+    def remove_label(self, label: Label) -> None:
+        holder = self._tx._mutate(self._txv)
+        try:
+            holder.labels.remove(label.int_id)
+        except ValueError:
+            raise GdiNotFound(
+                f"vertex has no label {label.name!r}"
+            ) from None
+
+    # -- properties ---------------------------------------------------------
+    def properties(self, ptype: PropertyType) -> list[Any]:
+        """``GDI_GetPropertiesOfVertex``: all entries of one p-type."""
+        return [
+            decode_value(ptype.dtype, blob)
+            for pid, blob in self._holder().properties
+            if pid == ptype.int_id
+        ]
+
+    def property(self, ptype: PropertyType) -> Any | None:
+        """Single-entry convenience; ``None`` if absent."""
+        vals = self.properties(ptype)
+        return vals[0] if vals else None
+
+    def all_properties(self) -> list[tuple[PropertyType, Any]]:
+        replica = self._tx.db.replica(self._tx.ctx)
+        out = []
+        for pid, blob in self._holder().properties:
+            pt = replica.ptype_by_id(pid)
+            out.append((pt, decode_value(pt.dtype, blob)))
+        return out
+
+    def set_property(self, ptype: PropertyType, value: Any) -> None:
+        """``GDI_UpdatePropertyOfVertex``: replace all entries by one."""
+        blob = self._tx._encode_property(ptype, value)
+        holder = self._tx._mutate(self._txv)
+        holder.properties = [
+            (pid, b) for pid, b in holder.properties if pid != ptype.int_id
+        ]
+        holder.properties.append((ptype.int_id, blob))
+
+    def add_property(self, ptype: PropertyType, value: Any) -> None:
+        """``GDI_AddPropertyToVertex``: append an entry (MULTI p-types)."""
+        blob = self._tx._encode_property(ptype, value)
+        holder = self._tx._mutate(self._txv)
+        if ptype.multiplicity == Multiplicity.SINGLE and any(
+            pid == ptype.int_id for pid, _ in holder.properties
+        ):
+            raise GdiInvalidArgument(
+                f"{ptype.name} is single-entry and already present"
+            )
+        holder.properties.append((ptype.int_id, blob))
+
+    def remove_properties(self, ptype: PropertyType) -> int:
+        holder = self._tx._mutate(self._txv)
+        before = len(holder.properties)
+        holder.properties = [
+            (pid, b) for pid, b in holder.properties if pid != ptype.int_id
+        ]
+        return before - len(holder.properties)
+
+    # -- edges ----------------------------------------------------------------
+    def edges(
+        self,
+        orientation: EdgeOrientation = EdgeOrientation.ANY,
+        constraint: Constraint | None = None,
+    ) -> list["EdgeHandle"]:
+        """``GDI_GetEdgesOfVertex`` with an optional constraint filter."""
+        out = []
+        for slot in self._holder().edges:
+            if not _orientation_matches(slot.direction, orientation):
+                continue
+            handle = EdgeHandle(self._tx, self._txv, slot)
+            if constraint is not None and not handle._satisfies(constraint):
+                continue
+            out.append(handle)
+        return out
+
+    def neighbors(
+        self,
+        orientation: EdgeOrientation = EdgeOrientation.ANY,
+        constraint: Constraint | None = None,
+    ) -> list[int]:
+        """``GDI_GetNeighborVerticesOfVertex``: neighbor internal IDs."""
+        return [
+            e.other_endpoint() for e in self.edges(orientation, constraint)
+        ]
+
+    def degree(self, orientation: EdgeOrientation = EdgeOrientation.ANY) -> int:
+        return sum(
+            1
+            for slot in self._holder().edges
+            if _orientation_matches(slot.direction, orientation)
+        )
+
+    def delete(self) -> None:
+        self._tx.delete_vertex(self)
+
+
+def _orientation_matches(direction: int, wanted: EdgeOrientation) -> bool:
+    if direction == DIR_OUT:
+        return bool(wanted & EdgeOrientation.OUTGOING)
+    if direction == DIR_IN:
+        return bool(wanted & EdgeOrientation.INCOMING)
+    return bool(
+        wanted
+        & (
+            EdgeOrientation.UNDIRECTED
+            | EdgeOrientation.OUTGOING
+            | EdgeOrientation.INCOMING
+        )
+    )
+
+
+class EdgeHandle:
+    """Opaque per-process edge access object.
+
+    Valid only within its transaction (edge UIDs are volatile: the slot
+    offset may change when the source holder is rewritten, Section 3.4).
+    """
+
+    __slots__ = ("_tx", "_base", "_slot")
+
+    def __init__(self, tx: Transaction, base: _TxVertex, slot: EdgeSlot) -> None:
+        self._tx = tx
+        self._base = base
+        self._slot = slot
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EdgeHandle) and other._slot is self._slot
+
+    def __hash__(self) -> int:
+        return hash(id(self._slot))
+
+    @property
+    def uid(self) -> bytes:
+        """The 12-byte edge UID (Section 5.4.2), relative to the base vertex."""
+        for idx, s in enumerate(self._base.holder.edges):
+            if s is self._slot:  # identity, not value equality
+                return pack_edge_uid(self._base.vid, idx)
+        raise GdiNotFound("edge slot no longer present on its base vertex")
+
+    @property
+    def heavy(self) -> bool:
+        return self._slot.heavy
+
+    @property
+    def directed(self) -> bool:
+        if self._slot.heavy:
+            return self._tx._load_edge_holder(self._slot.dptr).holder.directed
+        return self._slot.direction != DIR_UNDIR
+
+    def endpoints(self) -> tuple[int, int]:
+        """``GDI_GetVerticesOfEdge``: (origin vid, target vid)."""
+        base_vid = self._base.vid
+        if self._slot.heavy:
+            h = self._tx._load_edge_holder(self._slot.dptr).holder
+            return h.src, h.dst
+        if self._slot.direction == DIR_IN:
+            return self._slot.dptr, base_vid
+        return base_vid, self._slot.dptr
+
+    def other_endpoint(self) -> int:
+        return self._tx._slot_other_endpoint(self._base.vid, self._slot)
+
+    # -- labels -----------------------------------------------------------
+    def labels(self) -> list[Label]:
+        """``GDI_GetAllLabelsOfEdge``."""
+        replica = self._tx.db.replica(self._tx.ctx)
+        return [replica.label_by_id(i) for i in self._label_ids()]
+
+    def _label_ids(self) -> list[int]:
+        if self._slot.heavy:
+            return list(self._tx._load_edge_holder(self._slot.dptr).holder.labels)
+        return [self._slot.label_id] if self._slot.label_id else []
+
+    def has_label(self, label: Label) -> bool:
+        return label.int_id in self._label_ids()
+
+    # -- properties (heavyweight edges only, Section 5.4.2) -----------------
+    def properties(self, ptype: PropertyType) -> list[Any]:
+        if not self._slot.heavy:
+            return []  # lightweight edges carry no properties
+        holder = self._tx._load_edge_holder(self._slot.dptr).holder
+        return [
+            decode_value(ptype.dtype, blob)
+            for pid, blob in holder.properties
+            if pid == ptype.int_id
+        ]
+
+    def property(self, ptype: PropertyType) -> Any | None:
+        vals = self.properties(ptype)
+        return vals[0] if vals else None
+
+    def set_property(self, ptype: PropertyType, value: Any) -> None:
+        """``GDI_UpdatePropertyOfEdge`` (heavyweight edges only)."""
+        if not self._slot.heavy:
+            raise GdiInvalidArgument(
+                "lightweight edges cannot carry properties; recreate the "
+                "edge with properties to make it heavyweight"
+            )
+        self._tx._check_write()
+        # guard via the source vertex's lock (one lock per vertex, 5.6)
+        self._tx._mutate(self._base)
+        blob = self._tx._encode_property(ptype, value)
+        txe = self._tx._load_edge_holder(self._slot.dptr)
+        txe.holder.properties = [
+            (pid, b) for pid, b in txe.holder.properties if pid != ptype.int_id
+        ]
+        txe.holder.properties.append((ptype.int_id, blob))
+        txe.dirty = True
+
+    def _satisfies(self, constraint: Constraint) -> bool:
+        if self._slot.heavy:
+            h = self._tx._load_edge_holder(self._slot.dptr).holder
+            labels, props = h.labels, h.properties
+        else:
+            labels, props = self._label_ids(), []
+        return constraint.evaluate(
+            labels, props, self._tx.db.replica(self._tx.ctx).dtype_of
+        )
+
+    def delete(self) -> None:
+        self._tx.delete_edge(self)

@@ -1,0 +1,75 @@
+"""The Graph Database Interface (GDI) — the public API of this library.
+
+GDI is a storage-layer interface for graph databases over the Labeled
+Property Graph model, offering CRUD for vertices, edges, labels, and
+properties, rich constraints, explicit indexes, and local + collective
+transactions (paper Section 3).  This package is the specification-level
+API; :mod:`repro.gda` is the GDI-RMA implementation behind it.
+"""
+
+from .constants import (
+    EdgeOrientation,
+    EntityType,
+    ErrorCode,
+    Multiplicity,
+    SizeType,
+    TransactionType,
+)
+from .constraint import Constraint, LabelCondition, PropertyCondition
+from .errors import (
+    GdiError,
+    GdiInvalidArgument,
+    GdiLockFailed,
+    GdiNoMemory,
+    GdiNonUniqueId,
+    GdiNotFound,
+    GdiObjectMismatch,
+    GdiReadOnly,
+    GdiSizeLimit,
+    GdiStaleMetadata,
+    GdiStateError,
+    GdiTransactionCritical,
+)
+from .types import Datatype, decode_value, encode_value, value_nbytes
+
+
+def __getattr__(name: str):
+    # GraphDatabase/GdaConfig come from repro.gda, which imports the GDI
+    # specification modules above; resolve lazily to break the cycle.
+    if name in ("GraphDatabase", "GdaConfig", "create_database"):
+        from . import database
+
+        return getattr(database, name)
+    raise AttributeError(name)
+
+
+__all__ = [
+    "EdgeOrientation",
+    "EntityType",
+    "ErrorCode",
+    "Multiplicity",
+    "SizeType",
+    "TransactionType",
+    "Constraint",
+    "LabelCondition",
+    "PropertyCondition",
+    "GdaConfig",
+    "GraphDatabase",
+    "create_database",
+    "GdiError",
+    "GdiInvalidArgument",
+    "GdiLockFailed",
+    "GdiNoMemory",
+    "GdiNonUniqueId",
+    "GdiNotFound",
+    "GdiObjectMismatch",
+    "GdiReadOnly",
+    "GdiSizeLimit",
+    "GdiStaleMetadata",
+    "GdiStateError",
+    "GdiTransactionCritical",
+    "Datatype",
+    "decode_value",
+    "encode_value",
+    "value_nbytes",
+]

@@ -1,0 +1,233 @@
+"""C-style GDI bindings: the spec's ``GDI_*`` routine names.
+
+The GDI specification is a C API; the paper's Listings 1-3 are written
+against routine names like ``GDI_StartTransaction`` and
+``GDI_AssociateVertex``.  This module provides those names as thin
+wrappers over the Pythonic objects so that spec-style code ports
+line-by-line.  Output parameters of the C API become return values;
+everything else keeps the spec's argument order where Python allows.
+
+Example (paper Listing 1, lines 1-4)::
+
+    trans_obj = GDI_StartTransaction(db, ctx)
+    vID = GDI_TranslateVertexID(vID_app, trans_obj)
+    vH = GDI_AssociateVertex(vID, trans_obj)
+    eIDs = GDI_GetEdgesOfVertex(GDI_EDGE_UNDIRECTED, vH)
+
+Constants mirror the spec: ``GDI_EDGE_OUTGOING``, ``GDI_EDGE_INCOMING``,
+``GDI_EDGE_UNDIRECTED`` (which, as in Listing 1, selects *all* edges of a
+vertex in an undirected sense).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..gda.database_impl import GdaConfig, GdaDatabase
+from ..gda.metadata import Label, PropertyType
+from ..gda.transaction_impl import EdgeHandle, Transaction, VertexHandle
+from .constants import EdgeOrientation
+from .constraint import Constraint
+
+__all__ = [
+    "GDI_EDGE_OUTGOING",
+    "GDI_EDGE_INCOMING",
+    "GDI_EDGE_UNDIRECTED",
+    "GDI_CreateDatabase",
+    "GDI_CreateLabel",
+    "GDI_CreatePropertyType",
+    "GDI_GetLabel",
+    "GDI_GetPropertyType",
+    "GDI_StartTransaction",
+    "GDI_StartCollectiveTransaction",
+    "GDI_CloseTransaction",
+    "GDI_CloseCollectiveTransaction",
+    "GDI_AbortTransaction",
+    "GDI_TranslateVertexID",
+    "GDI_CreateVertex",
+    "GDI_AssociateVertex",
+    "GDI_AssociateEdge",
+    "GDI_CreateEdge",
+    "GDI_FreeVertex",
+    "GDI_FreeEdge",
+    "GDI_GetAllLabelsOfVertex",
+    "GDI_GetAllLabelsOfEdge",
+    "GDI_AddLabelToVertex",
+    "GDI_RemoveLabelFromVertex",
+    "GDI_GetPropertiesOfVertex",
+    "GDI_GetPropertiesOfEdge",
+    "GDI_AddPropertyToVertex",
+    "GDI_UpdatePropertyOfVertex",
+    "GDI_UpdatePropertyOfEdge",
+    "GDI_RemovePropertiesOfVertex",
+    "GDI_GetEdgesOfVertex",
+    "GDI_GetNeighborVerticesOfVertex",
+    "GDI_GetVerticesOfEdge",
+    "GDI_CreateIndex",
+    "GDI_GetLocalVerticesOfIndex",
+]
+
+#: Edge orientation constants (``GDI_EDGE_*``).  As in Listing 1,
+#: ``GDI_EDGE_UNDIRECTED`` used as a selector retrieves every edge.
+GDI_EDGE_OUTGOING = EdgeOrientation.OUTGOING
+GDI_EDGE_INCOMING = EdgeOrientation.INCOMING
+GDI_EDGE_UNDIRECTED = EdgeOrientation.ANY
+
+
+# -- database & metadata ----------------------------------------------------
+def GDI_CreateDatabase(ctx, config: GdaConfig | None = None) -> GdaDatabase:
+    return GdaDatabase.create(ctx, config)
+
+
+def GDI_CreateLabel(name: str, db: GdaDatabase, ctx) -> Label:
+    return db.create_label(ctx, name)
+
+
+def GDI_CreatePropertyType(name: str, db: GdaDatabase, ctx, **hints) -> PropertyType:
+    return db.create_property_type(ctx, name, **hints)
+
+
+def GDI_GetLabel(name: str, db: GdaDatabase, ctx) -> Label:
+    return db.label(ctx, name)
+
+
+def GDI_GetPropertyType(name: str, db: GdaDatabase, ctx) -> PropertyType:
+    return db.property_type(ctx, name)
+
+
+# -- transactions -------------------------------------------------------------
+def GDI_StartTransaction(db: GdaDatabase, ctx, write: bool = True) -> Transaction:
+    return db.start_transaction(ctx, write=write)
+
+
+def GDI_StartCollectiveTransaction(
+    db: GdaDatabase, ctx, write: bool = False
+) -> Transaction:
+    return db.start_collective_transaction(ctx, write=write)
+
+
+def GDI_CloseTransaction(trans_obj: Transaction) -> None:
+    trans_obj.commit()
+
+
+def GDI_CloseCollectiveTransaction(trans_obj: Transaction) -> None:
+    trans_obj.commit()
+
+
+def GDI_AbortTransaction(trans_obj: Transaction) -> None:
+    trans_obj.abort()
+
+
+# -- vertices -------------------------------------------------------------------
+def GDI_TranslateVertexID(vID_app: int, trans_obj: Transaction) -> int:
+    return trans_obj.translate_vertex_id(vID_app)
+
+
+def GDI_CreateVertex(vID_app: int, trans_obj: Transaction) -> VertexHandle:
+    return trans_obj.create_vertex(vID_app)
+
+
+def GDI_AssociateVertex(vID: int, trans_obj: Transaction) -> VertexHandle:
+    return trans_obj.associate_vertex(vID)
+
+
+def GDI_FreeVertex(vH: VertexHandle) -> None:
+    """Delete the vertex (the spec folds delete into handle freeing)."""
+    vH.delete()
+
+
+def GDI_GetAllLabelsOfVertex(vH: VertexHandle) -> list[Label]:
+    return vH.labels()
+
+
+def GDI_AddLabelToVertex(label: Label, vH: VertexHandle) -> None:
+    vH.add_label(label)
+
+
+def GDI_RemoveLabelFromVertex(label: Label, vH: VertexHandle) -> None:
+    vH.remove_label(label)
+
+
+def GDI_GetPropertiesOfVertex(ptype: PropertyType, vH: VertexHandle) -> list[Any]:
+    return vH.properties(ptype)
+
+
+def GDI_AddPropertyToVertex(
+    value: Any, ptype: PropertyType, vH: VertexHandle
+) -> None:
+    vH.add_property(ptype, value)
+
+
+def GDI_UpdatePropertyOfVertex(
+    value: Any, ptype: PropertyType, vH: VertexHandle
+) -> None:
+    vH.set_property(ptype, value)
+
+
+def GDI_RemovePropertiesOfVertex(ptype: PropertyType, vH: VertexHandle) -> int:
+    return vH.remove_properties(ptype)
+
+
+def GDI_GetEdgesOfVertex(
+    orientation: EdgeOrientation,
+    vH: VertexHandle,
+    constraint: Constraint | None = None,
+) -> list[EdgeHandle]:
+    return vH.edges(orientation, constraint)
+
+
+def GDI_GetNeighborVerticesOfVertex(
+    orientation: EdgeOrientation,
+    vH: VertexHandle,
+    constraint: Constraint | None = None,
+) -> list[int]:
+    return vH.neighbors(orientation, constraint)
+
+
+# -- edges -----------------------------------------------------------------------
+def GDI_CreateEdge(
+    src: VertexHandle,
+    dst: VertexHandle,
+    trans_obj: Transaction,
+    *,
+    label: Label | None = None,
+    directed: bool = True,
+    properties=(),
+) -> EdgeHandle:
+    return trans_obj.create_edge(
+        src, dst, label=label, directed=directed, properties=properties
+    )
+
+
+def GDI_AssociateEdge(eID: bytes, trans_obj: Transaction) -> EdgeHandle:
+    return trans_obj.associate_edge(eID)
+
+
+def GDI_FreeEdge(eH: EdgeHandle) -> None:
+    eH.delete()
+
+
+def GDI_GetAllLabelsOfEdge(eH: EdgeHandle) -> list[Label]:
+    return eH.labels()
+
+
+def GDI_GetPropertiesOfEdge(ptype: PropertyType, eH: EdgeHandle) -> list[Any]:
+    return eH.properties(ptype)
+
+
+def GDI_UpdatePropertyOfEdge(value: Any, ptype: PropertyType, eH: EdgeHandle) -> None:
+    eH.set_property(ptype, value)
+
+
+def GDI_GetVerticesOfEdge(eH: EdgeHandle) -> tuple[int, int]:
+    return eH.endpoints()
+
+
+# -- indexes ----------------------------------------------------------------------
+def GDI_CreateIndex(name: str, constraint: Constraint, db: GdaDatabase, ctx):
+    return db.create_index(ctx, name, constraint)
+
+
+def GDI_GetLocalVerticesOfIndex(index, ctx, trans_obj: Transaction) -> list[int]:
+    del trans_obj  # index reads are eventually consistent (Section 3.8)
+    return index.local_vertices(ctx)

@@ -1,0 +1,84 @@
+"""GDI constants: error codes, edge orientations, entity classes, size types.
+
+Names follow the GDI specification's ``GDI_*`` conventions so that the
+examples in the paper (Listings 1-3) translate line-by-line.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, IntFlag
+
+__all__ = [
+    "ErrorCode",
+    "EdgeOrientation",
+    "EntityType",
+    "SizeType",
+    "Multiplicity",
+    "TransactionType",
+]
+
+
+class ErrorCode(IntEnum):
+    """GDI return codes.
+
+    ``TRANSACTION_CRITICAL``-class codes guarantee the transaction will
+    fail (Section 3.3); GDI offers no retry — the user must start a new
+    transaction.
+    """
+
+    SUCCESS = 0
+    ERROR_ARGUMENT = 1
+    ERROR_NOT_FOUND = 2
+    ERROR_OBJECT_MISMATCH = 3
+    ERROR_STATE = 4
+    ERROR_NO_MEMORY = 5
+    ERROR_TRANSACTION_CRITICAL = 16
+    ERROR_LOCK_FAILED = 17
+    ERROR_STALE_METADATA = 18
+    ERROR_READ_ONLY = 19
+    ERROR_NON_UNIQUE_ID = 20
+    ERROR_SIZE_LIMIT = 21
+
+
+class EdgeOrientation(IntFlag):
+    """Edge direction selectors (``GDI_EDGE_*`` in the spec)."""
+
+    OUTGOING = 1
+    INCOMING = 2
+    UNDIRECTED = 4
+    #: Any orientation: convenience mask used by neighborhood queries.
+    ANY = OUTGOING | INCOMING | UNDIRECTED
+
+
+class EntityType(IntFlag):
+    """What kind of graph element a property type may attach to."""
+
+    VERTEX = 1
+    EDGE = 2
+    BOTH = VERTEX | EDGE
+
+
+class SizeType(IntEnum):
+    """Size declaration of a property type (Section 3.7).
+
+    Declaring fixed or bounded sizes lets the implementation lay values
+    out without per-value length scans.
+    """
+
+    FIXED = 0  # exactly `size_limit` elements
+    MAX = 1  # at most `size_limit` elements
+    UNBOUNDED = 2  # no declared limit
+
+
+class Multiplicity(IntEnum):
+    """May a single vertex/edge carry multiple entries of one p-type?"""
+
+    SINGLE = 0
+    MULTI = 1
+
+
+class TransactionType(IntEnum):
+    """Local (single-process) vs collective transactions (Section 3.3)."""
+
+    LOCAL = 0
+    COLLECTIVE = 1

@@ -1,0 +1,163 @@
+"""GDI constraints: boolean formulas in disjunctive normal form (DNF).
+
+Constraints (Section 3.6) describe conditions on labels and properties.
+They are the query language of explicit indexes and of filtered
+neighborhood traversals (e.g. Listing 3's edge-label filter).  A
+constraint is a disjunction of conjunctions of atomic conditions:
+
+* :class:`LabelCondition` — a label is present (or absent),
+* :class:`PropertyCondition` — a property compares against a value, or
+  merely exists/is absent.
+
+Evaluation happens against the decoded label list and property entries of
+one vertex or edge.  Multi-entry property types satisfy a comparison if
+*any* entry does.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from .errors import GdiInvalidArgument
+from .types import Datatype, decode_value
+
+__all__ = ["LabelCondition", "PropertyCondition", "Constraint"]
+
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _compare(op: str, stored: Any, wanted: Any) -> bool:
+    if isinstance(stored, np.ndarray) or isinstance(wanted, np.ndarray):
+        if op == "==":
+            return bool(np.array_equal(stored, wanted))
+        if op == "!=":
+            return not np.array_equal(stored, wanted)
+        raise GdiInvalidArgument(f"operator {op!r} not defined for arrays")
+    try:
+        return bool(_OPS[op](stored, wanted))
+    except TypeError as exc:
+        raise GdiInvalidArgument(
+            f"cannot compare {stored!r} {op} {wanted!r}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class LabelCondition:
+    """The element carries (``present=True``) or lacks a label."""
+
+    label_id: int
+    present: bool = True
+
+    def evaluate(self, labels: Sequence[int], properties, dtype_of) -> bool:
+        return (self.label_id in labels) == self.present
+
+
+@dataclass(frozen=True)
+class PropertyCondition:
+    """A property of the element compares against a constant.
+
+    ``op`` is one of ``== != < <= > >= exists absent``.  For ``exists`` /
+    ``absent`` the ``value`` field is ignored.
+    """
+
+    ptype_id: int
+    op: str = "exists"
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS and self.op not in ("exists", "absent"):
+            raise GdiInvalidArgument(f"unknown property operator {self.op!r}")
+
+    def evaluate(
+        self,
+        labels,
+        properties: Sequence[tuple[int, bytes]],
+        dtype_of: Callable[[int], Datatype],
+    ) -> bool:
+        entries = [blob for pid, blob in properties if pid == self.ptype_id]
+        if self.op == "exists":
+            return bool(entries)
+        if self.op == "absent":
+            return not entries
+        dtype = dtype_of(self.ptype_id)
+        return any(
+            _compare(self.op, decode_value(dtype, blob), self.value)
+            for blob in entries
+        )
+
+
+Condition = LabelCondition | PropertyCondition
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A DNF formula: ``OR`` over conjunctions, each ``AND`` of conditions.
+
+    An empty disjunction is unsatisfiable; an empty conjunction is
+    trivially true (so ``Constraint.true()`` matches everything).
+    """
+
+    conjunctions: tuple[tuple[Condition, ...], ...]
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def of(cls, *conjunctions: Iterable[Condition]) -> "Constraint":
+        return cls(tuple(tuple(c) for c in conjunctions))
+
+    @classmethod
+    def true(cls) -> "Constraint":
+        return cls(((),))
+
+    @classmethod
+    def false(cls) -> "Constraint":
+        return cls(())
+
+    @classmethod
+    def has_label(cls, label_id: int) -> "Constraint":
+        return cls.of([LabelCondition(label_id)])
+
+    @classmethod
+    def lacks_label(cls, label_id: int) -> "Constraint":
+        return cls.of([LabelCondition(label_id, present=False)])
+
+    @classmethod
+    def prop(cls, ptype_id: int, op: str = "exists", value: Any = None) -> "Constraint":
+        return cls.of([PropertyCondition(ptype_id, op, value)])
+
+    # -- combinators (stay in DNF) ---------------------------------------
+    def __or__(self, other: "Constraint") -> "Constraint":
+        return Constraint(self.conjunctions + other.conjunctions)
+
+    def __and__(self, other: "Constraint") -> "Constraint":
+        combined = tuple(
+            a + b for a in self.conjunctions for b in other.conjunctions
+        )
+        return Constraint(combined)
+
+    # -- evaluation ---------------------------------------------------------
+    def evaluate(
+        self,
+        labels: Sequence[int],
+        properties: Sequence[tuple[int, bytes]],
+        dtype_of: Callable[[int], Datatype],
+    ) -> bool:
+        return any(
+            all(cond.evaluate(labels, properties, dtype_of) for cond in conj)
+            for conj in self.conjunctions
+        )
+
+    @property
+    def n_conditions(self) -> int:
+        return sum(len(c) for c in self.conjunctions)

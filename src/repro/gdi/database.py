@@ -1,0 +1,45 @@
+"""GDI database management: the public entry point of the library.
+
+``GraphDatabase`` is the GDI database object.  Per the layering of the
+paper (Figure 1), the *specification* lives in :mod:`repro.gdi` while the
+*implementation* is GDI-RMA in :mod:`repro.gda`; the facade here is what a
+database mid-layer (or a direct GDI client) programs against.
+
+Quick tour::
+
+    from repro.rma import run_spmd
+    from repro.gdi import GraphDatabase
+
+    def app(ctx):
+        db = GraphDatabase.create(ctx)                # collective
+        person = db.create_label(ctx, "Person")
+        age = db.create_property_type(ctx, "age", dtype=Datatype.INT64)
+        with db.start_transaction(ctx, write=True) as tx:
+            v = tx.create_vertex(app_id=1, labels=[person])
+            v.set_property(age, 42)
+            tx.commit()
+
+    run_spmd(4, app)
+"""
+
+from __future__ import annotations
+
+__all__ = ["GraphDatabase", "GdaConfig", "create_database"]
+
+# The implementation lives in repro.gda, which itself imports the GDI
+# specification modules; resolve lazily (PEP 562) to avoid the cycle.
+
+
+def __getattr__(name: str):
+    if name in ("GraphDatabase", "GdaConfig"):
+        from ..gda.database_impl import GdaConfig, GdaDatabase
+
+        return {"GraphDatabase": GdaDatabase, "GdaConfig": GdaConfig}[name]
+    raise AttributeError(name)
+
+
+def create_database(ctx, config=None):
+    """``GDI_CreateDatabase``: collectively create a database instance."""
+    from ..gda.database_impl import GdaDatabase
+
+    return GdaDatabase.create(ctx, config)

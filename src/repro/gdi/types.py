@@ -1,0 +1,107 @@
+"""GDI datatypes and property-value (de)serialization.
+
+GDI lets the user declare the datatype of a property type's values
+(Section 3.7), which enables compact fixed-width storage.  This module
+defines the supported datatypes and converts Python values to/from the
+byte payloads stored in holder entry streams
+(:mod:`repro.gda.entries`).
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+from .errors import GdiInvalidArgument
+
+__all__ = ["Datatype", "encode_value", "decode_value", "value_nbytes"]
+
+
+class Datatype(Enum):
+    """Datatypes of property values (``GDI_*`` datatype constants)."""
+
+    INT64 = "int64"
+    DOUBLE = "double"
+    BOOL = "bool"
+    STRING = "string"  # UTF-8
+    BYTES = "bytes"
+    INT64_ARRAY = "int64_array"
+    DOUBLE_ARRAY = "double_array"  # e.g. GNN feature vectors
+
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def encode_value(dtype: Datatype, value: Any) -> bytes:
+    """Serialize a property value of the given datatype to bytes."""
+    try:
+        if dtype is Datatype.INT64:
+            return _I64.pack(int(value))
+        if dtype is Datatype.DOUBLE:
+            return _F64.pack(float(value))
+        if dtype is Datatype.BOOL:
+            return b"\x01" if value else b"\x00"
+        if dtype is Datatype.STRING:
+            if not isinstance(value, str):
+                raise GdiInvalidArgument(f"expected str, got {type(value).__name__}")
+            return value.encode("utf-8")
+        if dtype is Datatype.BYTES:
+            if not isinstance(value, (bytes, bytearray, memoryview)):
+                raise GdiInvalidArgument(
+                    f"expected bytes, got {type(value).__name__}"
+                )
+            return bytes(value)
+        if dtype is Datatype.INT64_ARRAY:
+            arr = np.asarray(value, dtype=np.int64)
+            return arr.tobytes()
+        if dtype is Datatype.DOUBLE_ARRAY:
+            arr = np.asarray(value, dtype=np.float64)
+            return arr.tobytes()
+    except (struct.error, OverflowError, TypeError, ValueError) as exc:
+        raise GdiInvalidArgument(
+            f"cannot encode {value!r} as {dtype.value}: {exc}"
+        ) from exc
+    raise GdiInvalidArgument(f"unknown datatype {dtype!r}")
+
+
+def decode_value(dtype: Datatype, blob: bytes) -> Any:
+    """Deserialize a property payload back into a Python value."""
+    try:
+        if dtype is Datatype.INT64:
+            return _I64.unpack(blob)[0]
+        if dtype is Datatype.DOUBLE:
+            return _F64.unpack(blob)[0]
+        if dtype is Datatype.BOOL:
+            return blob != b"\x00"
+        if dtype is Datatype.STRING:
+            return blob.decode("utf-8")
+        if dtype is Datatype.BYTES:
+            return bytes(blob)
+        if dtype is Datatype.INT64_ARRAY:
+            return np.frombuffer(blob, dtype=np.int64).copy()
+        if dtype is Datatype.DOUBLE_ARRAY:
+            return np.frombuffer(blob, dtype=np.float64).copy()
+    except (struct.error, UnicodeDecodeError, ValueError) as exc:
+        raise GdiInvalidArgument(
+            f"cannot decode {len(blob)}-byte payload as {dtype.value}: {exc}"
+        ) from exc
+    raise GdiInvalidArgument(f"unknown datatype {dtype!r}")
+
+
+def value_nbytes(dtype: Datatype, value: Any) -> int:
+    """Size in bytes of the encoded payload (element count for arrays)."""
+    if dtype in (Datatype.INT64, Datatype.DOUBLE):
+        return 8
+    if dtype is Datatype.BOOL:
+        return 1
+    if dtype is Datatype.STRING:
+        return len(value.encode("utf-8"))
+    if dtype is Datatype.BYTES:
+        return len(value)
+    if dtype in (Datatype.INT64_ARRAY, Datatype.DOUBLE_ARRAY):
+        return 8 * int(np.asarray(value).size)
+    raise GdiInvalidArgument(f"unknown datatype {dtype!r}")

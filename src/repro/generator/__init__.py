@@ -1,0 +1,30 @@
+"""Distributed in-memory LPG graph generator (paper contribution #5).
+
+Kronecker edge sampling in the Graph500 style (:mod:`.kronecker`),
+configurable label/property schemas defaulting to the paper's 20 labels
+and 13 property types (:mod:`.schema`), and bulk materialization into a
+GDA database (:mod:`.lpg`).
+"""
+
+from .kronecker import KroneckerParams, edge_slice, generate_edges, scramble
+from .lpg import (
+    GeneratedGraph,
+    build_lpg,
+    build_lpg_from_edges,
+    create_schema_metadata,
+)
+from .schema import LpgSchema, PropertySpec, default_schema
+
+__all__ = [
+    "KroneckerParams",
+    "edge_slice",
+    "generate_edges",
+    "scramble",
+    "GeneratedGraph",
+    "build_lpg",
+    "build_lpg_from_edges",
+    "create_schema_metadata",
+    "LpgSchema",
+    "PropertySpec",
+    "default_schema",
+]

@@ -1,0 +1,113 @@
+"""Graph500-style Kronecker edge generator (paper Section 6.3).
+
+The paper bases its distributed in-memory LPG generator on the Graph500
+reference code, which samples edges from the Kronecker random-graph model
+[Leskovec et al., JMLR 2010] with initiator matrix ``[[A, B], [C, D]]``
+(defaults A=0.57, B=0.19, C=0.19, D=0.05 — the Graph500 parameters).  A
+graph of *scale* ``s`` and *edge factor* ``e`` has ``2**s`` vertices and
+``e * 2**s`` edges with a heavy-tail skewed degree distribution.
+
+The sampler is vectorized with NumPy (one column of random draws per
+Kronecker level) and sharded deterministically: rank ``r`` of ``P``
+generates its contiguous slice of the global edge list from a seed derived
+from ``(seed, r)``, so the same (seed, scale, efactor) always yields the
+same global graph regardless of ``P``'s value only through slicing.
+Vertex IDs are scrambled by a fixed pseudo-random permutation, as in
+Graph500, so that vertex index carries no structural information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KroneckerParams", "generate_edges", "edge_slice", "scramble"]
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class KroneckerParams:
+    """Parameters of one Kronecker graph."""
+
+    scale: int
+    edge_factor: int = 16
+    a: float = 0.57
+    b: float = 0.19
+    c: float = 0.19
+    seed: int = 1
+
+    @property
+    def n_vertices(self) -> int:
+        return 1 << self.scale
+
+    @property
+    def n_edges(self) -> int:
+        return self.edge_factor * self.n_vertices
+
+    @property
+    def d(self) -> float:
+        return 1.0 - self.a - self.b - self.c
+
+
+def scramble(ids: np.ndarray, scale: int, seed: int) -> np.ndarray:
+    """Permute vertex IDs with a deterministic bijection on [0, 2**scale).
+
+    Uses a two-round multiply-xor-shift (a Feistel-free bijection modulo a
+    power of two: odd-multiplier affine maps and xorshifts are invertible),
+    matching Graph500's intent of destroying the correlation between
+    vertex index and degree.
+    """
+    n_bits = scale
+    mask = (1 << n_bits) - 1
+    x = ids.astype(np.uint64) & np.uint64(mask)
+    mult1 = np.uint64(((seed * 2 + 1) * 0x9E3779B9 | 1) & mask) | np.uint64(1)
+    mult2 = np.uint64(((seed * 6 + 5) * 0x85EBCA6B | 1) & mask) | np.uint64(1)
+    half = np.uint64(max(1, n_bits // 2))
+    with np.errstate(over="ignore"):
+        x = (x * mult1) & np.uint64(mask)
+        x ^= x >> half
+        x = (x * mult2) & np.uint64(mask)
+        x ^= x >> half
+        x = (x * mult1) & np.uint64(mask)
+    return x.astype(np.int64)
+
+
+def edge_slice(n_edges: int, rank: int, nranks: int) -> tuple[int, int]:
+    """Contiguous [start, stop) slice of the global edge list for a rank."""
+    base = n_edges // nranks
+    extra = n_edges % nranks
+    start = rank * base + min(rank, extra)
+    stop = start + base + (1 if rank < extra else 0)
+    return start, stop
+
+
+def generate_edges(
+    params: KroneckerParams, rank: int = 0, nranks: int = 1
+) -> np.ndarray:
+    """Generate this rank's shard of the edge list.
+
+    Returns an ``(m_local, 2)`` int64 array of (src, dst) vertex IDs in
+    ``[0, 2**scale)``.  Fully deterministic in ``(params, rank, nranks)``.
+    """
+    start, stop = edge_slice(params.n_edges, rank, nranks)
+    m = stop - start
+    if m == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=params.seed, spawn_key=(rank, nranks))
+    )
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = params.a + params.b
+    a_norm = params.a / ab
+    c_norm = params.c / max(1e-12, (params.c + params.d))
+    for bit in range(params.scale):
+        ii = rng.random(m) > ab
+        jj = rng.random(m) > np.where(ii, c_norm, a_norm)
+        src += ii.astype(np.int64) << bit
+        dst += jj.astype(np.int64) << bit
+    src = scramble(src, params.scale, params.seed)
+    dst = scramble(dst, params.scale, params.seed)
+    return np.stack([src, dst], axis=1)

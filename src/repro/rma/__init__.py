@@ -1,0 +1,43 @@
+"""Simulated RMA substrate: the repository's stand-in for foMPI / MPI-3 RMA.
+
+Provides windows, one-sided puts/gets/atomics/flushes, MPI-style
+collectives, SPMD executors, and a LogGP-style network cost model.  See
+DESIGN.md for how this substitutes for the Cray Aries hardware used in the
+paper.
+"""
+
+from .costmodel import (
+    UNIFORM,
+    XC40,
+    XC50,
+    ZERO_COST,
+    CostModel,
+    MachineProfile,
+    log2ceil,
+)
+from .executor import InterleavingScheduler, SpmdError, ThreadExecutor, run_spmd
+from .runtime import RankContext, Request, RmaError, RmaRuntime
+from .trace import RankCounters, TraceRecorder
+from .window import Window, WindowError
+
+__all__ = [
+    "CostModel",
+    "MachineProfile",
+    "UNIFORM",
+    "XC40",
+    "XC50",
+    "ZERO_COST",
+    "log2ceil",
+    "InterleavingScheduler",
+    "SpmdError",
+    "ThreadExecutor",
+    "run_spmd",
+    "RankContext",
+    "RmaError",
+    "RmaRuntime",
+    "Request",
+    "RankCounters",
+    "TraceRecorder",
+    "Window",
+    "WindowError",
+]

@@ -1,0 +1,277 @@
+"""Collective communication for the simulated RMA substrate.
+
+GDI prescribes collective routines with MPI semantics (paper Section 3.2);
+GDI-RMA uses them for collective transactions, bulk ingestion, and global
+reductions in OLAP queries.  This module provides barrier, bcast, reduce,
+allreduce, gather, allgather, scatter, alltoall, and scan over the ranks of
+one :class:`repro.rma.runtime.RmaRuntime`.
+
+Implementation: rank threads rendezvous through a generation-numbered
+exchange (every participant deposits a contribution, the last arrival
+publishes the round, every participant then reads all contributions).  The
+*simulated* cost charged to each rank follows the binomial-tree /
+dissemination models in :mod:`repro.rma.costmodel`: collectives also act as
+clock synchronization points, so after a collective every participant's
+clock equals ``max(entry clocks) + collective cost`` — exactly the
+semantics of a synchronizing MPI collective.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+__all__ = ["CollectiveEngine", "CollectiveAbort", "REDUCE_OPS", "payload_nbytes"]
+
+
+class CollectiveAbort(RuntimeError):
+    """Raised in every waiting rank when a peer dies mid-collective."""
+
+
+def _sum(a, b):
+    return a + b
+
+
+def _max(a, b):
+    return a if a >= b else b
+
+
+def _min(a, b):
+    return a if a <= b else b
+
+
+def _prod(a, b):
+    return a * b
+
+
+def _land(a, b):
+    return bool(a) and bool(b)
+
+
+def _lor(a, b):
+    return bool(a) or bool(b)
+
+
+#: Named reduction operators accepted wherever an ``op`` is expected.
+REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": _sum,
+    "max": _max,
+    "min": _min,
+    "prod": _prod,
+    "land": _land,
+    "lor": _lor,
+}
+
+
+def payload_nbytes(value: Any) -> int:
+    """Best-effort estimate of a contribution's wire size in bytes.
+
+    Exact sizes matter only for the bandwidth term of the cost model;
+    unknown Python objects are charged a flat 64 bytes.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, (int, float, bool)):
+        return 8
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(value, (list, tuple)):
+        return sum(payload_nbytes(v) for v in value) or 8
+    if isinstance(value, str):
+        return len(value.encode())
+    if isinstance(value, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in value.items()) or 8
+    return 64
+
+
+def _resolve_op(op) -> Callable[[Any, Any], Any]:
+    if callable(op):
+        return op
+    try:
+        return REDUCE_OPS[op]
+    except KeyError:
+        raise ValueError(f"unknown reduction op {op!r}") from None
+
+
+class CollectiveEngine:
+    """Rendezvous-based collective engine shared by all ranks of a runtime."""
+
+    def __init__(self, runtime) -> None:
+        self._rt = runtime
+        self._nranks = runtime.nranks
+        self._cond = threading.Condition()
+        self._generation = 0
+        self._arrived = 0
+        self._slots: dict[int, list] = {}
+        self._ready: set[int] = set()
+        self._left: dict[int, int] = {}
+        self._poisoned: BaseException | None = None
+
+    # -- failure handling -------------------------------------------------
+    def poison(self, exc: BaseException) -> None:
+        """Wake every waiting rank with :class:`CollectiveAbort`.
+
+        Called by the executor when any rank raises, so sibling ranks do
+        not hang forever inside a half-entered collective.
+        """
+        with self._cond:
+            self._poisoned = exc
+            self._cond.notify_all()
+
+    def _check_poison(self) -> None:
+        if self._poisoned is not None:
+            raise CollectiveAbort(
+                f"collective aborted: peer rank failed ({self._poisoned!r})"
+            )
+
+    # -- core rendezvous ---------------------------------------------------
+    def _exchange(self, rank: int, value: Any) -> list:
+        """Deposit ``value`` and return the list of all contributions."""
+        with self._cond:
+            self._check_poison()
+            gen = self._generation
+            slots = self._slots.setdefault(gen, [None] * self._nranks)
+            slots[rank] = value
+            self._arrived += 1
+            if self._arrived == self._nranks:
+                self._arrived = 0
+                self._generation += 1
+                self._ready.add(gen)
+                self._cond.notify_all()
+            else:
+                while gen not in self._ready:
+                    self._check_poison()
+                    self._cond.wait(timeout=0.5)
+            result = self._slots[gen]
+            self._left[gen] = self._left.get(gen, 0) + 1
+            if self._left[gen] == self._nranks:
+                del self._slots[gen]
+                del self._left[gen]
+                self._ready.discard(gen)
+            return result
+
+    def _entry_clock(self, rank: int) -> float:
+        """A rank enters a collective no earlier than its NIC is drained."""
+        return self._rt.effective_clock(rank)
+
+    def _sync_clocks(self, rank: int, cost: float, clocks: Sequence[float]) -> None:
+        """Advance this rank's clock to ``max(entry clocks) + cost``.
+
+        Entry clocks already include receiver-side NIC service, so the
+        rank's service horizon is absorbed into the synchronized clock.
+        """
+        self._rt.clocks[rank] = max(clocks) + cost
+        # The NIC-busy horizon was included in the entry clocks, so after
+        # the synchronization the NIC is considered drained: advance the
+        # horizon to the synced clock (future service extends from here).
+        with self._rt._atomic_locks[rank]:
+            self._rt.service[rank] = max(
+                self._rt.service[rank], self._rt.clocks[rank]
+            )
+        self._rt.trace.record("collective", rank, rank, "-", 0, 0)
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self, rank: int) -> None:
+        contribs = self._exchange(rank, self._entry_clock(rank))
+        self._sync_clocks(rank, self._rt.cost.barrier(self._nranks), contribs)
+
+    def bcast(self, rank: int, value: Any, root: int = 0) -> Any:
+        contribs = self._exchange(rank, (self._entry_clock(rank), value))
+        clocks = [c for c, _ in contribs]
+        result = contribs[root][1]
+        cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(result))
+        self._sync_clocks(rank, cost, clocks)
+        return result
+
+    def reduce(self, rank: int, value: Any, op="sum", root: int = 0) -> Any:
+        fn = _resolve_op(op)
+        contribs = self._exchange(rank, (self._entry_clock(rank), value))
+        clocks = [c for c, _ in contribs]
+        cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(value))
+        self._sync_clocks(rank, cost, clocks)
+        if rank != root:
+            return None
+        acc = contribs[0][1]
+        for _, v in contribs[1:]:
+            acc = fn(acc, v)
+        return acc
+
+    def allreduce(self, rank: int, value: Any, op="sum") -> Any:
+        fn = _resolve_op(op)
+        contribs = self._exchange(rank, (self._entry_clock(rank), value))
+        clocks = [c for c, _ in contribs]
+        cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(value))
+        self._sync_clocks(rank, cost, clocks)
+        acc = contribs[0][1]
+        for _, v in contribs[1:]:
+            acc = fn(acc, v)
+        return acc
+
+    def gather(self, rank: int, value: Any, root: int = 0) -> list | None:
+        contribs = self._exchange(rank, (self._entry_clock(rank), value))
+        clocks = [c for c, _ in contribs]
+        cost = self._rt.cost.gather(self._nranks, payload_nbytes(value))
+        self._sync_clocks(rank, cost, clocks)
+        if rank != root:
+            return None
+        return [v for _, v in contribs]
+
+    def allgather(self, rank: int, value: Any) -> list:
+        contribs = self._exchange(rank, (self._entry_clock(rank), value))
+        clocks = [c for c, _ in contribs]
+        cost = self._rt.cost.gather(self._nranks, payload_nbytes(value))
+        self._sync_clocks(rank, cost, clocks)
+        return [v for _, v in contribs]
+
+    def scatter(self, rank: int, values: Sequence | None, root: int = 0) -> Any:
+        if rank == root:
+            if values is None or len(values) != self._nranks:
+                raise ValueError(
+                    "scatter root must supply exactly one value per rank"
+                )
+        contribs = self._exchange(rank, (self._entry_clock(rank), values))
+        clocks = [c for c, _ in contribs]
+        root_values = contribs[root][1]
+        cost = self._rt.cost.tree_collective(
+            self._nranks, payload_nbytes(root_values[rank])
+        )
+        self._sync_clocks(rank, cost, clocks)
+        return root_values[rank]
+
+    def alltoall(self, rank: int, values: Sequence) -> list:
+        """Personalized exchange: ``values[j]`` is sent to rank ``j``."""
+        if len(values) != self._nranks:
+            raise ValueError("alltoall requires exactly one value per peer")
+        contribs = self._exchange(rank, (self._entry_clock(rank), list(values)))
+        clocks = [c for c, _ in contribs]
+        per_pair = max(payload_nbytes(v) for v in values) if values else 0
+        cost = self._rt.cost.alltoall(self._nranks, per_pair)
+        self._sync_clocks(rank, cost, clocks)
+        return [contribs[src][1][rank] for src in range(self._nranks)]
+
+    def scan(self, rank: int, value: Any, op="sum") -> Any:
+        """Inclusive prefix reduction over rank order."""
+        fn = _resolve_op(op)
+        contribs = self._exchange(rank, (self._entry_clock(rank), value))
+        clocks = [c for c, _ in contribs]
+        cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(value))
+        self._sync_clocks(rank, cost, clocks)
+        acc = contribs[0][1]
+        for _, v in contribs[1 : rank + 1]:
+            acc = fn(acc, v)
+        return acc
+
+    def exscan(self, rank: int, value: Any, op="sum", initial: Any = 0) -> Any:
+        """Exclusive prefix reduction; rank 0 receives ``initial``."""
+        fn = _resolve_op(op)
+        contribs = self._exchange(rank, (self._entry_clock(rank), value))
+        clocks = [c for c, _ in contribs]
+        cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(value))
+        self._sync_clocks(rank, cost, clocks)
+        acc = initial
+        for _, v in contribs[:rank]:
+            acc = fn(acc, v)
+        return acc

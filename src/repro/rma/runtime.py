@@ -1,0 +1,424 @@
+"""The simulated RMA runtime: ranks, windows, and one-sided operations.
+
+This is the repository's stand-in for foMPI / MPI-3 RMA on Cray hardware
+(paper Section 5.1).  It provides the exact operation vocabulary the paper
+builds GDI-RMA from::
+
+    GET(local, remote)         PUT(local, remote)
+    CAS(new, compare, result, remote)
+    APUT / AGET                flush
+
+Every operation charges simulated time into per-rank clocks via
+:class:`repro.rma.costmodel.CostModel` and increments the counters in
+:class:`repro.rma.trace.TraceRecorder`.  Remote atomics serialize through a
+per-target lock, mimicking the NIC atomic unit of RDMA hardware, so the
+lock-free algorithms layered on top (block allocator, DHT, RW locks)
+experience genuine concurrency semantics when driven by threads.
+
+Non-blocking operations: the paper issues non-blocking puts/gets and
+completes them with flushes, overlapping communication with computation.
+Two flavours exist here:
+
+* blocking ``put``/``get`` — data moves and the full one-sided cost is
+  charged at issue;
+* non-blocking ``iput``/``iget`` — data moves immediately (remote memory
+  is consistent right away, as it would be by completion time on real
+  hardware), but only a small CPU injection overhead is charged at issue;
+  the *network* cost is charged at the completing ``flush``, where
+  messages to the same window overlap: one latency term plus the summed
+  bandwidth term, instead of one latency per message.  ``Request.wait()``
+  completes a single operation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from .collectives import CollectiveEngine
+from .costmodel import UNIFORM, CostModel, MachineProfile
+from .trace import TraceRecorder
+from .window import Window, WindowError
+
+__all__ = ["RmaRuntime", "RankContext", "RmaError"]
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+class RmaError(RuntimeError):
+    """Raised on invalid use of the RMA runtime."""
+
+
+def _wrap_i64(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's complement."""
+    value &= (1 << 64) - 1
+    if value > _I64_MAX:
+        value -= 1 << 64
+    return value
+
+
+class _PendingOp:
+    """A non-blocking operation awaiting its completing flush."""
+
+    __slots__ = ("win_name", "target", "nbytes", "done")
+
+    def __init__(self, win_name: str, target: int, nbytes: int) -> None:
+        self.win_name = win_name
+        self.target = target
+        self.nbytes = nbytes
+        self.done = False
+
+
+class Request:
+    """Handle of a non-blocking operation (MPI_Request analogue).
+
+    ``wait()`` completes this single operation (charging its network cost
+    unless a window flush already covered it); for ``iget`` the fetched
+    bytes are available via :meth:`result` after completion.
+    """
+
+    __slots__ = ("_ctx", "_op", "_data")
+
+    def __init__(self, ctx: "RankContext", op: _PendingOp, data: bytes | None) -> None:
+        self._ctx = ctx
+        self._op = op
+        self._data = data
+
+    @property
+    def completed(self) -> bool:
+        return self._op.done
+
+    def wait(self) -> None:
+        if not self._op.done:
+            self._ctx._complete_pending(
+                lambda op: op is self._op
+            )
+
+    def result(self) -> bytes:
+        """The data of an ``iget`` (only valid after completion)."""
+        if not self._op.done:
+            raise RmaError("request not yet completed; call wait()/flush()")
+        if self._data is None:
+            raise RmaError("request carries no data (it was a put)")
+        return self._data
+
+
+class RmaRuntime:
+    """Shared state of one simulated distributed-memory machine.
+
+    Parameters
+    ----------
+    nranks:
+        Number of simulated processes.
+    profile:
+        :class:`~repro.rma.costmodel.MachineProfile` for the cost model.
+    log_ops:
+        Record every individual operation in the trace (slow; tests only).
+    scheduler:
+        Optional interleaving scheduler hook (see
+        :mod:`repro.rma.executor`); ``scheduler.step(rank)`` is invoked
+        before every one-sided operation.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        profile: MachineProfile = UNIFORM,
+        log_ops: bool = False,
+        scheduler=None,
+    ) -> None:
+        if nranks <= 0:
+            raise RmaError("nranks must be positive")
+        self.nranks = nranks
+        self.cost = CostModel(profile)
+        self.trace = TraceRecorder(nranks, log_ops=log_ops)
+        self.clocks = [0.0] * nranks
+        self.scheduler = scheduler
+        self._windows: dict[str, Window] = {}
+        self._windows_lock = threading.Lock()
+        self._pending: list[list[_PendingOp]] = [[] for _ in range(nranks)]
+        #: target-side NIC busy time accumulated by incoming remote ops
+        self.service = [0.0] * nranks
+        self._atomic_locks = [threading.Lock() for _ in range(nranks)]
+        self.collectives = CollectiveEngine(self)
+
+    # -- windows -----------------------------------------------------------
+    def allocate_window(self, name: str, size: int) -> Window:
+        """Allocate a window (driver-side; ranks use ``ctx.win_allocate``)."""
+        with self._windows_lock:
+            if name in self._windows and not self._windows[name].freed:
+                raise RmaError(f"window {name!r} already allocated")
+            win = Window(name, self.nranks, size)
+            self._windows[name] = win
+            return win
+
+    def free_window(self, win: Window) -> None:
+        with self._windows_lock:
+            win.free()
+            self._windows.pop(win.name, None)
+
+    def window(self, name: str) -> Window:
+        try:
+            return self._windows[name]
+        except KeyError:
+            raise RmaError(f"no window named {name!r}") from None
+
+    # -- rank contexts -------------------------------------------------------
+    def context(self, rank: int) -> "RankContext":
+        if not 0 <= rank < self.nranks:
+            raise RmaError(f"bad rank {rank}")
+        return RankContext(self, rank)
+
+    def contexts(self) -> list["RankContext"]:
+        return [self.context(r) for r in range(self.nranks)]
+
+    # -- internals shared by contexts ----------------------------------------
+    def _step(self, rank: int) -> None:
+        if self.scheduler is not None:
+            self.scheduler.step(rank)
+
+    def _charge(self, rank: int, seconds: float) -> None:
+        self.clocks[rank] += seconds
+
+    def _serve(self, origin: int, target: int, nbytes: int) -> None:
+        """Account receiver-side NIC service of one incoming message."""
+        if origin == target:
+            return
+        with self._atomic_locks[target]:
+            self.service[target] += self.cost.target_service(nbytes)
+
+    def effective_clock(self, rank: int) -> float:
+        """A rank's progress bound: own clock or its NIC's busy horizon."""
+        return max(self.clocks[rank], self.service[rank])
+
+    def max_clock(self) -> float:
+        """Makespan: the latest simulated per-rank clock."""
+        return max(self.clocks)
+
+    def reset_clocks(self) -> None:
+        self.clocks = [0.0] * self.nranks
+
+
+class RankContext:
+    """Per-rank facade over the runtime: the SPMD programmer's API.
+
+    One :class:`RankContext` corresponds to one MPI process.  All GDI-RMA
+    code receives a context and never touches the runtime directly, which
+    is what keeps the engine portable across executors.
+    """
+
+    __slots__ = ("rt", "rank", "nranks")
+
+    def __init__(self, runtime: RmaRuntime, rank: int) -> None:
+        self.rt = runtime
+        self.rank = rank
+        self.nranks = runtime.nranks
+
+    # -- one-sided data movement ----------------------------------------------
+    def put(self, win: Window, target: int, offset: int, data: bytes) -> None:
+        """Non-blocking one-sided write of ``data`` into ``target``'s segment."""
+        rt = self.rt
+        rt._step(self.rank)
+        win.write(target, offset, data)
+        rt.trace.record("put", self.rank, target, win.name, offset, len(data))
+        rt._charge(self.rank, rt.cost.onesided(self.rank, target, len(data)))
+        rt._serve(self.rank, target, len(data))
+
+    def get(self, win: Window, target: int, offset: int, nbytes: int) -> bytes:
+        """One-sided read of ``nbytes`` from ``target``'s segment."""
+        rt = self.rt
+        rt._step(self.rank)
+        data = win.read(target, offset, nbytes)
+        rt.trace.record("get", self.rank, target, win.name, offset, nbytes)
+        rt._charge(self.rank, rt.cost.onesided(self.rank, target, nbytes))
+        rt._serve(self.rank, target, nbytes)
+        return data
+
+    # -- remote atomics (64-bit granules) ---------------------------------------
+    def cas(
+        self, win: Window, target: int, offset: int, compare: int, new: int
+    ) -> int:
+        """Remote compare-and-swap; returns the value found at the target."""
+        rt = self.rt
+        rt._step(self.rank)
+        with rt._atomic_locks[target]:
+            old = win.read_i64(target, offset)
+            if old == compare:
+                win.write_i64(target, offset, _wrap_i64(new))
+        rt.trace.record("atomic", self.rank, target, win.name, offset, 8)
+        rt._charge(self.rank, rt.cost.atomic(self.rank, target))
+        rt._serve(self.rank, target, 8)
+        return old
+
+    def faa(self, win: Window, target: int, offset: int, delta: int) -> int:
+        """Remote fetch-and-add; returns the pre-add value."""
+        rt = self.rt
+        rt._step(self.rank)
+        with rt._atomic_locks[target]:
+            old = win.read_i64(target, offset)
+            win.write_i64(target, offset, _wrap_i64(old + delta))
+        rt.trace.record("atomic", self.rank, target, win.name, offset, 8)
+        rt._charge(self.rank, rt.cost.atomic(self.rank, target))
+        rt._serve(self.rank, target, 8)
+        return old
+
+    def aget(self, win: Window, target: int, offset: int) -> int:
+        """Atomic 64-bit read (AGET in the paper's notation)."""
+        rt = self.rt
+        rt._step(self.rank)
+        with rt._atomic_locks[target]:
+            value = win.read_i64(target, offset)
+        rt.trace.record("atomic", self.rank, target, win.name, offset, 8)
+        rt._charge(self.rank, rt.cost.atomic(self.rank, target))
+        rt._serve(self.rank, target, 8)
+        return value
+
+    def aput(self, win: Window, target: int, offset: int, value: int) -> None:
+        """Atomic 64-bit write (APUT)."""
+        rt = self.rt
+        rt._step(self.rank)
+        with rt._atomic_locks[target]:
+            win.write_i64(target, offset, _wrap_i64(value))
+        rt.trace.record("atomic", self.rank, target, win.name, offset, 8)
+        rt._charge(self.rank, rt.cost.atomic(self.rank, target))
+        rt._serve(self.rank, target, 8)
+
+    # -- non-blocking data movement ---------------------------------------------
+    def iput(self, win: Window, target: int, offset: int, data: bytes) -> "Request":
+        """Non-blocking put: issue now, pay the network at the flush."""
+        rt = self.rt
+        rt._step(self.rank)
+        win.write(target, offset, data)
+        rt.trace.record("put", self.rank, target, win.name, offset, len(data))
+        rt._charge(self.rank, rt.cost.profile.alpha_local)  # injection CPU
+        rt._serve(self.rank, target, len(data))
+        op = _PendingOp(win.name, target, len(data))
+        rt._pending[self.rank].append(op)
+        return Request(self, op, None)
+
+    def iget(self, win: Window, target: int, offset: int, nbytes: int) -> "Request":
+        """Non-blocking get: data is valid after wait()/flush."""
+        rt = self.rt
+        rt._step(self.rank)
+        data = win.read(target, offset, nbytes)
+        rt.trace.record("get", self.rank, target, win.name, offset, nbytes)
+        rt._charge(self.rank, rt.cost.profile.alpha_local)
+        rt._serve(self.rank, target, nbytes)
+        op = _PendingOp(win.name, target, nbytes)
+        rt._pending[self.rank].append(op)
+        return Request(self, op, data)
+
+    def _complete_pending(self, selector) -> None:
+        """Charge and retire the pending ops matched by ``selector``.
+
+        Overlap model: the selected messages are in flight concurrently,
+        so completion costs one latency term (remote if any message is
+        remote) plus the summed bandwidth terms.
+        """
+        rt = self.rt
+        pending = rt._pending[self.rank]
+        chosen = [op for op in pending if selector(op)]
+        if not chosen:
+            return
+        p = rt.cost.profile
+        any_remote = any(op.target != self.rank for op in chosen)
+        cost = p.alpha if any_remote else p.alpha_local
+        for op in chosen:
+            beta = p.beta if op.target != self.rank else p.beta_local
+            cost += op.nbytes * beta
+            op.done = True
+        rt._charge(self.rank, cost)
+        rt._pending[self.rank] = [op for op in pending if not op.done]
+
+    def flush(self, win: Window, target: int | None = None) -> None:
+        """Complete pending non-blocking operations towards ``target``.
+
+        With ``target=None`` flushes the whole window.  A flush with no
+        pending operations still costs one round trip (the hardware
+        fence), as in MPI RMA.
+        """
+        rt = self.rt
+        rt.trace.record(
+            "flush", self.rank, target if target is not None else self.rank,
+            win.name, 0, 0,
+        )
+        pending = rt._pending[self.rank]
+        has_pending = any(
+            op.win_name == win.name
+            and (target is None or op.target == target)
+            for op in pending
+        )
+        if has_pending:
+            self._complete_pending(
+                lambda op: op.win_name == win.name
+                and (target is None or op.target == target)
+            )
+        else:
+            rt._charge(self.rank, rt.cost.flush(self.rank, target))
+
+    # -- local compute cost -------------------------------------------------------
+    def compute(self, nops: int) -> None:
+        """Charge ``nops`` local scalar operations to this rank's clock."""
+        self.rt._charge(self.rank, self.rt.cost.compute(nops))
+
+    def charge(self, seconds: float) -> None:
+        """Charge raw simulated seconds (used by workload drivers)."""
+        self.rt._charge(self.rank, seconds)
+
+    @property
+    def clock(self) -> float:
+        """This rank's simulated time in seconds."""
+        return self.rt.clocks[self.rank]
+
+    # -- collectives -----------------------------------------------------------------
+    def barrier(self) -> None:
+        self.rt.collectives.barrier(self.rank)
+
+    def bcast(self, value: Any = None, root: int = 0) -> Any:
+        return self.rt.collectives.bcast(self.rank, value, root)
+
+    def reduce(self, value: Any, op="sum", root: int = 0) -> Any:
+        return self.rt.collectives.reduce(self.rank, value, op, root)
+
+    def allreduce(self, value: Any, op="sum") -> Any:
+        return self.rt.collectives.allreduce(self.rank, value, op)
+
+    def gather(self, value: Any, root: int = 0) -> list | None:
+        return self.rt.collectives.gather(self.rank, value, root)
+
+    def allgather(self, value: Any) -> list:
+        return self.rt.collectives.allgather(self.rank, value)
+
+    def scatter(self, values: Sequence | None = None, root: int = 0) -> Any:
+        return self.rt.collectives.scatter(self.rank, values, root)
+
+    def alltoall(self, values: Sequence) -> list:
+        return self.rt.collectives.alltoall(self.rank, values)
+
+    def scan(self, value: Any, op="sum") -> Any:
+        return self.rt.collectives.scan(self.rank, value, op)
+
+    def exscan(self, value: Any, op="sum", initial: Any = 0) -> Any:
+        return self.rt.collectives.exscan(self.rank, value, op, initial)
+
+    # -- collective window management -----------------------------------------------
+    def win_allocate(self, name: str, size: int) -> Window:
+        """Collectively allocate a window of ``size`` bytes per rank."""
+        if self.rank == 0:
+            win = self.rt.allocate_window(name, size)
+        else:
+            win = None
+        win = self.bcast(win, root=0)
+        self.charge(self.rt.cost.barrier(self.nranks))
+        return win
+
+    def win_free(self, win: Window) -> None:
+        """Collectively free a window."""
+        self.barrier()
+        if self.rank == 0:
+            self.rt.free_window(win)
+        self.barrier()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<RankContext rank={self.rank}/{self.nranks}>"

@@ -1,0 +1,110 @@
+"""Operation counters and optional op-level tracing for the RMA substrate.
+
+Every one-sided operation and collective increments per-rank counters.
+Benchmarks use these to report message/byte volumes alongside simulated
+time, and the work-depth tests in :mod:`repro.gda.workdepth` assert that
+GDA routines issue the operation counts the paper's analysis promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RankCounters", "TraceRecorder"]
+
+
+@dataclass
+class RankCounters:
+    """Communication counters of a single rank."""
+
+    puts: int = 0
+    gets: int = 0
+    atomics: int = 0
+    flushes: int = 0
+    collectives: int = 0
+    bytes_put: int = 0
+    bytes_got: int = 0
+    remote_ops: int = 0
+    local_ops: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return self.puts + self.gets + self.atomics
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "puts": self.puts,
+            "gets": self.gets,
+            "atomics": self.atomics,
+            "flushes": self.flushes,
+            "collectives": self.collectives,
+            "bytes_put": self.bytes_put,
+            "bytes_got": self.bytes_got,
+            "remote_ops": self.remote_ops,
+            "local_ops": self.local_ops,
+        }
+
+    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {k: now[k] - earlier.get(k, 0) for k in now}
+
+
+@dataclass
+class TraceRecorder:
+    """Aggregates counters for all ranks; optionally logs each operation.
+
+    Keeping a full op log is expensive, so it is off by default and only
+    enabled by tests that assert on exact operation sequences.
+    """
+
+    nranks: int
+    log_ops: bool = False
+    counters: list[RankCounters] = field(default_factory=list)
+    ops: list[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.counters:
+            self.counters = [RankCounters() for _ in range(self.nranks)]
+
+    def record(
+        self,
+        kind: str,
+        origin: int,
+        target: int,
+        window: str,
+        offset: int,
+        nbytes: int,
+    ) -> None:
+        c = self.counters[origin]
+        if kind == "put":
+            c.puts += 1
+            c.bytes_put += nbytes
+        elif kind == "get":
+            c.gets += 1
+            c.bytes_got += nbytes
+        elif kind == "atomic":
+            c.atomics += 1
+        elif kind == "flush":
+            c.flushes += 1
+        elif kind == "collective":
+            c.collectives += 1
+        if kind in ("put", "get", "atomic"):
+            if origin == target:
+                c.local_ops += 1
+            else:
+                c.remote_ops += 1
+        if self.log_ops:
+            self.ops.append((kind, origin, target, window, offset, nbytes))
+
+    # -- aggregation ------------------------------------------------------
+    def total(self, field_name: str) -> int:
+        return sum(getattr(c, field_name) for c in self.counters)
+
+    def summary(self) -> dict[str, int]:
+        keys = self.counters[0].snapshot().keys() if self.counters else []
+        return {k: sum(c.snapshot()[k] for c in self.counters) for k in keys}
+
+    def reset(self) -> None:
+        self.counters = [RankCounters() for _ in range(self.nranks)]
+        self.ops = []

@@ -1,0 +1,112 @@
+"""Registered memory windows for the simulated RMA substrate.
+
+A :class:`Window` mirrors an MPI-3 RMA window: a collectively allocated
+region of memory, one segment per rank, that remote ranks may access with
+one-sided operations.  GDI-RMA allocates three windows per database — the
+*data*, *usage*, and *system* windows (paper Section 5.5) — plus windows
+backing the distributed hash table.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Window", "WindowError"]
+
+
+class WindowError(RuntimeError):
+    """Raised on out-of-bounds or misaligned window accesses."""
+
+
+class Window:
+    """One collectively allocated RMA window.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name ("data", "usage", "system", ...).
+    nranks:
+        Number of ranks in the owning runtime.
+    size:
+        Size in bytes of the segment owned by *each* rank.
+
+    Notes
+    -----
+    Segments are plain ``bytearray`` objects.  Bulk puts/gets use slice
+    assignment; 8-byte atomics go through :meth:`read_i64`/:meth:`write_i64`
+    under the owning runtime's per-target atomic lock, mimicking the NIC's
+    atomic unit on RDMA hardware.
+    """
+
+    __slots__ = ("name", "nranks", "size", "_segments", "freed")
+
+    def __init__(self, name: str, nranks: int, size: int) -> None:
+        if nranks <= 0:
+            raise WindowError(f"window {name!r}: nranks must be positive")
+        if size < 0:
+            raise WindowError(f"window {name!r}: negative size {size}")
+        self.name = name
+        self.nranks = nranks
+        self.size = size
+        self._segments = [bytearray(size) for _ in range(nranks)]
+        self.freed = False
+
+    # -- raw access (used only by the runtime) ---------------------------
+    def _check(self, rank: int, offset: int, nbytes: int) -> None:
+        if self.freed:
+            raise WindowError(f"window {self.name!r} already freed")
+        if not 0 <= rank < self.nranks:
+            raise WindowError(f"window {self.name!r}: bad rank {rank}")
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise WindowError(
+                f"window {self.name!r}: access [{offset}, {offset + nbytes})"
+                f" outside segment of size {self.size}"
+            )
+
+    def read(self, rank: int, offset: int, nbytes: int) -> bytes:
+        self._check(rank, offset, nbytes)
+        return bytes(self._segments[rank][offset : offset + nbytes])
+
+    def write(self, rank: int, offset: int, data: bytes) -> None:
+        self._check(rank, offset, len(data))
+        self._segments[rank][offset : offset + len(data)] = data
+
+    def read_i64(self, rank: int, offset: int) -> int:
+        """Read an aligned signed 64-bit integer (atomic granule)."""
+        self._check(rank, offset, 8)
+        if offset % 8 != 0:
+            raise WindowError(
+                f"window {self.name!r}: misaligned atomic at offset {offset}"
+            )
+        return int.from_bytes(
+            self._segments[rank][offset : offset + 8], "little", signed=True
+        )
+
+    def write_i64(self, rank: int, offset: int, value: int) -> None:
+        """Write an aligned signed 64-bit integer (atomic granule)."""
+        self._check(rank, offset, 8)
+        if offset % 8 != 0:
+            raise WindowError(
+                f"window {self.name!r}: misaligned atomic at offset {offset}"
+            )
+        self._segments[rank][offset : offset + 8] = value.to_bytes(
+            8, "little", signed=True
+        )
+
+    def fill(self, rank: int, value: int = 0) -> None:
+        """Reset a rank's whole segment (used by database bootstrap)."""
+        self._check(rank, 0, self.size)
+        seg = self._segments[rank]
+        for i in range(0, self.size, 1 << 20):
+            seg[i : min(i + (1 << 20), self.size)] = b"\x00" * (
+                min(i + (1 << 20), self.size) - i
+            )
+        if value:
+            seg[:] = bytes([value & 0xFF]) * self.size
+
+    def free(self) -> None:
+        """Release the window; subsequent accesses raise ``WindowError``."""
+        self.freed = True
+        self._segments = []
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = "freed" if self.freed else f"{self.nranks}x{self.size}B"
+        return f"<Window {self.name!r} {state}>"

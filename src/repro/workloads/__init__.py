@@ -1,0 +1,69 @@
+"""Graph database workloads from the paper's Section 4 and evaluation.
+
+OLTP interactive mixes (Table 3) in :mod:`.oltp`; OLAP analytics — BFS,
+PageRank, CDLP, WCC, LCC, k-hop — in :mod:`.analytics`; the GNN workload
+of Listing 2 in :mod:`.gnn`; OLSP/business-intelligence queries of
+Listing 3 in :mod:`.bi`.
+"""
+
+from .analytics import (
+    LocalAdjacency,
+    bfs,
+    cdlp,
+    khop_count,
+    lcc,
+    load_local_adjacency,
+    load_local_weighted_adjacency,
+    pagerank,
+    sssp,
+    triangle_count,
+    wcc,
+)
+from .bi import (
+    aggregate_property_by_label,
+    bi2_style_query,
+    filtered_two_hop_count,
+    group_count_by_label,
+)
+from .gnn import gcn_forward, gcn_train, random_gcn_weights, relu
+from .interactive import friends_of_friends, transactional_path_search
+from .oltp import (
+    MIXES,
+    OltpRankResult,
+    OltpResult,
+    OpType,
+    WorkloadMix,
+    aggregate_oltp,
+    run_oltp_rank,
+)
+
+__all__ = [
+    "LocalAdjacency",
+    "bfs",
+    "cdlp",
+    "khop_count",
+    "lcc",
+    "load_local_adjacency",
+    "pagerank",
+    "wcc",
+    "sssp",
+    "triangle_count",
+    "load_local_weighted_adjacency",
+    "bi2_style_query",
+    "aggregate_property_by_label",
+    "group_count_by_label",
+    "filtered_two_hop_count",
+    "gcn_forward",
+    "gcn_train",
+    "random_gcn_weights",
+    "relu",
+    "friends_of_friends",
+    "transactional_path_search",
+    "MIXES",
+    "OltpRankResult",
+    "OltpResult",
+    "OpType",
+    "WorkloadMix",
+    "aggregate_oltp",
+    "run_oltp_rank",
+]

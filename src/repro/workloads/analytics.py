@@ -1,0 +1,481 @@
+"""OLAP graph analytics over collective transactions (paper Section 6.5).
+
+Implements the Graphalytics-style kernels the paper evaluates in Figure 6:
+BFS, PageRank (PR), Community Detection by Label Propagation (CDLP),
+Weakly Connected Components (WCC), Local Clustering Coefficient (LCC), and
+k-hop counts.
+
+Structure of every kernel (Table 2's recommendation): graph data is
+accessed through *collective read transactions* — each rank walks its
+local vertices with GDI handles and fetches adjacency once into a local
+cache — and the iterative phases exchange values with collectives
+(alltoall routed by the owning rank, allreduce for convergence).  All
+communication and per-edge compute is charged to the simulated clocks, so
+the Figure 6 scaling shapes emerge from the algorithms' real communication
+structure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..gdi import EdgeOrientation
+from ..generator.lpg import GeneratedGraph
+from ..rma.runtime import RankContext
+
+__all__ = [
+    "LocalAdjacency",
+    "load_local_adjacency",
+    "load_local_weighted_adjacency",
+    "bfs",
+    "khop_count",
+    "pagerank",
+    "wcc",
+    "cdlp",
+    "lcc",
+    "sssp",
+    "triangle_count",
+]
+
+
+@dataclass
+class LocalAdjacency:
+    """This rank's shard of the adjacency, in application-ID space."""
+
+    neighbors: dict[int, list[int]]  # local app id -> neighbor app ids
+    n_local_edges: int
+    nranks: int
+    #: application ID -> owning rank (vertices can spill off their
+    #: round-robin home under memory pressure, Section 5.3)
+    owner: dict[int, int] | None = None
+
+    def home(self, app_id: int) -> int:
+        if self.owner is not None:
+            return self.owner.get(app_id, app_id % self.nranks)
+        return app_id % self.nranks
+
+
+def load_local_adjacency(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    orientation: EdgeOrientation = EdgeOrientation.OUTGOING,
+    dedup: bool = False,
+) -> LocalAdjacency:
+    """Fetch the local adjacency shard inside one collective transaction.
+
+    The vid -> application-ID map is rebuilt from the live database (not
+    from the generator's snapshot), so adjacency loads stay correct after
+    OLTP mutations added or removed vertices.
+    """
+    db = graph.db
+    tx = db.start_collective_transaction(ctx)
+    local_vids = db.directory.local_vertices(ctx)
+    local_map: dict[int, int] = {}
+    for vid in local_vids:
+        local_map[vid] = tx.associate_vertex(vid).app_id
+    app_of: dict[int, int] = {}
+    owner: dict[int, int] = {}
+    for rank, part in enumerate(ctx.allgather(local_map)):
+        app_of.update(part)
+        for app in part.values():
+            owner[app] = rank
+    neighbors: dict[int, list[int]] = {}
+    n_edges = 0
+    for vid in local_vids:
+        v = tx.associate_vertex(vid)
+        # Skip dangling slots whose target vanished mid-snapshot.
+        nbrs = [
+            app_of[nvid]
+            for nvid in v.neighbors(orientation)
+            if nvid in app_of
+        ]
+        if dedup:
+            nbrs = sorted(set(nbrs))
+        neighbors[v.app_id] = nbrs
+        n_edges += len(nbrs)
+    tx.commit()
+    return LocalAdjacency(
+        neighbors=neighbors,
+        n_local_edges=n_edges,
+        nranks=ctx.nranks,
+        owner=owner,
+    )
+
+
+# ------------------------------------------------------------------- BFS --
+def bfs(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    root: int,
+    orientation: EdgeOrientation = EdgeOrientation.ANY,
+    adj: LocalAdjacency | None = None,
+) -> dict[int, int]:
+    """Level-synchronous distributed BFS from application ID ``root``.
+
+    Returns this rank's local ``{app_id: depth}`` map (allgather to merge).
+    """
+    if adj is None:
+        adj = load_local_adjacency(ctx, graph, orientation)
+    depth: dict[int, int] = {}
+    frontier: list[int] = []
+    if adj.home(root) == ctx.rank and root in adj.neighbors:
+        depth[root] = 0
+        frontier = [root]
+    level = 0
+    while True:
+        if not ctx.allreduce(len(frontier)):
+            break
+        outboxes: list[list[int]] = [[] for _ in range(ctx.nranks)]
+        scanned = 0
+        for u in frontier:
+            for nbr in adj.neighbors.get(u, ()):
+                outboxes[adj.home(nbr)].append(nbr)
+                scanned += 1
+        ctx.compute(scanned)
+        received = ctx.alltoall(outboxes)
+        level += 1
+        frontier = []
+        for box in received:
+            for v in box:
+                if v not in depth:
+                    depth[v] = level
+                    frontier.append(v)
+        ctx.compute(sum(len(b) for b in received))
+    return depth
+
+
+def khop_count(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    root: int,
+    k: int,
+    orientation: EdgeOrientation = EdgeOrientation.ANY,
+    adj: LocalAdjacency | None = None,
+) -> int:
+    """Number of vertices within ``k`` hops of ``root`` (global result)."""
+    if adj is None:
+        adj = load_local_adjacency(ctx, graph, orientation)
+    depth: dict[int, int] = {}
+    frontier: list[int] = []
+    if adj.home(root) == ctx.rank and root in adj.neighbors:
+        depth[root] = 0
+        frontier = [root]
+    for level in range(1, k + 1):
+        if not ctx.allreduce(len(frontier)):
+            break
+        outboxes: list[list[int]] = [[] for _ in range(ctx.nranks)]
+        for u in frontier:
+            for nbr in adj.neighbors.get(u, ()):
+                outboxes[adj.home(nbr)].append(nbr)
+        ctx.compute(sum(len(b) for b in outboxes))
+        received = ctx.alltoall(outboxes)
+        frontier = []
+        for box in received:
+            for v in box:
+                if v not in depth:
+                    depth[v] = level
+                    frontier.append(v)
+    return ctx.allreduce(len(depth))
+
+
+# -------------------------------------------------------------- PageRank --
+def pagerank(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    iterations: int = 20,
+    damping: float = 0.85,
+    adj: LocalAdjacency | None = None,
+) -> dict[int, float]:
+    """Classic iterative PageRank over out-edges; returns local ranks."""
+    if adj is None:
+        adj = load_local_adjacency(ctx, graph, EdgeOrientation.OUTGOING)
+    # live global vertex count (mutations may have changed it since the
+    # graph was generated), so the rank mass sums to exactly 1
+    n = max(1, ctx.allreduce(len(adj.neighbors)))
+    pr = {u: 1.0 / n for u in adj.neighbors}
+    for _ in range(iterations):
+        outboxes: list[list[tuple[int, float]]] = [
+            [] for _ in range(ctx.nranks)
+        ]
+        dangling = 0.0
+        for u, nbrs in adj.neighbors.items():
+            if not nbrs:
+                dangling += pr[u]
+                continue
+            share = pr[u] / len(nbrs)
+            for v in nbrs:
+                outboxes[adj.home(v)].append((v, share))
+        ctx.compute(adj.n_local_edges)
+        received = ctx.alltoall(outboxes)
+        dangling_total = ctx.allreduce(dangling)
+        incoming: dict[int, float] = {u: 0.0 for u in adj.neighbors}
+        for box in received:
+            for v, share in box:
+                incoming[v] += share
+        base = (1.0 - damping) / n + damping * dangling_total / n
+        pr = {u: base + damping * s for u, s in incoming.items()}
+        ctx.compute(len(pr))
+    return pr
+
+
+# ------------------------------------------------------------------ WCC --
+def wcc(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    adj: LocalAdjacency | None = None,
+) -> dict[int, int]:
+    """Weakly connected components via hash-min label propagation.
+
+    Returns ``{app_id: component_id}`` for local vertices; the component
+    ID is the minimum application ID in the component.
+    """
+    if adj is None:
+        adj = load_local_adjacency(ctx, graph, EdgeOrientation.ANY)
+    comp = {u: u for u in adj.neighbors}
+    while True:
+        outboxes: list[list[tuple[int, int]]] = [[] for _ in range(ctx.nranks)]
+        for u, nbrs in adj.neighbors.items():
+            cu = comp[u]
+            for v in nbrs:
+                outboxes[adj.home(v)].append((v, cu))
+        ctx.compute(adj.n_local_edges)
+        received = ctx.alltoall(outboxes)
+        changed = 0
+        for box in received:
+            for v, c in box:
+                if c < comp[v]:
+                    comp[v] = c
+                    changed += 1
+        ctx.compute(sum(len(b) for b in received))
+        if not ctx.allreduce(changed):
+            return comp
+
+
+# ----------------------------------------------------------------- CDLP --
+def cdlp(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    iterations: int = 10,
+    adj: LocalAdjacency | None = None,
+) -> dict[int, int]:
+    """Community detection by label propagation (Graphalytics CDLP).
+
+    Synchronous updates; each vertex adopts the most frequent neighbor
+    label, ties broken by the smallest label.  Returns local labels.
+    """
+    if adj is None:
+        adj = load_local_adjacency(ctx, graph, EdgeOrientation.ANY)
+    label = {u: u for u in adj.neighbors}
+    for _ in range(iterations):
+        # Every vertex sends its current label to each neighbor's owner.
+        outboxes: list[list[tuple[int, int]]] = [[] for _ in range(ctx.nranks)]
+        for u, nbrs in adj.neighbors.items():
+            lu = label[u]
+            for v in nbrs:
+                outboxes[adj.home(v)].append((v, lu))
+        ctx.compute(adj.n_local_edges)
+        received = ctx.alltoall(outboxes)
+        votes: dict[int, Counter] = {}
+        for box in received:
+            for v, l in box:
+                votes.setdefault(v, Counter())[l] += 1
+        new_label = {}
+        for u in adj.neighbors:
+            if u in votes:
+                best = max(votes[u].items(), key=lambda kv: (kv[1], -kv[0]))
+                new_label[u] = best[0]
+            else:
+                new_label[u] = label[u]
+        ctx.compute(sum(len(c) for c in votes.values()))
+        label = new_label
+    return label
+
+
+# ------------------------------------------------------------------ LCC --
+def lcc(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    adj: LocalAdjacency | None = None,
+) -> dict[int, float]:
+    """Local clustering coefficient of every local vertex.
+
+    Undirected semantics over deduplicated neighborhoods (self-loops
+    ignored).  The wedge-check exchange makes LCC the costliest kernel —
+    O(n + m^(3/2))-class work, which is why the paper observes steeper
+    weak-scaling slopes for it (Section 6.5).
+    """
+    if adj is None:
+        adj = load_local_adjacency(ctx, graph, EdgeOrientation.ANY, dedup=True)
+    nbr_sets = {
+        u: {v for v in nbrs if v != u} for u, nbrs in adj.neighbors.items()
+    }
+    # round 1: ask each neighbor's owner to intersect neighborhoods
+    outboxes: list[list[tuple[int, int, tuple[int, ...]]]] = [
+        [] for _ in range(ctx.nranks)
+    ]
+    for u, nbrs in nbr_sets.items():
+        frozen = tuple(sorted(nbrs))
+        for v in nbrs:
+            outboxes[adj.home(v)].append((v, u, frozen))
+    ctx.compute(sum(len(b) for b in outboxes))
+    received = ctx.alltoall(outboxes)
+    # round 2: owners of v compute |N(v) ∩ N(u)| and reply to u's owner
+    replies: list[list[tuple[int, int]]] = [[] for _ in range(ctx.nranks)]
+    work = 0
+    for box in received:
+        for v, u, frozen in box:
+            common = len(nbr_sets[v].intersection(frozen))
+            work += min(len(nbr_sets[v]), len(frozen))
+            replies[adj.home(u)].append((u, common))
+    ctx.compute(work)
+    received2 = ctx.alltoall(replies)
+    triangles: dict[int, int] = {u: 0 for u in nbr_sets}
+    for box in received2:
+        for u, common in box:
+            triangles[u] += common
+    out: dict[int, float] = {}
+    for u, nbrs in nbr_sets.items():
+        d = len(nbrs)
+        out[u] = triangles[u] / (d * (d - 1)) if d >= 2 else 0.0
+    ctx.compute(len(out))
+    return out
+
+
+# ----------------------------------------------------------------- SSSP --
+def load_local_weighted_adjacency(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    weight_ptype,
+    orientation: EdgeOrientation = EdgeOrientation.ANY,
+    default_weight: float = 1.0,
+) -> tuple[LocalAdjacency, dict[int, list[float]]]:
+    """Adjacency plus per-edge weights read from an edge property.
+
+    Lightweight edges (which carry no properties, Section 5.4.2) get
+    ``default_weight``; heavyweight edges contribute their stored value.
+    Returns ``(adjacency, weights)`` with parallel neighbor/weight lists.
+    """
+    db = graph.db
+    tx = db.start_collective_transaction(ctx)
+    local_vids = db.directory.local_vertices(ctx)
+    local_map = {vid: tx.associate_vertex(vid).app_id for vid in local_vids}
+    app_of: dict[int, int] = {}
+    owner: dict[int, int] = {}
+    for rank, part in enumerate(ctx.allgather(local_map)):
+        app_of.update(part)
+        for app in part.values():
+            owner[app] = rank
+    neighbors: dict[int, list[int]] = {}
+    weights: dict[int, list[float]] = {}
+    n_edges = 0
+    for vid in local_vids:
+        v = tx.associate_vertex(vid)
+        nbrs: list[int] = []
+        wts: list[float] = []
+        for e in v.edges(orientation):
+            other = e.other_endpoint()
+            if other not in app_of:
+                continue
+            w = default_weight
+            if e.heavy and weight_ptype is not None:
+                stored = e.property(weight_ptype)
+                if stored is not None:
+                    w = float(stored)
+            nbrs.append(app_of[other])
+            wts.append(w)
+        neighbors[v.app_id] = nbrs
+        weights[v.app_id] = wts
+        n_edges += len(nbrs)
+    tx.commit()
+    adj = LocalAdjacency(
+        neighbors=neighbors, n_local_edges=n_edges, nranks=ctx.nranks,
+        owner=owner,
+    )
+    return adj, weights
+
+
+def sssp(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    root: int,
+    weight_ptype=None,
+    orientation: EdgeOrientation = EdgeOrientation.ANY,
+    adj: LocalAdjacency | None = None,
+    weights: dict[int, list[float]] | None = None,
+) -> dict[int, float]:
+    """Single-source shortest paths (distributed Bellman-Ford).
+
+    Non-negative weights; unweighted edges count as 1.  Returns this
+    rank's local ``{app_id: distance}`` map.  Level-synchronous relaxation
+    rounds run until a global no-change round (allreduce), the standard
+    frontier-driven Bellman-Ford used by Graphalytics reference codes.
+    """
+    if adj is None or weights is None:
+        adj, weights = load_local_weighted_adjacency(
+            ctx, graph, weight_ptype, orientation
+        )
+    INF = float("inf")
+    dist: dict[int, float] = {u: INF for u in adj.neighbors}
+    active: set[int] = set()
+    if adj.home(root) == ctx.rank and root in dist:
+        dist[root] = 0.0
+        active.add(root)
+    while True:
+        if not ctx.allreduce(len(active)):
+            return dist
+        outboxes: list[list[tuple[int, float]]] = [
+            [] for _ in range(ctx.nranks)
+        ]
+        relaxed = 0
+        for u in active:
+            du = dist[u]
+            for v, w in zip(adj.neighbors[u], weights[u]):
+                outboxes[adj.home(v)].append((v, du + w))
+                relaxed += 1
+        ctx.compute(relaxed)
+        received = ctx.alltoall(outboxes)
+        active = set()
+        for box in received:
+            for v, cand in box:
+                if cand < dist[v]:
+                    dist[v] = cand
+                    active.add(v)
+        ctx.compute(sum(len(b) for b in received))
+
+
+# ------------------------------------------------------------ triangles --
+def triangle_count(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    adj: LocalAdjacency | None = None,
+) -> int:
+    """Global triangle count (undirected, simple-graph semantics).
+
+    Uses the same two-round wedge-check exchange as :func:`lcc`:
+    ``sum_v sum_{u in N(v)} |N(v) ∩ N(u)|`` counts each triangle six
+    times.  Returns the global total on every rank.
+    """
+    if adj is None:
+        adj = load_local_adjacency(ctx, graph, EdgeOrientation.ANY, dedup=True)
+    nbr_sets = {
+        u: {v for v in nbrs if v != u} for u, nbrs in adj.neighbors.items()
+    }
+    outboxes: list[list[tuple[int, tuple[int, ...]]]] = [
+        [] for _ in range(ctx.nranks)
+    ]
+    for u, nbrs in nbr_sets.items():
+        frozen = tuple(sorted(nbrs))
+        for v in nbrs:
+            outboxes[adj.home(v)].append((v, frozen))
+    ctx.compute(sum(len(b) for b in outboxes))
+    received = ctx.alltoall(outboxes)
+    local_sum = 0
+    work = 0
+    for box in received:
+        for v, frozen in box:
+            local_sum += len(nbr_sets[v].intersection(frozen))
+            work += min(len(nbr_sets[v]), len(frozen))
+    ctx.compute(work)
+    total = ctx.allreduce(local_sum)
+    return total // 6

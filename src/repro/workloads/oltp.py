@@ -1,0 +1,293 @@
+"""OLTP interactive workloads (paper Section 6.4, Table 3).
+
+Four operation mixes drive the OLTP evaluation, taken from LinkBench and
+earlier GDB studies:
+
+===================  ========  ========  ========  ========
+operation            RM        RI        WI        LB
+===================  ========  ========  ========  ========
+get vertex props     28.8%     21.7%      9.1%     12.9%
+count edges          11.7%      8.8%      0%        4.9%
+get edges            59.3%     44.5%     10.9%     51.2%
+add vertex            0%        0%       20%        2.6%
+delete vertex         0%        0%        6.7%      1%
+update property       0%        0%       13.3%      7.4%
+add edge              0.2%     25%       40%       20%
+===================  ========  ========  ========  ========
+
+Every operation is one single-process GDI transaction (Table 2's
+recommendation for interactive workloads).  The driver measures each
+operation's *simulated* latency (the rank clock delta across the
+transaction) and counts transaction-critical failures — the same
+failed-transaction percentages the paper annotates in Figure 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..gdi import EdgeOrientation
+from ..gdi.errors import GdiNotFound, GdiTransactionCritical
+from ..generator.lpg import GeneratedGraph
+from ..rma.runtime import RankContext
+
+__all__ = ["OpType", "WorkloadMix", "MIXES", "OltpRankResult", "OltpResult", "run_oltp_rank", "aggregate_oltp"]
+
+
+class OpType(Enum):
+    GET_PROPS = "get_vertex_properties"
+    COUNT_EDGES = "count_edges"
+    GET_EDGES = "get_edges"
+    ADD_VERTEX = "add_vertex"
+    DEL_VERTEX = "delete_vertex"
+    UPD_PROP = "update_property"
+    ADD_EDGE = "add_edge"
+
+    @property
+    def is_update(self) -> bool:
+        return self in (
+            OpType.ADD_VERTEX,
+            OpType.DEL_VERTEX,
+            OpType.UPD_PROP,
+            OpType.ADD_EDGE,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One Table 3 column: operation fractions summing to 1."""
+
+    name: str
+    fractions: dict[OpType, float]
+
+    def __post_init__(self) -> None:
+        total = sum(self.fractions.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"mix {self.name!r} fractions sum to {total}")
+
+    @property
+    def read_fraction(self) -> float:
+        return sum(
+            f for op, f in self.fractions.items() if not op.is_update
+        )
+
+    def sample(self, rng: random.Random) -> OpType:
+        x = rng.random()
+        acc = 0.0
+        for op, f in self.fractions.items():
+            acc += f
+            if x < acc:
+                return op
+        return next(reversed(self.fractions))
+
+
+#: The paper's Table 3, verbatim.
+MIXES: dict[str, WorkloadMix] = {
+    "RM": WorkloadMix(
+        "RM",
+        {
+            OpType.GET_PROPS: 0.288,
+            OpType.COUNT_EDGES: 0.117,
+            OpType.GET_EDGES: 0.593,
+            OpType.ADD_EDGE: 0.002,
+        },
+    ),
+    "RI": WorkloadMix(
+        "RI",
+        {
+            OpType.GET_PROPS: 0.217,
+            OpType.COUNT_EDGES: 0.088,
+            OpType.GET_EDGES: 0.445,
+            OpType.ADD_EDGE: 0.25,
+        },
+    ),
+    "WI": WorkloadMix(
+        "WI",
+        {
+            OpType.GET_PROPS: 0.091,
+            OpType.GET_EDGES: 0.109,
+            OpType.ADD_VERTEX: 0.20,
+            OpType.DEL_VERTEX: 0.067,
+            OpType.UPD_PROP: 0.133,
+            OpType.ADD_EDGE: 0.40,
+        },
+    ),
+    "LB": WorkloadMix(
+        "LB",
+        {
+            OpType.GET_PROPS: 0.129,
+            OpType.COUNT_EDGES: 0.049,
+            OpType.GET_EDGES: 0.512,
+            OpType.ADD_VERTEX: 0.026,
+            OpType.DEL_VERTEX: 0.01,
+            OpType.UPD_PROP: 0.074,
+            OpType.ADD_EDGE: 0.20,
+        },
+    ),
+}
+
+
+@dataclass
+class OltpRankResult:
+    """One rank's share of an OLTP run."""
+
+    rank: int
+    n_ops: int = 0
+    n_failed: int = 0
+    latencies: dict[OpType, list[float]] = field(default_factory=dict)
+    sim_elapsed: float = 0.0
+
+    def record(self, op: OpType, latency: float) -> None:
+        self.latencies.setdefault(op, []).append(latency)
+        self.n_ops += 1
+
+
+@dataclass
+class OltpResult:
+    """Aggregated OLTP metrics across all ranks."""
+
+    mix: str
+    nranks: int
+    n_ops: int
+    n_failed: int
+    makespan: float  # max simulated elapsed time over ranks
+    latencies: dict[OpType, list[float]]
+
+    @property
+    def throughput(self) -> float:
+        """Committed operations per simulated second."""
+        done = self.n_ops - self.n_failed
+        return done / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def failed_fraction(self) -> float:
+        return self.n_failed / self.n_ops if self.n_ops else 0.0
+
+
+def run_oltp_rank(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    mix: WorkloadMix,
+    n_ops: int,
+    seed: int = 0,
+    ops_per_txn: int = 1,
+) -> OltpRankResult:
+    """Execute ``n_ops`` operations of ``mix`` on this rank.
+
+    Call from every rank concurrently (contention is part of the
+    workload); aggregate the per-rank results with :func:`aggregate_oltp`.
+
+    ``ops_per_txn`` batches several operations into one transaction
+    (amortizing start/commit overhead at the cost of a larger failure
+    blast radius — a batch aborts as a unit).  The recorded latency of a
+    batched operation is the batch latency divided by the batch size.
+    """
+    if ops_per_txn < 1:
+        raise ValueError("ops_per_txn must be >= 1")
+    db = graph.db
+    rng = random.Random(f"{seed}/{ctx.rank}/{mix.name}")
+    res = OltpRankResult(rank=ctx.rank)
+    n = graph.n_vertices
+    label = None
+    if graph.schema.n_edge_labels:
+        label = graph.edge_label(0)
+    p_ts = graph.ptypes.get("p_ts")
+    next_new_id = graph.n_vertices + ctx.rank * 10_000_000
+    my_created: list[int] = []
+    deleted: set[int] = set()
+
+    def random_app_id() -> int:
+        if my_created and rng.random() < 0.1:
+            return rng.choice(my_created)
+        return rng.randrange(n)
+
+    def execute_op(tx, op: OpType) -> None:
+        nonlocal next_new_id
+        if op is OpType.GET_PROPS:
+            v = tx.find_vertex(random_app_id())
+            if v is not None and p_ts is not None:
+                v.property(p_ts)
+        elif op is OpType.COUNT_EDGES:
+            v = tx.find_vertex(random_app_id())
+            if v is not None:
+                v.degree()
+        elif op is OpType.GET_EDGES:
+            v = tx.find_vertex(random_app_id())
+            if v is not None:
+                for e in v.edges(EdgeOrientation.OUTGOING):
+                    e.endpoints()
+        elif op is OpType.ADD_VERTEX:
+            app_id = next_new_id
+            next_new_id += 1
+            props = [(p_ts, 0)] if p_ts is not None else []
+            tx.create_vertex(app_id, properties=props)
+            my_created.append(app_id)
+        elif op is OpType.DEL_VERTEX:
+            target = random_app_id()
+            v = tx.find_vertex(target)
+            if v is not None:
+                tx.delete_vertex(v)
+                deleted.add(target)
+        elif op is OpType.UPD_PROP:
+            v = tx.find_vertex(random_app_id())
+            if v is not None and p_ts is not None:
+                v.set_property(p_ts, rng.randrange(1 << 31))
+        elif op is OpType.ADD_EDGE:
+            a = tx.find_vertex(random_app_id())
+            b = tx.find_vertex(random_app_id())
+            if a is not None and b is not None and a.vid != b.vid:
+                tx.create_edge(a, b, label=label)
+
+    # Effective time includes receiver-side NIC service: a rank that is
+    # hammered by remote accesses finishes later than its own op stream.
+    start = ctx.rt.effective_clock(ctx.rank)
+    remaining = n_ops
+    while remaining > 0:
+        batch = [mix.sample(rng) for _ in range(min(ops_per_txn, remaining))]
+        remaining -= len(batch)
+        t0 = ctx.clock
+        tx = db.start_transaction(
+            ctx, write=any(op.is_update for op in batch)
+        )
+        failed = False
+        try:
+            for op in batch:
+                try:
+                    execute_op(tx, op)
+                except GdiNotFound:
+                    pass  # a read miss inside the batch is an OK outcome
+            tx.commit()
+        except GdiTransactionCritical:
+            if tx.open:
+                tx.abort()
+            failed = True
+        except GdiNotFound:
+            if tx.open:
+                tx.abort()
+        latency = (ctx.clock - t0) / len(batch)
+        for op in batch:
+            res.record(op, latency)
+        if failed:
+            res.n_failed += len(batch)
+    res.sim_elapsed = ctx.rt.effective_clock(ctx.rank) - start
+    return res
+
+
+def aggregate_oltp(
+    mix: WorkloadMix, rank_results: list[OltpRankResult]
+) -> OltpResult:
+    """Combine per-rank results into the paper's Figure 4/5 metrics."""
+    latencies: dict[OpType, list[float]] = {}
+    for r in rank_results:
+        for op, vals in r.latencies.items():
+            latencies.setdefault(op, []).extend(vals)
+    return OltpResult(
+        mix=mix.name,
+        nranks=len(rank_results),
+        n_ops=sum(r.n_ops for r in rank_results),
+        n_failed=sum(r.n_failed for r in rank_results),
+        makespan=max(r.sim_elapsed for r in rank_results),
+        latencies=latencies,
+    )

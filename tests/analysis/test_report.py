@@ -1,0 +1,62 @@
+"""Tests for the consolidated report builder."""
+
+import pathlib
+
+from repro.analysis.report import SECTION_ORDER, build_report, write_report
+
+
+def _make_results(tmp_path: pathlib.Path) -> pathlib.Path:
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "table3_mixes.txt").write_text("TABLE3 CONTENT\n")
+    (d / "fig5_latency_histograms.txt").write_text("FIG5 CONTENT\n")
+    (d / "custom_extra.txt").write_text("EXTRA CONTENT\n")
+    return d
+
+
+def test_sections_ordered_like_the_paper(tmp_path):
+    d = _make_results(tmp_path)
+    text = build_report(d)
+    t3 = text.index("Table 3")
+    f5 = text.index("Figure 5")
+    assert t3 < f5
+    assert "TABLE3 CONTENT" in text
+    assert "FIG5 CONTENT" in text
+
+
+def test_unknown_results_still_included(tmp_path):
+    d = _make_results(tmp_path)
+    text = build_report(d)
+    assert "custom_extra" in text
+    assert "EXTRA CONTENT" in text
+
+
+def test_missing_sections_skipped(tmp_path):
+    d = _make_results(tmp_path)
+    text = build_report(d)
+    assert "Figure 4" not in text  # no fig4 file was written
+
+
+def test_write_report_roundtrip(tmp_path):
+    d = _make_results(tmp_path)
+    out = write_report(d, tmp_path / "REPORT.md")
+    assert out.read_text() == build_report(d)
+
+
+def test_section_order_covers_all_benchmarks():
+    bench_dir = pathlib.Path(__file__).parents[2] / "benchmarks"
+    stems = {s for s, _ in SECTION_ORDER}
+    # every figure/table benchmark writes into a stem the report knows
+    expected = {
+        "table3_mixes",
+        "fig4_oltp_weak_scaling",
+        "fig4_oltp_strong_scaling",
+        "fig5_latency_histograms",
+        "fig6_olap_weak_scaling",
+        "fig6_olap_strong_scaling",
+        "sec66_sweeps",
+        "sec67_realworld",
+        "sec68_extreme_scale",
+    }
+    assert expected <= stems
+    assert bench_dir.exists()

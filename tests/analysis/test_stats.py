@@ -1,0 +1,99 @@
+"""Tests for the Section 6.1 statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import log_histogram, median_ci, summarize, trim_warmup
+
+
+class TestTrimWarmup:
+    def test_drops_first_one_percent(self):
+        out = trim_warmup(list(range(1000)))
+        assert len(out) == 990
+        assert out[0] == 10
+
+    def test_small_samples_untouched(self):
+        assert len(trim_warmup([1, 2, 3])) == 3
+
+    def test_custom_fraction(self):
+        assert len(trim_warmup(list(range(100)), fraction=0.5)) == 50
+
+
+class TestMedianCi:
+    def test_contains_median_for_clean_data(self):
+        data = np.arange(1, 1002)
+        lo, hi = median_ci(data)
+        assert lo <= 501 <= hi
+        assert hi - lo < 100  # tight for n=1001
+
+    def test_single_sample(self):
+        assert median_ci([5.0]) == (5.0, 5.0)
+
+    def test_empty(self):
+        lo, hi = median_ci([])
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_coverage_simulation(self):
+        """~95% of CIs over repeated sampling must contain the true median."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.exponential(size=101)  # true median = ln 2
+            lo, hi = median_ci(sample)
+            if lo <= math.log(2) <= hi:
+                hits += 1
+        assert hits / trials > 0.88
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize(np.arange(1000), warmup_fraction=0.0)
+        assert s.n == 1000
+        assert s.mean == pytest.approx(499.5)
+        assert s.median == pytest.approx(499.5)
+        assert s.minimum == 0 and s.maximum == 999
+        assert s.p5 < s.median < s.p95
+        assert s.ci_low <= s.median <= s.ci_high
+
+    def test_warmup_applied(self):
+        data = [10_000.0] * 10 + [1.0] * 990
+        s = summarize(data)  # first 1% (the outliers) trimmed
+        assert s.mean == pytest.approx(1.0)
+
+    def test_empty_summary(self):
+        s = summarize([])
+        assert s.n == 0 and math.isnan(s.mean)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=5, max_size=200))
+    def test_invariants(self, xs):
+        s = summarize(xs, warmup_fraction=0.0)
+        ulp = 1e-9 * max(abs(s.minimum), abs(s.maximum))  # fp accumulation
+        assert s.minimum <= s.median <= s.maximum
+        assert s.minimum - ulp <= s.mean <= s.maximum + ulp
+        assert s.ci_low <= s.ci_high
+
+
+class TestLogHistogram:
+    def test_buckets_cover_all_samples(self):
+        data = np.logspace(-6, -2, 500)
+        hist = log_histogram(data, n_buckets=16)
+        assert sum(c for _, _, c in hist) == len(data)
+        assert hist[0][0] <= data.min()
+        assert hist[-1][1] >= data.max() * 0.999
+
+    def test_edges_monotonic_and_log_spaced(self):
+        hist = log_histogram(np.logspace(0, 3, 100), n_buckets=10)
+        ratios = [hi / lo for lo, hi, _ in hist]
+        assert all(r == pytest.approx(ratios[0], rel=1e-6) for r in ratios)
+
+    def test_empty_input(self):
+        assert log_histogram([]) == []
+
+    def test_zero_values_clamped(self):
+        hist = log_histogram([0.0, 1e-6, 1e-5])
+        assert sum(c for _, _, c in hist) == 3

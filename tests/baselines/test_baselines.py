@@ -1,0 +1,208 @@
+"""Tests for the JanusGraph-class and Graph500-class baselines."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    JanusGraphSim,
+    JanusScaleError,
+    build_csr_shard,
+    graph500_bfs,
+    janus_bfs,
+    run_janus_oltp_rank,
+)
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gdi import EdgeOrientation
+from repro.generator import (
+    KroneckerParams,
+    build_lpg,
+    default_schema,
+    generate_edges,
+)
+from repro.rma import run_spmd
+from repro.workloads import MIXES, aggregate_oltp, bfs, run_oltp_rank
+
+PARAMS = KroneckerParams(scale=6, edge_factor=4, seed=17)
+SCHEMA = default_schema(n_vertex_labels=4, n_edge_labels=2, n_properties=4)
+NRANKS = 3
+
+
+def _reference_graph(undirected=True):
+    edges = np.vstack(
+        [generate_edges(PARAMS, r, NRANKS) for r in range(NRANKS)]
+    )
+    g = nx.Graph() if undirected else nx.DiGraph()
+    g.add_nodes_from(range(PARAMS.n_vertices))
+    g.add_edges_from(map(tuple, edges))
+    return g
+
+
+class TestGraph500:
+    def test_csr_shard_matches_generator(self):
+        def prog(ctx):
+            shard = build_csr_shard(ctx, PARAMS, undirected=False)
+            return {
+                int(u): sorted(shard.neighbors(u).tolist())
+                for u in shard.local_vertices
+            }
+
+        _, res = run_spmd(NRANKS, prog)
+        merged = {}
+        for part in res:
+            merged.update(part)
+        # CSR keeps parallel edges (like Graph500), so compare multisets.
+        edges = np.vstack(
+            [generate_edges(PARAMS, r, NRANKS) for r in range(NRANKS)]
+        )
+        expected: dict[int, list[int]] = {
+            u: [] for u in range(PARAMS.n_vertices)
+        }
+        for s, d in edges.tolist():
+            expected[s].append(d)
+        for u in range(PARAMS.n_vertices):
+            assert merged[u] == sorted(expected[u]), u
+
+    def test_bfs_depths_match_networkx(self):
+        def prog(ctx):
+            shard = build_csr_shard(ctx, PARAMS, undirected=True)
+            return graph500_bfs(ctx, shard, root=0)
+
+        _, res = run_spmd(NRANKS, prog)
+        got = {}
+        for part in res:
+            got.update(part)
+        expected = nx.single_source_shortest_path_length(_reference_graph(), 0)
+        assert got == dict(expected)
+
+    def test_gda_bfs_within_paper_gap_of_graph500(self):
+        """Paper Section 6.5: GDA BFS is at most 2-4x slower than
+        Graph500 (traversal time, excluding graph/DB construction)."""
+
+        def prog(ctx):
+            shard = build_csr_shard(ctx, PARAMS, undirected=True)
+            ctx.barrier()
+            t0 = ctx.clock
+            graph500_bfs(ctx, shard, root=0)
+            ctx.barrier()
+            t_g500 = ctx.clock - t0
+            db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=8192))
+            g = build_lpg(ctx, db, PARAMS, SCHEMA, dedup=False)
+            ctx.barrier()
+            t1 = ctx.clock
+            bfs(ctx, g, 0, EdgeOrientation.ANY)
+            ctx.barrier()
+            t_gda = ctx.clock - t1
+            return t_g500, t_gda
+
+        _, res = run_spmd(NRANKS, prog)
+        t_g500, t_gda = res[0]
+        assert t_gda >= t_g500 * 0.5  # GDA is not implausibly faster
+        assert t_gda <= t_g500 * 6  # and within the paper's gap regime
+
+
+class TestJanusSim:
+    def test_scale_ceiling(self):
+        def prog(ctx):
+            with pytest.raises(JanusScaleError):
+                JanusGraphSim.create(ctx)
+            return True
+
+        _, res = run_spmd(1, lambda ctx: True)  # placeholder for balance
+        # the ceiling check needs > MAX_SERVERS ranks; patch the constant
+        old = JanusGraphSim.MAX_SERVERS
+        try:
+            JanusGraphSim.MAX_SERVERS = 2
+            _, res = run_spmd(3, prog)
+            assert all(res)
+        finally:
+            JanusGraphSim.MAX_SERVERS = old
+
+    def test_store_operations(self):
+        def prog(ctx):
+            sim = JanusGraphSim.create(ctx)
+            sim.load_graph(ctx, PARAMS, SCHEMA)
+            import random
+
+            rng = random.Random(0)
+            if ctx.rank == 0:
+                v = sim.get_vertex(ctx, 0, rng)
+                assert v is not None and "labels" in v
+                n = sim.count_edges(ctx, 0, rng)
+                assert n == len(sim.get_edges(ctx, 0, rng))
+                sim.add_vertex(ctx, 10**9, {"p_ts": 1}, rng)
+                assert sim.get_vertex(ctx, 10**9, rng) is not None
+                assert sim.update_property(ctx, 10**9, "p_ts", 2, rng)
+                assert sim.delete_vertex(ctx, 10**9, rng)
+                assert sim.get_vertex(ctx, 10**9, rng) is None
+                assert not sim.delete_vertex(ctx, 10**9, rng)
+            ctx.barrier()
+            return True
+
+        _, res = run_spmd(2, prog)
+        assert all(res)
+
+    def test_latency_floor_matches_paper_calibration(self):
+        """Figure 5: no JanusGraph op faster than 200 us; deletes ~2000 us."""
+
+        def prog(ctx):
+            sim = JanusGraphSim.create(ctx)
+            sim.load_graph(ctx, PARAMS, SCHEMA)
+            ctx.barrier()
+            return run_janus_oltp_rank(ctx, sim, PARAMS, MIXES["LB"], 120, seed=2)
+
+        _, res = run_spmd(2, prog)
+        agg = aggregate_oltp(MIXES["LB"], res)
+        for op, vals in agg.latencies.items():
+            assert min(vals) >= 200e-6, op
+        from repro.workloads import OpType
+
+        dels = agg.latencies.get(OpType.DEL_VERTEX)
+        if dels:
+            assert min(dels) >= 2000e-6
+
+    def test_gda_outperforms_janus_by_orders_of_magnitude(self):
+        """Figure 4/5 headline: GDA latencies are orders of magnitude
+        below JanusGraph's on the same workload and rank count."""
+
+        def prog(ctx):
+            sim = JanusGraphSim.create(ctx)
+            sim.load_graph(ctx, PARAMS, SCHEMA)
+            db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=16384))
+            g = build_lpg(ctx, db, PARAMS, SCHEMA)
+            ctx.barrier()
+            jr = run_janus_oltp_rank(ctx, sim, PARAMS, MIXES["RM"], 80, seed=1)
+            gr = run_oltp_rank(ctx, g, MIXES["RM"], 80, seed=1)
+            return jr, gr
+
+        _, res = run_spmd(2, prog)
+        j = aggregate_oltp(MIXES["RM"], [r[0] for r in res])
+        g = aggregate_oltp(MIXES["RM"], [r[1] for r in res])
+        assert g.throughput > 10 * j.throughput
+
+    def test_janus_bfs_matches_networkx_and_is_slow(self):
+        def prog(ctx):
+            sim = JanusGraphSim.create(ctx)
+            sim.load_graph(ctx, PARAMS, SCHEMA)
+            ctx.barrier()
+            t0 = ctx.clock
+            depths = janus_bfs(ctx, sim, root=0)
+            ctx.barrier()
+            t_janus = ctx.clock - t0
+            shard = build_csr_shard(ctx, PARAMS, undirected=False)
+            ctx.barrier()
+            t1 = ctx.clock
+            graph500_bfs(ctx, shard, root=0)
+            ctx.barrier()
+            return depths, t_janus, ctx.clock - t1
+
+        _, res = run_spmd(NRANKS, prog)
+        got = {}
+        for depths, _, _ in res:
+            got.update(depths)
+        expected = nx.single_source_shortest_path_length(
+            _reference_graph(undirected=False), 0
+        )
+        assert got == dict(expected)
+        _, t_janus, t_g500 = res[0]
+        assert t_janus > 20 * t_g500  # orders-of-magnitude OLAP gap

@@ -1,0 +1,142 @@
+"""Durability tests: snapshot/restore round-trips (the D of ACID)."""
+
+import pytest
+
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gda.checkpoint import restore, snapshot
+from repro.gdi import Datatype, GdiStateError
+from repro.generator import KroneckerParams, build_lpg, default_schema
+from repro.rma import run_spmd
+
+
+def test_snapshot_restore_roundtrip_generated_graph():
+    params = KroneckerParams(scale=5, edge_factor=3, seed=30)
+
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=8192))
+        build_lpg(ctx, db, params, default_schema(n_properties=4))
+        snap = snapshot(ctx, db)
+        db2 = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=8192))
+        restore(ctx, db2, snap)
+        snap2 = snapshot(ctx, db2)
+        return snap, snap2
+
+    _, res = run_spmd(3, prog)
+    snap, snap2 = res[0]
+    assert snap2["labels"] == snap["labels"]
+    assert snap2["ptypes"] == snap["ptypes"]
+    assert snap2["vertices"] == snap["vertices"]
+    assert snap2["light_edges"] == snap["light_edges"]
+    assert snap2["heavy_edges"] == snap["heavy_edges"]
+    # snapshots are identical on every rank (collective result)
+    assert all(r[0]["vertices"] == snap["vertices"] for r in res)
+
+
+def test_snapshot_restore_with_heavy_edges_and_mixed_types():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx)
+        if ctx.rank == 0:
+            db.create_label(ctx, "P")
+            db.create_label(ctx, "knows")
+            db.create_label(ctx, "likes")
+            db.create_property_type(ctx, "name", dtype=Datatype.STRING)
+            db.create_property_type(ctx, "w", dtype=Datatype.DOUBLE)
+        ctx.barrier()
+        db.replica(ctx).sync()
+        p = db.label(ctx, "P")
+        knows = db.label(ctx, "knows")
+        likes = db.label(ctx, "likes")
+        name = db.property_type(ctx, "name")
+        w = db.property_type(ctx, "w")
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            a = tx.create_vertex(1, labels=[p], properties=[(name, "a")])
+            b = tx.create_vertex(2, labels=[p], properties=[(name, "b")])
+            c = tx.create_vertex(3)
+            tx.create_edge(a, b, label=knows)  # lightweight directed
+            tx.create_edge(b, c, label=knows, directed=False)  # lw undirected
+            tx.create_edge(a, c, labels=[knows, likes], properties=[(w, 0.5)])
+            tx.create_edge(a, a, label=knows)  # directed self-loop
+            tx.commit()
+        ctx.barrier()
+        snap = snapshot(ctx, db)
+        db2 = GdaDatabase.create(ctx)
+        restore(ctx, db2, snap)
+        snap2 = snapshot(ctx, db2)
+        # semantic spot-checks on the restored database
+        tx = db2.start_transaction(ctx)
+        va = tx.associate_vertex(tx.translate_vertex_id(1))
+        assert va.property(db2.property_type(ctx, "name")) == "a"
+        heavy = [e for e in va.edges() if e.heavy]
+        assert len(heavy) == 1
+        assert heavy[0].property(db2.property_type(ctx, "w")) == 0.5
+        assert {l.name for l in heavy[0].labels()} == {"knows", "likes"}
+        tx.commit()
+        return snap, snap2
+
+    _, res = run_spmd(2, prog)
+    snap, snap2 = res[0]
+    assert snap2 == snap
+
+
+def test_restore_into_nonempty_database_rejected():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            tx.create_vertex(1)
+            tx.commit()
+        ctx.barrier()
+        snap = snapshot(ctx, db)
+        with pytest.raises(GdiStateError):
+            restore(ctx, db, snap)  # db is not empty
+        return True
+
+    _, res = run_spmd(2, prog)
+    assert all(res)
+
+
+def test_snapshot_of_empty_database():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx)
+        snap = snapshot(ctx, db)
+        return snap
+
+    _, res = run_spmd(2, prog)
+    assert res[0]["vertices"] == {}
+    assert res[0]["light_edges"] == []
+
+
+def test_restore_survives_mutations_after_snapshot():
+    """The snapshot is a stable point: mutating the source afterwards
+    does not affect what restore produces."""
+
+    def prog(ctx):
+        db = GdaDatabase.create(ctx)
+        if ctx.rank == 0:
+            db.create_property_type(ctx, "x", dtype=Datatype.INT64)
+        ctx.barrier()
+        db.replica(ctx).sync()
+        x = db.property_type(ctx, "x")
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            tx.create_vertex(1, properties=[(x, 10)])
+            tx.commit()
+        ctx.barrier()
+        snap = snapshot(ctx, db)
+        if ctx.rank == 0:  # mutate after the checkpoint
+            tx = db.start_transaction(ctx, write=True)
+            v = tx.associate_vertex(tx.translate_vertex_id(1))
+            v.set_property(x, 99)
+            tx.commit()
+        ctx.barrier()
+        db2 = GdaDatabase.create(ctx)
+        restore(ctx, db2, snap)
+        tx = db2.start_transaction(ctx)
+        v = tx.associate_vertex(tx.translate_vertex_id(1))
+        out = v.property(db2.property_type(ctx, "x"))
+        tx.commit()
+        return out
+
+    _, res = run_spmd(2, prog)
+    assert all(r == 10 for r in res)

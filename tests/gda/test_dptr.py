@@ -1,0 +1,114 @@
+"""Unit + property tests for distributed pointers, tagged pointers, edge UIDs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gda.dptr import (
+    DPTR_NULL,
+    EDGE_UID_BYTES,
+    MAX_OFFSET,
+    MAX_RANK,
+    TAG_NULL_INDEX,
+    is_null,
+    pack_dptr,
+    pack_edge_uid,
+    pack_tagged,
+    unpack_dptr,
+    unpack_edge_uid,
+    unpack_tagged,
+)
+
+
+def test_pack_layout_16_48_split():
+    """Paper Section 5.3: first 16 bits = server, remaining 48 = offset."""
+    word = pack_dptr(1, 0)
+    assert word == 1 << 48
+    word = pack_dptr(0, 12345)
+    assert word == 12345
+
+
+def test_null_is_distinct_from_zero():
+    assert is_null(DPTR_NULL)
+    assert not is_null(0)
+    assert not is_null(pack_dptr(0, 0))
+
+
+def test_unpack_null_raises():
+    with pytest.raises(ValueError):
+        unpack_dptr(DPTR_NULL)
+
+
+def test_rank_range_enforced():
+    pack_dptr(MAX_RANK - 1, 0)
+    with pytest.raises(ValueError):
+        pack_dptr(MAX_RANK, 0)  # 0xFFFF reserved
+    with pytest.raises(ValueError):
+        pack_dptr(-1, 0)
+
+
+def test_offset_range_enforced():
+    pack_dptr(0, MAX_OFFSET)
+    with pytest.raises(ValueError):
+        pack_dptr(0, MAX_OFFSET + 1)
+
+
+@given(
+    rank=st.integers(min_value=0, max_value=MAX_RANK - 1),
+    offset=st.integers(min_value=0, max_value=MAX_OFFSET),
+)
+def test_dptr_roundtrip(rank, offset):
+    d = unpack_dptr(pack_dptr(rank, offset))
+    assert (d.rank, d.offset) == (rank, offset)
+
+
+@given(
+    rank=st.integers(min_value=0, max_value=MAX_RANK - 1),
+    offset=st.integers(min_value=0, max_value=MAX_OFFSET),
+)
+def test_dptr_fits_in_signed_64bit_atomic_granule(rank, offset):
+    """The whole point of the 64-bit DPtr: one atomic word."""
+    word = pack_dptr(rank, offset)
+    assert -(2**63) <= word < 2**63
+
+
+@given(
+    tag=st.integers(min_value=0, max_value=2**40),
+    index=st.integers(min_value=0, max_value=TAG_NULL_INDEX),
+)
+def test_tagged_roundtrip_with_tag_wrap(tag, index):
+    t, i = unpack_tagged(pack_tagged(tag, index))
+    assert i == index
+    assert t == tag % 2**32
+
+
+def test_tagged_tag_increment_changes_word():
+    """ABA protection: same index, different tag => different word."""
+    assert pack_tagged(0, 5) != pack_tagged(1, 5)
+
+
+def test_tagged_index_range():
+    with pytest.raises(ValueError):
+        pack_tagged(0, TAG_NULL_INDEX + 1)
+
+
+def test_edge_uid_is_12_bytes():
+    """Paper Section 5.4.2: edge UID = 12 bytes (8 vertex UID + 4 offset)."""
+    blob = pack_edge_uid(pack_dptr(3, 4096), 7)
+    assert len(blob) == EDGE_UID_BYTES == 12
+
+
+@given(
+    rank=st.integers(min_value=0, max_value=MAX_RANK - 1),
+    offset=st.integers(min_value=0, max_value=MAX_OFFSET),
+    slot=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_edge_uid_roundtrip(rank, offset, slot):
+    word = pack_dptr(rank, offset)
+    v, s = unpack_edge_uid(pack_edge_uid(word, slot))
+    assert (v, s) == (word, slot)
+
+
+def test_edge_uid_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        unpack_edge_uid(b"\x00" * 11)

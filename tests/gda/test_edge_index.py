@@ -1,0 +1,152 @@
+"""Tests for explicit edge indexes (GDI Section 3.6 covers edges too)."""
+
+import pytest
+
+from repro.gda import GdaDatabase
+from repro.gdi import Constraint, Datatype
+from repro.rma import run_spmd
+
+
+def _setup(ctx):
+    db = GdaDatabase.create(ctx)
+    if ctx.rank == 0:
+        db.create_label(ctx, "knows")
+        db.create_label(ctx, "likes")
+        db.create_property_type(ctx, "w", dtype=Datatype.DOUBLE)
+    ctx.barrier()
+    db.replica(ctx).sync()
+    return db
+
+
+def test_edge_index_build_finds_existing_edges():
+    def prog(ctx):
+        db = _setup(ctx)
+        knows = db.label(ctx, "knows")
+        likes = db.label(ctx, "likes")
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            a, b, c = (tx.create_vertex(i) for i in range(3))
+            tx.create_edge(a, b, label=knows)
+            tx.create_edge(b, c, label=likes)
+            tx.create_edge(c, a, label=knows)
+            tx.commit()
+        ctx.barrier()
+        idx = db.create_edge_index(
+            ctx, "knows_idx", Constraint.has_label(knows.int_id)
+        )
+        # count sources across ranks: vertices 0 and 2 have a knows-edge
+        sources = idx.count_sources(ctx)
+        tx = db.start_collective_transaction(ctx)
+        local_edges = idx.local_edges(ctx, tx)
+        names = sorted(
+            l.name for e in local_edges for l in e.labels()
+        )
+        n_edges = ctx.allreduce(len(local_edges))
+        tx.commit()
+        assert all(n == "knows" for n in names)
+        return sources, n_edges
+
+    _, res = run_spmd(2, prog)
+    sources, n_edges = res[0]
+    # vertices 0 and 2 each have one outgoing knows-edge; vertex 1 also
+    # sees the incoming knows-edge slot (incident edges count), so the
+    # source set is {0, 1, 2}
+    assert sources == 3
+    # edge handles resolved per incident slot: 2 edges x 2 endpoints
+    assert n_edges == 4
+
+
+def test_edge_index_maintained_on_commit():
+    def prog(ctx):
+        db = _setup(ctx)
+        knows = db.label(ctx, "knows")
+        idx = db.create_edge_index(
+            ctx, "knows_idx", Constraint.has_label(knows.int_id)
+        )
+        assert idx.count_sources(ctx) == 0
+        ctx.barrier()  # keep rank 0 from mutating before peers assert
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            a, b = tx.create_vertex(1), tx.create_vertex(2)
+            tx.create_edge(a, b, label=knows)
+            tx.commit()
+        ctx.barrier()
+        assert idx.count_sources(ctx) == 2  # both endpoints carry a slot
+        ctx.barrier()  # keep rank 0 from deleting before peers assert
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            a = tx.associate_vertex(tx.translate_vertex_id(1))
+            a.edges()[0].delete()
+            tx.commit()
+        ctx.barrier()
+        assert idx.count_sources(ctx) == 0
+        return True
+
+    _, res = run_spmd(2, prog)
+    assert all(res)
+
+
+def test_edge_index_with_property_constraint_on_heavy_edges():
+    def prog(ctx):
+        db = _setup(ctx)
+        w = db.property_type(ctx, "w")
+        idx = db.create_edge_index(
+            ctx, "heavy_w", Constraint.prop(w.int_id, ">", 0.5)
+        )
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            a, b, c = (tx.create_vertex(i) for i in range(3))
+            tx.create_edge(a, b, properties=[(w, 0.9)])
+            tx.create_edge(a, c, properties=[(w, 0.1)])
+            tx.commit()
+        ctx.barrier()
+        tx = db.start_collective_transaction(ctx)
+        matches = []
+        for e in idx.local_edges(ctx, tx):
+            matches.append(e.property(w))
+        total = ctx.allreduce(matches, op=lambda x, y: x + y)
+        tx.commit()
+        return sorted(total)
+
+    _, res = run_spmd(2, prog)
+    # the 0.9 edge matches; seen from both endpoints -> two handles
+    assert res[0] == [0.9, 0.9]
+
+
+def test_edge_index_updates_on_vertex_delete():
+    def prog(ctx):
+        db = _setup(ctx)
+        knows = db.label(ctx, "knows")
+        idx = db.create_edge_index(
+            ctx, "k", Constraint.has_label(knows.int_id)
+        )
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            a, b = tx.create_vertex(1), tx.create_vertex(2)
+            tx.create_edge(a, b, label=knows)
+            tx.commit()
+            tx = db.start_transaction(ctx, write=True)
+            a = tx.associate_vertex(tx.translate_vertex_id(1))
+            tx.delete_vertex(a)  # removes the edge from both sides
+            tx.commit()
+        ctx.barrier()
+        assert idx.count_sources(ctx) == 0
+        return True
+
+    _, res = run_spmd(2, prog)
+    assert all(res)
+
+
+def test_duplicate_edge_index_name_rejected():
+    from repro.gdi import GdiInvalidArgument
+    from repro.rma import SpmdError
+
+    def prog(ctx):
+        db = _setup(ctx)
+        knows = db.label(ctx, "knows")
+        db.create_edge_index(ctx, "dup", Constraint.has_label(knows.int_id))
+        db.create_edge_index(ctx, "dup", Constraint.has_label(knows.int_id))
+
+    with pytest.raises(SpmdError) as ei:
+        run_spmd(1, prog)
+    assert isinstance(ei.value.original, GdiInvalidArgument)

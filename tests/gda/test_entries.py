@@ -1,0 +1,131 @@
+"""Unit + property tests for the label/property entry wire format."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gda.entries import (
+    ENTRY_EMPTY,
+    ENTRY_LABEL,
+    ENTRY_LAST,
+    FIRST_PTYPE_ID,
+    EntryFormatError,
+    decode_entries,
+    encode_entries,
+    entries_nbytes,
+)
+
+
+def test_reserved_ids_match_paper():
+    """Section 5.4.3: 0 = empty, 1 = last, 2 = label, others = p-types."""
+    assert ENTRY_EMPTY == 0
+    assert ENTRY_LAST == 1
+    assert ENTRY_LABEL == 2
+    assert FIRST_PTYPE_ID == 3
+
+
+def test_empty_stream_is_just_terminator():
+    blob = encode_entries([], [])
+    assert blob == struct.pack("<i", ENTRY_LAST)
+    assert decode_entries(blob) == ([], [])
+
+
+def test_labels_roundtrip_preserving_order():
+    blob = encode_entries([5, 2, 9], [])
+    labels, props = decode_entries(blob)
+    assert labels == [5, 2, 9]
+    assert props == []
+
+
+def test_properties_roundtrip():
+    props = [(3, b"alice"), (4, b""), (3, b"bob")]
+    blob = encode_entries([], props)
+    labels, out = decode_entries(blob)
+    assert labels == []
+    assert out == props  # multi-entry p-types allowed (Section 3.7)
+
+
+def test_mixed_stream():
+    blob = encode_entries([1, 7], [(10, b"\x01\x02")])
+    assert decode_entries(blob) == ([1, 7], [(10, b"\x01\x02")])
+
+
+def test_empty_slots_are_skipped():
+    """A hole left by an in-place deletion must be transparent."""
+    blob = encode_entries([4], [])
+    holey = struct.pack("<i", ENTRY_EMPTY) + blob
+    assert decode_entries(holey) == ([4], [])
+
+
+def test_data_after_terminator_ignored():
+    blob = encode_entries([4], []) + b"\xde\xad\xbe\xef"
+    assert decode_entries(blob) == ([4], [])
+
+
+def test_ptype_id_below_reserved_range_rejected():
+    with pytest.raises(EntryFormatError):
+        encode_entries([], [(2, b"x")])
+    with pytest.raises(EntryFormatError):
+        encode_entries([], [(0, b"x")])
+
+
+def test_invalid_label_id_rejected():
+    with pytest.raises(EntryFormatError):
+        encode_entries([0], [])
+    with pytest.raises(EntryFormatError):
+        encode_entries([-3], [])
+
+
+def test_non_bytes_property_value_rejected():
+    with pytest.raises(EntryFormatError):
+        encode_entries([], [(3, "not-bytes")])
+
+
+def test_missing_terminator_detected():
+    blob = encode_entries([4], [])[:-4]
+    with pytest.raises(EntryFormatError):
+        decode_entries(blob)
+
+
+def test_truncated_property_payload_detected():
+    blob = struct.pack("<ii", 3, 100) + b"short" + struct.pack("<i", ENTRY_LAST)
+    with pytest.raises(EntryFormatError):
+        decode_entries(blob)
+
+
+def test_negative_entry_id_detected():
+    blob = struct.pack("<i", -7) + struct.pack("<i", ENTRY_LAST)
+    with pytest.raises(EntryFormatError):
+        decode_entries(blob)
+
+
+@given(
+    labels=st.lists(st.integers(min_value=1, max_value=2**31 - 1), max_size=20),
+    props=st.lists(
+        st.tuples(
+            st.integers(min_value=FIRST_PTYPE_ID, max_value=2**31 - 1),
+            st.binary(max_size=64),
+        ),
+        max_size=20,
+    ),
+)
+def test_roundtrip_property(labels, props):
+    blob = encode_entries(labels, props)
+    assert decode_entries(blob) == (labels, props)
+    assert len(blob) == entries_nbytes(labels, props)
+
+
+@given(
+    labels=st.lists(st.integers(min_value=1, max_value=100), max_size=8),
+    props=st.lists(
+        st.tuples(
+            st.integers(min_value=FIRST_PTYPE_ID, max_value=50),
+            st.binary(max_size=16),
+        ),
+        max_size=8,
+    ),
+)
+def test_nbytes_predicts_exact_size(labels, props):
+    assert entries_nbytes(labels, props) == len(encode_entries(labels, props))

@@ -1,0 +1,290 @@
+"""Tests for holder serialization, block layout planning, and storage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gda.blocks import BlockManager
+from repro.gda.dptr import pack_dptr, unpack_dptr
+from repro.gda.holder import (
+    DIR_IN,
+    DIR_OUT,
+    DIR_UNDIR,
+    HEADER_BYTES,
+    SLOT_BYTES,
+    SLOT_HEAVY,
+    EdgeHolder,
+    EdgeSlot,
+    HolderStorage,
+    VertexHolder,
+    plan_layout,
+)
+from repro.gdi.errors import GdiNoMemory
+from repro.rma import run_spmd
+
+
+# ---------------------------------------------------------------- layout --
+class TestPlanLayout:
+    def test_small_payload_fits_in_primary(self):
+        assert plan_layout(10, 128) == (0, 0)
+        assert plan_layout(128 - HEADER_BYTES, 128) == (0, 0)
+
+    def test_one_continuation_block(self):
+        nindex, ndata = plan_layout(128 - HEADER_BYTES + 1, 128)
+        assert nindex == 0
+        assert ndata == 1
+
+    def test_direct_capacity_accounts_for_address_area(self):
+        bs = 128
+        nindex, ndata = plan_layout(1000, bs)
+        assert nindex == 0
+        cap = (bs - HEADER_BYTES - 8 * ndata) + ndata * bs
+        assert cap >= 1000
+        # minimality: one fewer block must not suffice
+        cap_less = (bs - HEADER_BYTES - 8 * (ndata - 1)) + (ndata - 1) * bs
+        assert cap_less < 1000
+
+    def test_indirect_kicks_in_for_huge_payloads(self):
+        bs = 128
+        # direct limit: (bs-40)/8 = 11 addresses -> ~1.4 KB max direct
+        nindex, ndata = plan_layout(20_000, bs)
+        assert nindex > 0
+        per_index = bs // 8
+        assert ndata <= nindex * per_index
+        cap = (bs - HEADER_BYTES - 8 * nindex) + ndata * bs
+        assert cap >= 20_000
+
+    def test_capacity_ceiling_is_quadratic_in_block_size(self):
+        # One level of indirection bounds holders at roughly
+        # (head_room/8) * (bs/8) * bs bytes; beyond that we raise.
+        with pytest.raises(GdiNoMemory):
+            plan_layout(50_000, 128)
+        plan_layout(50_000, 512)  # bigger blocks lift the ceiling
+
+    def test_too_large_payload_raises(self):
+        with pytest.raises(GdiNoMemory):
+            plan_layout(10**9, 64)
+
+    def test_tiny_block_size_rejected(self):
+        with pytest.raises(GdiNoMemory):
+            plan_layout(100, HEADER_BYTES)
+
+    @settings(max_examples=200)
+    @given(
+        payload=st.integers(min_value=0, max_value=200_000),
+        bs=st.sampled_from([64, 128, 256, 512, 4096]),
+    )
+    def test_layout_always_has_sufficient_capacity(self, payload, bs):
+        try:
+            nindex, ndata = plan_layout(payload, bs)
+        except GdiNoMemory:
+            return
+        addr_in_primary = 8 * (nindex if nindex else ndata)
+        assert HEADER_BYTES + addr_in_primary <= bs
+        cap = (bs - HEADER_BYTES - addr_in_primary) + ndata * bs
+        assert cap >= payload
+        if nindex:
+            assert ndata <= nindex * (bs // 8)
+
+
+# ---------------------------------------------------------- storage I/O --
+def _with_storage(nranks, fn, block_size=128, blocks_per_rank=512):
+    def prog(ctx):
+        bm = BlockManager.create(
+            ctx, block_size=block_size, blocks_per_rank=blocks_per_rank
+        )
+        return fn(ctx, HolderStorage(bm))
+
+    return run_spmd(nranks, prog)
+
+
+def _sample_vertex(app_id=77):
+    return VertexHolder(
+        app_id=app_id,
+        labels=[1, 4],
+        properties=[(3, b"alice"), (5, b"\x01\x02\x03")],
+        edges=[
+            EdgeSlot(pack_dptr(1, 128), 2, DIR_OUT),
+            EdgeSlot(pack_dptr(0, 256), 0, DIR_IN),
+            EdgeSlot(pack_dptr(1, 0), 0, DIR_UNDIR | SLOT_HEAVY),
+        ],
+    )
+
+
+def test_vertex_roundtrip_single_block():
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            v = _sample_vertex()
+            stored = hs.write_new(ctx, v, home_rank=1)
+            assert unpack_dptr(stored.primary).rank == 1
+            assert stored.data_blocks == [] and stored.index_blocks == []
+            back = hs.read(ctx, stored.primary)
+            assert back.holder.app_id == 77
+            assert back.holder.labels == [1, 4]
+            assert back.holder.properties == v.properties
+            assert back.holder.edges == v.edges
+        ctx.barrier()
+
+    _with_storage(2, body, block_size=256)
+
+
+def test_vertex_roundtrip_multi_block():
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            v = VertexHolder(
+                app_id=9,
+                labels=[2],
+                properties=[(3, b"x" * 500)],
+                edges=[EdgeSlot(pack_dptr(0, 0), 1, DIR_OUT)] * 20,
+            )
+            stored = hs.write_new(ctx, v, home_rank=0)
+            assert len(stored.data_blocks) >= 1
+            back = hs.read(ctx, stored.primary)
+            assert back.holder.properties == v.properties
+            assert len(back.holder.edges) == 20
+            assert back.data_blocks == stored.data_blocks
+        ctx.barrier()
+
+    _with_storage(1, body)
+
+
+def test_vertex_roundtrip_indirect_addressing():
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            # thousands of edges force indirect addressing with 128B blocks
+            v = VertexHolder(
+                app_id=1,
+                edges=[EdgeSlot(pack_dptr(0, 64 * i), 1, DIR_OUT) for i in range(800)],
+            )
+            stored = hs.write_new(ctx, v, home_rank=0)
+            assert stored.index_blocks  # indirect was required
+            back = hs.read(ctx, stored.primary)
+            assert back.holder.edges == v.edges
+            assert back.index_blocks == stored.index_blocks
+        ctx.barrier()
+
+    _with_storage(1, body, blocks_per_rank=2048)
+
+
+def test_edge_holder_roundtrip():
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            e = EdgeHolder(
+                src=pack_dptr(0, 0),
+                dst=pack_dptr(1, 128),
+                directed=True,
+                labels=[7],
+                properties=[(3, b"since-2020")],
+            )
+            stored = hs.write_new(ctx, e, home_rank=0)
+            back = hs.read(ctx, stored.primary).holder
+            assert back.src == e.src and back.dst == e.dst
+            assert back.directed
+            assert back.labels == [7]
+            assert back.properties == e.properties
+        ctx.barrier()
+
+    _with_storage(2, body)
+
+
+def test_undirected_edge_flag_roundtrip():
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            e = EdgeHolder(src=pack_dptr(0, 0), dst=pack_dptr(0, 128), directed=False)
+            stored = hs.write_new(ctx, e, home_rank=0)
+            assert not hs.read(ctx, stored.primary).holder.directed
+        ctx.barrier()
+
+    _with_storage(1, body)
+
+
+def test_rewrite_grows_and_shrinks_block_set():
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            bm = hs.blocks
+            v = VertexHolder(app_id=5, properties=[(3, b"small")])
+            stored = hs.write_new(ctx, v, home_rank=0)
+            base_count = bm.allocated_count(ctx, 0)
+            # grow
+            v.properties = [(3, b"y" * 2000)]
+            hs.rewrite(ctx, stored)
+            assert len(stored.data_blocks) > 0
+            grown = bm.allocated_count(ctx, 0)
+            assert grown > base_count
+            assert hs.read(ctx, stored.primary).holder.properties == v.properties
+            # shrink back
+            v.properties = [(3, b"small")]
+            hs.rewrite(ctx, stored)
+            assert bm.allocated_count(ctx, 0) == base_count
+            assert stored.data_blocks == []
+            assert hs.read(ctx, stored.primary).holder.properties == v.properties
+        ctx.barrier()
+
+    _with_storage(1, body)
+
+
+def test_delete_releases_every_block():
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            bm = hs.blocks
+            v = VertexHolder(app_id=5, properties=[(3, b"z" * 3000)])
+            stored = hs.write_new(ctx, v, home_rank=0)
+            assert bm.allocated_count(ctx, 0) > 0
+            hs.delete(ctx, stored)
+            assert bm.allocated_count(ctx, 0) == 0
+        ctx.barrier()
+
+    _with_storage(1, body)
+
+
+def test_read_unwritten_block_fails_loudly():
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            dptr = hs.blocks.acquire_block(ctx, 0)
+            from repro.gdi.errors import GdiStateError
+
+            with pytest.raises(GdiStateError):
+                hs.read(ctx, dptr)
+        ctx.barrier()
+
+    _with_storage(1, body)
+
+
+def test_slot_helpers():
+    s = EdgeSlot(pack_dptr(0, 0), 3, DIR_OUT | SLOT_HEAVY)
+    assert s.direction == DIR_OUT
+    assert s.heavy
+    assert not EdgeSlot(0, 0, DIR_IN).heavy
+    assert SLOT_BYTES == 16
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    labels=st.lists(st.integers(min_value=1, max_value=50), max_size=6),
+    props=st.lists(
+        st.tuples(st.integers(min_value=3, max_value=40), st.binary(max_size=300)),
+        max_size=6,
+    ),
+    nedges=st.integers(min_value=0, max_value=60),
+    direction=st.sampled_from([DIR_OUT, DIR_IN, DIR_UNDIR]),
+)
+def test_storage_roundtrip_property(labels, props, nedges, direction):
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            v = VertexHolder(
+                app_id=123456789,
+                labels=list(labels),
+                properties=list(props),
+                edges=[EdgeSlot(pack_dptr(0, 64 * i), 0, direction) for i in range(nedges)],
+            )
+            stored = hs.write_new(ctx, v, home_rank=0)
+            back = hs.read(ctx, stored.primary).holder
+            assert back.app_id == v.app_id
+            assert back.labels == v.labels
+            assert back.properties == v.properties
+            assert back.edges == v.edges
+            hs.delete(ctx, stored)
+            assert hs.blocks.allocated_count(ctx, 0) == 0
+        ctx.barrier()
+
+    _with_storage(1, body, blocks_per_rank=256)

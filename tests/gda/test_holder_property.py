@@ -1,0 +1,74 @@
+"""Additional property-based coverage: edge holders and mixed rewrites."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gda.blocks import BlockManager
+from repro.gda.dptr import pack_dptr
+from repro.gda.holder import EdgeHolder, HolderStorage
+from repro.rma import run_spmd
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    directed=st.booleans(),
+    labels=st.lists(st.integers(min_value=1, max_value=60), max_size=5),
+    props=st.lists(
+        st.tuples(st.integers(min_value=3, max_value=50), st.binary(max_size=200)),
+        max_size=5,
+    ),
+    src_off=st.integers(min_value=0, max_value=100),
+    dst_off=st.integers(min_value=0, max_value=100),
+)
+def test_edge_holder_roundtrip_property(directed, labels, props, src_off, dst_off):
+    def prog(ctx):
+        bm = BlockManager.create(ctx, block_size=128, blocks_per_rank=128)
+        hs = HolderStorage(bm)
+        e = EdgeHolder(
+            src=pack_dptr(0, 128 * src_off),
+            dst=pack_dptr(0, 128 * dst_off),
+            directed=directed,
+            labels=list(labels),
+            properties=list(props),
+        )
+        stored = hs.write_new(ctx, e, home_rank=0)
+        back = hs.read(ctx, stored.primary).holder
+        assert back.src == e.src and back.dst == e.dst
+        assert back.directed == directed
+        assert back.labels == e.labels
+        assert back.properties == e.properties
+        hs.delete(ctx, stored)
+        assert bm.allocated_count(ctx, 0) == 0
+        return True
+
+    run_spmd(1, prog)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=3000), min_size=2, max_size=6)
+)
+def test_repeated_rewrites_never_leak_blocks(sizes):
+    """Grow/shrink a holder through arbitrary size sequences; the block
+    count always equals exactly what the final layout needs."""
+
+    def prog(ctx):
+        from repro.gda.holder import VertexHolder, plan_layout
+
+        bm = BlockManager.create(ctx, block_size=256, blocks_per_rank=256)
+        hs = HolderStorage(bm)
+        v = VertexHolder(app_id=1, properties=[(3, b"")])
+        stored = hs.write_new(ctx, v, home_rank=0)
+        for size in sizes:
+            v.properties = [(3, b"x" * size)]
+            hs.rewrite(ctx, stored)
+            back = hs.read(ctx, stored.primary).holder
+            assert back.properties == v.properties
+            payload, _ = v.payload()
+            nindex, ndata = plan_layout(len(payload), 256)
+            assert bm.allocated_count(ctx, 0) == 1 + nindex + ndata
+        hs.delete(ctx, stored)
+        assert bm.allocated_count(ctx, 0) == 0
+        return True
+
+    run_spmd(1, prog)

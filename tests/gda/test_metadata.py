@@ -1,0 +1,165 @@
+"""Tests for replicated metadata and its eventual-consistency semantics."""
+
+import pytest
+
+from repro.gda.entries import FIRST_PTYPE_ID
+from repro.gda.metadata import (
+    Label,
+    LinkedRegistry,
+    MetadataReplica,
+    MetadataStore,
+    PropertyType,
+)
+from repro.gdi.constants import EntityType, Multiplicity, SizeType
+from repro.gdi.errors import GdiInvalidArgument, GdiNotFound, GdiStaleMetadata
+from repro.gdi.types import Datatype
+
+
+class TestLinkedRegistry:
+    def test_add_lookup(self):
+        reg = LinkedRegistry()
+        reg.add(Label("A", 1))
+        reg.add(Label("B", 2))
+        assert reg.by_name("A").int_id == 1
+        assert reg.by_id(2).name == "B"
+        assert "A" in reg and "C" not in reg
+        assert len(reg) == 2
+
+    def test_iteration_preserves_insertion_order(self):
+        reg = LinkedRegistry()
+        for i, name in enumerate(["x", "y", "z"], start=1):
+            reg.add(Label(name, i))
+        assert [l.name for l in reg] == ["x", "y", "z"]
+
+    def test_remove_middle_head_tail(self):
+        reg = LinkedRegistry()
+        for i in range(1, 5):
+            reg.add(Label(f"l{i}", i))
+        reg.remove_by_id(2)
+        assert [l.int_id for l in reg] == [1, 3, 4]
+        reg.remove_by_id(1)
+        assert [l.int_id for l in reg] == [3, 4]
+        reg.remove_by_id(4)
+        assert [l.int_id for l in reg] == [3]
+        reg.remove_by_id(3)
+        assert list(reg) == []
+
+    def test_duplicate_name_rejected(self):
+        reg = LinkedRegistry()
+        reg.add(Label("A", 1))
+        with pytest.raises(GdiInvalidArgument):
+            reg.add(Label("A", 2))
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(GdiNotFound):
+            LinkedRegistry().remove_by_id(9)
+
+
+class TestMetadataStore:
+    def test_label_ids_monotonic_from_one(self):
+        store = MetadataStore()
+        a = store.create_label("A")
+        b = store.create_label("B")
+        assert (a.int_id, b.int_id) == (1, 2)
+
+    def test_ptype_ids_start_after_reserved_entry_ids(self):
+        """Property-type integer IDs must not collide with the reserved
+        entry IDs 0/1/2 (paper Section 5.4.3)."""
+        store = MetadataStore()
+        pt = store.create_property_type("age")
+        assert pt.int_id == FIRST_PTYPE_ID == 3
+
+    def test_duplicate_names_rejected(self):
+        store = MetadataStore()
+        store.create_label("A")
+        with pytest.raises(GdiInvalidArgument):
+            store.create_label("A")
+        store.create_property_type("p")
+        with pytest.raises(GdiInvalidArgument):
+            store.create_property_type("p")
+
+    def test_label_and_ptype_namespaces_are_separate(self):
+        store = MetadataStore()
+        store.create_label("name")
+        store.create_property_type("name")  # no conflict
+
+    def test_fixed_size_requires_limit(self):
+        store = MetadataStore()
+        with pytest.raises(GdiInvalidArgument):
+            store.create_property_type("f", size_type=SizeType.FIXED)
+        store.create_property_type("f", size_type=SizeType.FIXED, size_limit=8)
+
+    def test_drop_label_then_name_reusable(self):
+        store = MetadataStore()
+        a = store.create_label("A")
+        store.drop_label(a.int_id)
+        b = store.create_label("A")
+        assert b.int_id != a.int_id  # integer IDs are never recycled
+
+    def test_drop_unknown_raises(self):
+        store = MetadataStore()
+        with pytest.raises(GdiNotFound):
+            store.drop_label(7)
+        with pytest.raises(GdiNotFound):
+            store.drop_property_type(7)
+
+    def test_empty_names_rejected(self):
+        store = MetadataStore()
+        with pytest.raises(GdiInvalidArgument):
+            store.create_label("")
+        with pytest.raises(GdiInvalidArgument):
+            store.create_property_type("")
+
+
+class TestEventualConsistency:
+    def test_replicas_lag_until_sync(self):
+        store = MetadataStore()
+        r1, r2 = MetadataReplica(store), MetadataReplica(store)
+        label = store.create_label("Person")
+        r1.sync()
+        assert r1.label_by_id(label.int_id).name == "Person"
+        # r2 has not synced: stale metadata triggers the abort path.
+        with pytest.raises(GdiStaleMetadata):
+            r2.label_by_id(label.int_id)
+        assert r2.sync() == 1
+        assert r2.label_by_id(label.int_id).name == "Person"
+
+    def test_sync_applies_drops(self):
+        store = MetadataStore()
+        r = MetadataReplica(store)
+        label = store.create_label("L")
+        r.sync()
+        store.drop_label(label.int_id)
+        r.sync()
+        with pytest.raises(GdiStaleMetadata):
+            r.label_by_id(label.int_id)
+
+    def test_sync_is_incremental(self):
+        store = MetadataStore()
+        r = MetadataReplica(store)
+        store.create_label("a")
+        assert r.sync() == 1
+        assert r.sync() == 0
+        store.create_label("b")
+        store.create_property_type("p")
+        assert r.sync() == 2
+
+    def test_dtype_of(self):
+        store = MetadataStore()
+        r = MetadataReplica(store)
+        pt = store.create_property_type("age", dtype=Datatype.INT64)
+        r.sync()
+        assert r.dtype_of(pt.int_id) is Datatype.INT64
+
+    def test_ptype_hints_roundtrip(self):
+        store = MetadataStore()
+        pt = store.create_property_type(
+            "feature",
+            entity_type=EntityType.VERTEX,
+            dtype=Datatype.DOUBLE_ARRAY,
+            size_type=SizeType.FIXED,
+            size_limit=128,
+            multiplicity=Multiplicity.SINGLE,
+        )
+        assert pt.entity_type == EntityType.VERTEX
+        assert pt.size_limit == 128

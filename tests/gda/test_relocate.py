@@ -1,0 +1,154 @@
+"""Tests for dynamic vertex relocation / rebalancing (Section 3.4)."""
+
+import pytest
+
+from repro.gda import GdaConfig, GdaDatabase, unpack_dptr
+from repro.gda.checkpoint import snapshot
+from repro.gda.relocate import plan_balance, rebalance
+from repro.gdi import Constraint, Datatype, GdiNotFound
+from repro.generator import KroneckerParams, build_lpg, default_schema
+from repro.rma import run_spmd
+
+PARAMS = KroneckerParams(scale=5, edge_factor=3, seed=88)
+SCHEMA = default_schema(n_vertex_labels=3, n_edge_labels=2, n_properties=4)
+
+
+def test_rebalance_preserves_database_content():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=16384))
+        g = build_lpg(ctx, db, PARAMS, SCHEMA)
+        before = snapshot(ctx, db)
+        # move every vertex of rank 0 to rank 1 (an extreme plan)
+        plan = {
+            vid: 1
+            for vid in db.directory.local_vertices(ctx)
+            if ctx.rank == 0
+        }
+        mapping = rebalance(ctx, db, plan)
+        after = snapshot(ctx, db)
+        return before, after, len(mapping), g
+
+    _, res = run_spmd(3, prog)
+    before, after, n_moved, _ = res[0]
+    assert n_moved > 0
+    assert after["vertices"] == before["vertices"]
+    assert after["light_edges"] == before["light_edges"]
+    assert after["heavy_edges"] == before["heavy_edges"]
+
+
+def test_rebalance_moves_vertices_physically():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=16384))
+        build_lpg(ctx, db, PARAMS, SCHEMA)
+        sizes_before = ctx.allgather(len(db.directory.local_vertices(ctx)))
+        plan = {}
+        if ctx.rank == 0:
+            victims = db.directory.local_vertices(ctx)[:5]
+            plan = {vid: 2 for vid in victims}
+        mapping = rebalance(ctx, db, plan)
+        sizes_after = ctx.allgather(len(db.directory.local_vertices(ctx)))
+        homes = {unpack_dptr(v).rank for v in mapping.values()}
+        return sizes_before, sizes_after, homes, len(mapping)
+
+    _, res = run_spmd(3, prog)
+    sizes_before, sizes_after, homes, n = res[0]
+    assert n == 5
+    assert homes == {2}
+    assert sizes_after[0] == sizes_before[0] - 5
+    assert sizes_after[2] == sizes_before[2] + 5
+
+
+def test_old_permanent_ids_go_stale_after_rebalance():
+    """The Section 3.4 tradeoff: permanent IDs become stale on moves."""
+
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=16384))
+        if ctx.rank == 0:
+            db.create_property_type(ctx, "x", dtype=Datatype.INT64)
+            tx = db.start_transaction(ctx, write=True)
+            tx.create_vertex(0, properties=[(db.property_type(ctx, "x"), 7)])
+            tx.commit()
+        ctx.barrier()
+        tx = db.start_transaction(ctx)
+        stale_vid = tx.translate_vertex_id(0)  # permanent ID
+        tx.commit()
+        plan = {stale_vid: 1} if ctx.rank == 0 else {}
+        rebalance(ctx, db, plan)
+        if ctx.rank == 0:
+            # re-translation yields the fresh ID and works...
+            tx = db.start_transaction(ctx)
+            v = tx.find_vertex(0)
+            assert v is not None
+            assert v.vid != stale_vid
+            assert unpack_dptr(v.vid).rank == 1
+            assert v.property(db.property_type(ctx, "x")) == 7
+            tx.commit()
+            # ...while the stale permanent ID no longer resolves
+            tx = db.start_transaction(ctx)
+            with pytest.raises(GdiNotFound):
+                tx.associate_vertex(stale_vid)
+            tx.abort()
+        ctx.barrier()
+        return True
+
+    _, res = run_spmd(2, prog)
+    assert all(res)
+
+
+def test_indexes_follow_moved_vertices():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=16384))
+        g = build_lpg(ctx, db, PARAMS, SCHEMA)
+        label = g.vertex_label(0)
+        idx = db.create_index(ctx, "vl0", Constraint.has_label(label.int_id))
+        count_before = idx.count(ctx)
+        plan = {}
+        if ctx.rank == 0:
+            plan = {vid: 1 for vid in idx.local_vertices(ctx)}
+        rebalance(ctx, db, plan)
+        count_after = idx.count(ctx)
+        # postings moved to rank 1's shard and still resolve
+        tx = db.start_collective_transaction(ctx)
+        for vid in idx.local_vertices(ctx):
+            v = tx.associate_vertex(vid)
+            assert v.has_label(label)
+        tx.commit()
+        return count_before, count_after, len(idx.local_vertices(ctx))
+
+    _, res = run_spmd(2, prog)
+    count_before, count_after, _ = res[0]
+    assert count_after == count_before
+    assert res[0][2] == 0 or res[1][2] >= res[0][2]  # rank 1 holds them
+
+
+def test_plan_balance_flattens_skewed_distribution():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=16384))
+        # skew: all vertices created with app ids owned by rank 0
+        tx = db.start_collective_transaction(ctx, write=True)
+        if ctx.rank == 0:
+            for i in range(30):
+                tx.create_vertex(i * ctx.nranks)  # home = rank 0
+        tx.commit()
+        plan = plan_balance(ctx, db)
+        mapping = rebalance(ctx, db, plan)
+        sizes = ctx.allgather(len(db.directory.local_vertices(ctx)))
+        return sizes, len(mapping)
+
+    _, res = run_spmd(3, prog)
+    sizes, moved = res[0]
+    assert moved > 0
+    assert max(sizes) - min(sizes) <= 3  # roughly flat afterwards
+
+
+def test_rebalance_with_empty_plan_is_noop():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx)
+        build_lpg(ctx, db, KroneckerParams(scale=4, edge_factor=2), SCHEMA)
+        before = snapshot(ctx, db)
+        mapping = rebalance(ctx, db, {})
+        after = snapshot(ctx, db)
+        return before == after, mapping
+
+    _, res = run_spmd(2, prog)
+    assert all(ok and m == {} for ok, m in res)

@@ -1,0 +1,150 @@
+"""Executable checks of the Section 5.9 work-depth bounds.
+
+Each test runs one GDA routine uncontended and asserts the number of
+one-sided operations it issued stays within the declared budget from
+:mod:`repro.gda.workdepth` — the paper's O(1)-work claims as assertions.
+"""
+
+from repro.gda.blocks import BlockManager
+from repro.gda.dht import DistributedHashTable
+from repro.gda.holder import HolderStorage, VertexHolder
+from repro.gda.locks import RWLock
+from repro.gda.workdepth import BOUNDS, measure_ops
+from repro.rma import run_spmd
+
+
+def test_bounds_table_is_complete():
+    expected = {
+        "acquire_block",
+        "release_block",
+        "dht_insert",
+        "dht_lookup",
+        "dht_delete",
+        "lock_read_acquire",
+        "lock_write_acquire",
+        "holder_read",
+        "holder_write",
+        "metadata_create",
+        "translate_vertex_id",
+    }
+    assert set(BOUNDS) == expected
+    for b in BOUNDS.values():
+        assert b.budget(c=3, k=5, x=2) >= 1
+
+
+def test_block_routines_constant_work():
+    def prog(ctx):
+        mgr = BlockManager.create(ctx, block_size=64, blocks_per_rank=16)
+        if ctx.rank == 0:
+            done = measure_ops(ctx.rt.trace, 0)
+            dptr = mgr.acquire_block(ctx, 1)
+            assert done() <= BOUNDS["acquire_block"].budget()
+            done = measure_ops(ctx.rt.trace, 0)
+            mgr.release_block(ctx, dptr)
+            assert done() <= BOUNDS["release_block"].budget()
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
+
+
+def test_dht_routines_bounded_by_chain_length():
+    def prog(ctx):
+        dht = DistributedHashTable.create(
+            ctx, buckets_per_rank=1, entries_per_rank=32
+        )
+        if ctx.rank == 0:
+            done = measure_ops(ctx.rt.trace, 0)
+            dht.insert(ctx, 1, 10)
+            assert done() <= BOUNDS["dht_insert"].budget()
+            for k in range(2, 6):
+                dht.insert(ctx, k, k)
+            chain = 5  # single bucket, 5 entries
+            done = measure_ops(ctx.rt.trace, 0)
+            assert dht.lookup(ctx, 1) == 10  # worst position: oldest entry
+            assert done() <= BOUNDS["dht_lookup"].budget(c=chain)
+            done = measure_ops(ctx.rt.trace, 0)
+            assert dht.delete(ctx, 1)
+            assert done() <= BOUNDS["dht_delete"].budget(c=chain)
+        ctx.barrier()
+        return True
+
+    run_spmd(1, prog)
+
+
+def test_lock_routines_single_atomic():
+    def prog(ctx):
+        win = ctx.win_allocate("l", 64)
+        lock = RWLock(win, rank=0, offset=0)
+        if ctx.rank == 0:
+            done = measure_ops(ctx.rt.trace, 0)
+            lock.acquire_read(ctx)
+            assert done() <= BOUNDS["lock_read_acquire"].budget()
+            lock.release_read(ctx)
+            done = measure_ops(ctx.rt.trace, 0)
+            lock.acquire_write(ctx)
+            assert done() <= BOUNDS["lock_write_acquire"].budget()
+            lock.release_write(ctx)
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
+
+
+def test_holder_io_linear_in_block_count():
+    def prog(ctx):
+        mgr = BlockManager.create(ctx, block_size=128, blocks_per_rank=128)
+        hs = HolderStorage(mgr)
+        if ctx.rank == 0:
+            v = VertexHolder(app_id=1, properties=[(3, b"x" * 700)])
+            done = measure_ops(ctx.rt.trace, 0)
+            stored = hs.write_new(ctx, v, home_rank=0)
+            k = 1 + len(stored.data_blocks) + len(stored.index_blocks)
+            # write = allocation (4 ops/block) + 1 put/block + flush
+            assert done() <= 4 * k + BOUNDS["holder_write"].budget(k=k)
+            done = measure_ops(ctx.rt.trace, 0)
+            hs.read(ctx, stored.primary)
+            assert done() <= BOUNDS["holder_read"].budget(k=k)
+        ctx.barrier()
+        return True
+
+    run_spmd(1, prog)
+
+
+def test_single_block_vertex_needs_one_remote_read():
+    """The paper's BGDL design insight: a vertex fitting in one block is
+    fetched with a single remote operation."""
+
+    def prog(ctx):
+        mgr = BlockManager.create(ctx, block_size=512, blocks_per_rank=16)
+        hs = HolderStorage(mgr)
+        if ctx.rank == 0:
+            v = VertexHolder(app_id=7, labels=[1], properties=[(3, b"ab")])
+            stored = hs.write_new(ctx, v, home_rank=1)
+            done = measure_ops(ctx.rt.trace, 0)
+            hs.read(ctx, stored.primary)
+            assert done() == 1
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
+
+
+def test_translate_vertex_id_is_one_lookup():
+    from repro.gda import GdaDatabase
+
+    def prog(ctx):
+        db = GdaDatabase.create(ctx)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            tx.create_vertex(42)
+            tx.commit()
+            tx = db.start_transaction(ctx)
+            done = measure_ops(ctx.rt.trace, 0)
+            tx.translate_vertex_id(42)
+            assert done() <= BOUNDS["translate_vertex_id"].budget(c=1)
+            tx.commit()
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)

@@ -1,0 +1,278 @@
+"""The paper's Listings 1-3, ported line-by-line onto the GDI_* C API."""
+
+import numpy as np
+import pytest
+
+from repro.gda import GdaConfig
+from repro.gdi import Constraint, Datatype
+from repro.gdi.capi import (
+    GDI_EDGE_OUTGOING,
+    GDI_EDGE_UNDIRECTED,
+    GDI_AbortTransaction,
+    GDI_AssociateEdge,
+    GDI_AssociateVertex,
+    GDI_CloseCollectiveTransaction,
+    GDI_CloseTransaction,
+    GDI_CreateDatabase,
+    GDI_CreateEdge,
+    GDI_CreateIndex,
+    GDI_CreateLabel,
+    GDI_CreatePropertyType,
+    GDI_CreateVertex,
+    GDI_FreeEdge,
+    GDI_FreeVertex,
+    GDI_GetAllLabelsOfEdge,
+    GDI_GetAllLabelsOfVertex,
+    GDI_GetEdgesOfVertex,
+    GDI_GetLocalVerticesOfIndex,
+    GDI_GetNeighborVerticesOfVertex,
+    GDI_GetPropertiesOfVertex,
+    GDI_GetVerticesOfEdge,
+    GDI_StartCollectiveTransaction,
+    GDI_StartTransaction,
+    GDI_TranslateVertexID,
+    GDI_UpdatePropertyOfVertex,
+)
+from repro.rma import run_spmd
+
+
+def _setup_social_db(ctx):
+    """Shared fixture graph: persons with names, FRIENDOF edges."""
+    db = GDI_CreateDatabase(ctx, GdaConfig(blocks_per_rank=8192))
+    if ctx.rank == 0:
+        GDI_CreateLabel("PERSON", db, ctx)
+        GDI_CreateLabel("FRIENDOF", db, ctx)
+        GDI_CreateLabel("OWN", db, ctx)
+        GDI_CreateLabel("CAR", db, ctx)
+        GDI_CreatePropertyType("FNAME", db, ctx, dtype=Datatype.STRING)
+        GDI_CreatePropertyType("LNAME", db, ctx, dtype=Datatype.STRING)
+        GDI_CreatePropertyType("AGE", db, ctx, dtype=Datatype.INT64)
+        GDI_CreatePropertyType("COLOR", db, ctx, dtype=Datatype.STRING)
+        GDI_CreatePropertyType(
+            "FEATURE_VEC", db, ctx, dtype=Datatype.DOUBLE_ARRAY
+        )
+    ctx.barrier()
+    db.replica(ctx).sync()
+    return db
+
+
+def test_listing1_interactive_oltp():
+    """Listing 1: first & last names of a given person's friends."""
+
+    def prog(ctx):
+        db = _setup_social_db(ctx)
+        person = db.label(ctx, "PERSON")
+        friendof = db.label(ctx, "FRIENDOF")
+        fname_t = db.property_type(ctx, "FNAME")
+        lname_t = db.property_type(ctx, "LNAME")
+        if ctx.rank == 0:
+            tx = GDI_StartTransaction(db, ctx)
+            people = {}
+            for app_id, (f, l) in enumerate(
+                [("ada", "lovelace"), ("alan", "turing"), ("grace", "hopper")]
+            ):
+                v = GDI_CreateVertex(app_id, tx)
+                v.add_label(person)
+                GDI_UpdatePropertyOfVertex(f, fname_t, v)
+                GDI_UpdatePropertyOfVertex(l, lname_t, v)
+                people[app_id] = v
+            GDI_CreateEdge(people[0], people[1], tx, label=friendof, directed=False)
+            GDI_CreateEdge(people[0], people[2], tx, label=friendof, directed=False)
+            GDI_CloseTransaction(tx)
+        ctx.barrier()
+
+        # ---- Listing 1, line by line ----------------------------------
+        vID_app = 0
+        trans_obj = GDI_StartTransaction(db, ctx, write=False)
+        vID = GDI_TranslateVertexID(vID_app, trans_obj)
+        vH = GDI_AssociateVertex(vID, trans_obj)
+        eIDs = [e.uid for e in GDI_GetEdgesOfVertex(GDI_EDGE_UNDIRECTED, vH)]
+        neighborsID = []
+        for eID in eIDs:
+            eH = GDI_AssociateEdge(eID, trans_obj)
+            labels = GDI_GetAllLabelsOfEdge(eH)
+            if any(l.name == "FRIENDOF" for l in labels):
+                v_originID, v_targetID = GDI_GetVerticesOfEdge(eH)
+                neighborsID.append(
+                    v_targetID if v_originID == vID else v_originID
+                )
+        names = []
+        for nID in neighborsID:
+            nH = GDI_AssociateVertex(nID, trans_obj)
+            fn = GDI_GetPropertiesOfVertex(fname_t, nH)
+            ln = GDI_GetPropertiesOfVertex(lname_t, nH)
+            names.append((fn[0], ln[0]))
+        GDI_CloseTransaction(trans_obj)
+        return sorted(names)
+
+    _, res = run_spmd(2, prog)
+    assert res[0] == [("alan", "turing"), ("grace", "hopper")]
+    assert res[0] == res[1]  # any rank can run the query
+
+
+def test_listing2_gnn_layer():
+    """Listing 2: one GCN layer — aggregate neighbor features, MLP, sigma,
+    write the feature property back."""
+
+    def prog(ctx):
+        db = _setup_social_db(ctx)
+        feature_t = db.property_type(ctx, "FEATURE_VEC")
+        n, dim = 8, 4
+        if ctx.rank == 0:
+            tx = GDI_StartTransaction(db, ctx)
+            handles = []
+            for app_id in range(n):
+                v = GDI_CreateVertex(app_id, tx)
+                GDI_UpdatePropertyOfVertex(
+                    np.full(dim, float(app_id + 1)), feature_t, v
+                )
+                handles.append(v)
+            for i in range(n - 1):  # a path graph
+                GDI_CreateEdge(handles[i], handles[i + 1], tx)
+            GDI_CloseTransaction(tx)
+        ctx.barrier()
+
+        W = np.eye(dim) * 0.5
+        sigma = lambda x: np.maximum(x, 0)
+
+        # ---- Listing 2 body (one layer) --------------------------------
+        ctx.barrier()  # "some form of collective synchronization"
+        trans_obj = GDI_StartCollectiveTransaction(db, ctx, write=True)
+        vIDs = db.directory.local_vertices(ctx)
+        updates = []
+        for vID in vIDs:
+            vH = GDI_AssociateVertex(vID, trans_obj)
+            feature_vec = GDI_GetPropertiesOfVertex(feature_t, vH)[0]
+            nIDs = GDI_GetNeighborVerticesOfVertex(GDI_EDGE_OUTGOING, vH)
+            for nID in nIDs:
+                nH = GDI_AssociateVertex(nID, trans_obj)
+                feature_vec = feature_vec + GDI_GetPropertiesOfVertex(
+                    feature_t, nH
+                )[0]
+            feature_vec = W @ feature_vec  # the "MLP"
+            feature_vec = sigma(feature_vec)
+            updates.append((vH, feature_vec))
+        for vH, feature_vec in updates:
+            GDI_UpdatePropertyOfVertex(feature_vec, feature_t, vH)
+        GDI_CloseCollectiveTransaction(trans_obj)
+
+        # verify: vertex i (i < n-1) aggregated itself + successor
+        tx = GDI_StartCollectiveTransaction(db, ctx)
+        out = {}
+        for vID in db.directory.local_vertices(ctx):
+            vH = GDI_AssociateVertex(vID, tx)
+            out[vH.app_id] = GDI_GetPropertiesOfVertex(feature_t, vH)[0][0]
+        GDI_CloseCollectiveTransaction(tx)
+        return out
+
+    _, res = run_spmd(2, prog)
+    merged = {}
+    for part in res:
+        merged.update(part)
+    for i in range(7):
+        assert merged[i] == pytest.approx(0.5 * ((i + 1) + (i + 2)))
+    assert merged[7] == pytest.approx(0.5 * 8)  # no successor
+
+
+def test_listing3_business_intelligence():
+    """Listing 3: 'people over 30 who own a red car', collectively."""
+
+    def prog(ctx):
+        db = _setup_social_db(ctx)
+        person = db.label(ctx, "PERSON")
+        car = db.label(ctx, "CAR")
+        own = db.label(ctx, "OWN")
+        age_t = db.property_type(ctx, "AGE")
+        color_t = db.property_type(ctx, "COLOR")
+        if ctx.rank == 0:
+            tx = GDI_StartTransaction(db, ctx)
+            data = [  # (age, car color or None)
+                (25, "red"), (40, "red"), (55, "blue"), (33, None), (70, "red")
+            ]
+            for i, (age, color) in enumerate(data):
+                p = GDI_CreateVertex(i, tx)
+                p.add_label(person)
+                GDI_UpdatePropertyOfVertex(age, age_t, p)
+                if color is not None:
+                    c = GDI_CreateVertex(100 + i, tx)
+                    c.add_label(car)
+                    GDI_UpdatePropertyOfVertex(color, color_t, c)
+                    GDI_CreateEdge(p, c, tx, label=own)
+            GDI_CloseTransaction(tx)
+        ctx.barrier()
+        index_obj = GDI_CreateIndex(
+            "persons", Constraint.has_label(person.int_id), db, ctx
+        )
+
+        # ---- Listing 3, line by line -----------------------------------
+        local_count = 0
+        trans_obj = GDI_StartCollectiveTransaction(db, ctx)
+        vIDs = GDI_GetLocalVerticesOfIndex(index_obj, ctx, trans_obj)
+        cnstr = Constraint.has_label(own.int_id)
+        for person_vid in vIDs:
+            vH = GDI_AssociateVertex(person_vid, trans_obj)
+            ages = GDI_GetPropertiesOfVertex(age_t, vH)
+            if not ages or ages[0] <= 30:
+                continue
+            things = GDI_GetNeighborVerticesOfVertex(
+                GDI_EDGE_OUTGOING, vH, cnstr
+            )
+            for obj_vid in things:
+                oH = GDI_AssociateVertex(obj_vid, trans_obj)
+                labels = GDI_GetAllLabelsOfVertex(oH)
+                if not any(l.name == "CAR" for l in labels):
+                    continue
+                colors = GDI_GetPropertiesOfVertex(color_t, oH)
+                if colors and colors[0] == "red":
+                    local_count += 1
+        GDI_CloseCollectiveTransaction(trans_obj)
+        return ctx.allreduce(local_count)  # reduce(local_count)
+
+    _, res = run_spmd(3, prog)
+    # ages 40 and 70 own red cars; 25/red is too young; 55 owns blue
+    assert all(r == 2 for r in res)
+
+
+def test_capi_delete_routines():
+    def prog(ctx):
+        db = _setup_social_db(ctx)
+        friendof = db.label(ctx, "FRIENDOF")
+        if ctx.rank == 0:
+            tx = GDI_StartTransaction(db, ctx)
+            a = GDI_CreateVertex(1, tx)
+            b = GDI_CreateVertex(2, tx)
+            GDI_CreateEdge(a, b, tx, label=friendof)
+            GDI_CloseTransaction(tx)
+            tx = GDI_StartTransaction(db, ctx)
+            a = GDI_AssociateVertex(GDI_TranslateVertexID(1, tx), tx)
+            e = GDI_GetEdgesOfVertex(GDI_EDGE_OUTGOING, a)[0]
+            GDI_FreeEdge(e)
+            GDI_FreeVertex(a)
+            GDI_CloseTransaction(tx)
+            tx = GDI_StartTransaction(db, ctx, write=False)
+            with pytest.raises(Exception):
+                GDI_TranslateVertexID(1, tx)
+            b = GDI_AssociateVertex(GDI_TranslateVertexID(2, tx), tx)
+            assert GDI_GetEdgesOfVertex(GDI_EDGE_UNDIRECTED, b) == []
+            GDI_CloseTransaction(tx)
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
+
+
+def test_capi_abort():
+    def prog(ctx):
+        db = _setup_social_db(ctx)
+        if ctx.rank == 0:
+            tx = GDI_StartTransaction(db, ctx)
+            GDI_CreateVertex(9, tx)
+            GDI_AbortTransaction(tx)
+            tx = GDI_StartTransaction(db, ctx, write=False)
+            with pytest.raises(Exception):
+                GDI_TranslateVertexID(9, tx)
+            GDI_CloseTransaction(tx)
+        ctx.barrier()
+        return True
+
+    run_spmd(1, prog)

@@ -1,0 +1,135 @@
+"""Tests for DNF constraints, including brute-force equivalence checks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gdi.constraint import Constraint, LabelCondition, PropertyCondition
+from repro.gdi.errors import GdiInvalidArgument
+from repro.gdi.types import Datatype, encode_value
+
+
+def _dtype_of(_pid):
+    return Datatype.INT64
+
+
+def _props(**kv):
+    return [(pid, encode_value(Datatype.INT64, v)) for pid, v in kv.items()]
+
+
+class TestLabelCondition:
+    def test_present(self):
+        c = LabelCondition(5)
+        assert c.evaluate([5, 7], [], _dtype_of)
+        assert not c.evaluate([7], [], _dtype_of)
+
+    def test_absent(self):
+        c = LabelCondition(5, present=False)
+        assert not c.evaluate([5], [], _dtype_of)
+        assert c.evaluate([], [], _dtype_of)
+
+
+class TestPropertyCondition:
+    def test_exists_absent(self):
+        props = _props(**{"3": 1})
+        props = [(3, encode_value(Datatype.INT64, 1))]
+        assert PropertyCondition(3, "exists").evaluate([], props, _dtype_of)
+        assert not PropertyCondition(4, "exists").evaluate([], props, _dtype_of)
+        assert PropertyCondition(4, "absent").evaluate([], props, _dtype_of)
+
+    @pytest.mark.parametrize(
+        "op,rhs,expected",
+        [
+            ("==", 30, True),
+            ("!=", 30, False),
+            ("<", 31, True),
+            ("<=", 30, True),
+            (">", 30, False),
+            (">=", 30, True),
+        ],
+    )
+    def test_comparisons(self, op, rhs, expected):
+        props = [(3, encode_value(Datatype.INT64, 30))]
+        assert PropertyCondition(3, op, rhs).evaluate([], props, _dtype_of) == expected
+
+    def test_multi_entry_any_semantics(self):
+        props = [
+            (3, encode_value(Datatype.INT64, 10)),
+            (3, encode_value(Datatype.INT64, 50)),
+        ]
+        assert PropertyCondition(3, ">", 40).evaluate([], props, _dtype_of)
+        assert not PropertyCondition(3, ">", 60).evaluate([], props, _dtype_of)
+
+    def test_missing_property_comparison_is_false(self):
+        assert not PropertyCondition(3, "==", 1).evaluate([], [], _dtype_of)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(GdiInvalidArgument):
+            PropertyCondition(3, "~=", 1)
+
+    def test_string_comparison(self):
+        props = [(3, encode_value(Datatype.STRING, "red"))]
+        dt = lambda _p: Datatype.STRING
+        assert PropertyCondition(3, "==", "red").evaluate([], props, dt)
+        assert PropertyCondition(3, "!=", "blue").evaluate([], props, dt)
+
+
+class TestConstraint:
+    def test_true_false(self):
+        assert Constraint.true().evaluate([], [], _dtype_of)
+        assert not Constraint.false().evaluate([1], _props(), _dtype_of)
+
+    def test_dnf_semantics(self):
+        # (label 1 AND p3 > 10) OR (label 2)
+        c = Constraint.of(
+            [LabelCondition(1), PropertyCondition(3, ">", 10)],
+            [LabelCondition(2)],
+        )
+        p_hi = [(3, encode_value(Datatype.INT64, 20))]
+        p_lo = [(3, encode_value(Datatype.INT64, 5))]
+        assert c.evaluate([1], p_hi, _dtype_of)
+        assert not c.evaluate([1], p_lo, _dtype_of)
+        assert c.evaluate([2], p_lo, _dtype_of)
+        assert not c.evaluate([3], p_hi, _dtype_of)
+
+    def test_and_combinator_distributes(self):
+        a = Constraint.has_label(1) | Constraint.has_label(2)
+        b = Constraint.prop(3, ">", 0)
+        c = a & b
+        assert len(c.conjunctions) == 2
+        props = [(3, encode_value(Datatype.INT64, 1))]
+        assert c.evaluate([2], props, _dtype_of)
+        assert not c.evaluate([2], [], _dtype_of)
+
+    def test_or_combinator(self):
+        c = Constraint.has_label(1) | Constraint.prop(3, "exists")
+        assert c.evaluate([1], [], _dtype_of)
+        assert c.evaluate([], [(3, b"\x00" * 8)], _dtype_of)
+        assert not c.evaluate([], [], _dtype_of)
+
+    def test_listing3_style_constraint(self):
+        """Paper Listing 3: label OWN on edges for filtered traversal."""
+        own = Constraint.has_label(9)
+        assert own.evaluate([9], [], _dtype_of)
+        assert not own.evaluate([4], [], _dtype_of)
+
+    def test_n_conditions(self):
+        c = Constraint.of([LabelCondition(1), LabelCondition(2)], [LabelCondition(3)])
+        assert c.n_conditions == 3
+
+
+@given(
+    labels=st.lists(st.integers(min_value=1, max_value=6), max_size=4),
+    want=st.integers(min_value=1, max_value=6),
+    conj_labels=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=6), st.booleans()),
+        min_size=1,
+        max_size=3,
+    ),
+)
+def test_dnf_matches_bruteforce(labels, want, conj_labels):
+    """Constraint evaluation agrees with naive boolean evaluation."""
+    conj = [LabelCondition(l, present=p) for l, p in conj_labels]
+    c = Constraint.of(conj, [LabelCondition(want)])
+    expected = all((l in labels) == p for l, p in conj_labels) or (want in labels)
+    assert c.evaluate(labels, [], _dtype_of) == expected

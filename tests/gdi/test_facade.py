@@ -1,0 +1,55 @@
+"""Tests for the lazy GDI facade (circular-import-safe exports)."""
+
+import pytest
+
+
+def test_graphdatabase_resolves_lazily():
+    import repro.gdi as gdi
+
+    assert gdi.GraphDatabase is not None
+    from repro.gda.database_impl import GdaDatabase
+
+    assert gdi.GraphDatabase is GdaDatabase
+
+
+def test_gdaconfig_resolves():
+    import repro.gdi as gdi
+
+    cfg = gdi.GdaConfig(block_size=256)
+    assert cfg.block_size == 256
+
+
+def test_unknown_attribute_raises():
+    import repro.gdi as gdi
+
+    with pytest.raises(AttributeError):
+        gdi.NoSuchThing
+
+
+def test_create_database_function():
+    from repro.gdi import create_database
+    from repro.rma import run_spmd
+
+    def prog(ctx):
+        db = create_database(ctx)
+        return db.nranks
+
+    _, res = run_spmd(2, prog)
+    assert res == [2, 2]
+
+
+def test_import_order_is_cycle_free():
+    """Importing gda before gdi (and vice versa) must both work; this
+    guards the lazy-import arrangement against regressions."""
+    import importlib
+    import subprocess
+    import sys
+
+    for first in ("repro.gda", "repro.gdi"):
+        code = f"import {first}; import repro.gda; import repro.gdi; print('ok')"
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "ok"
+    del importlib

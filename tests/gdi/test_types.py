@@ -1,0 +1,102 @@
+"""Tests for GDI datatypes and value (de)serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gdi.errors import GdiInvalidArgument
+from repro.gdi.types import Datatype, decode_value, encode_value, value_nbytes
+
+
+@pytest.mark.parametrize(
+    "dtype,value",
+    [
+        (Datatype.INT64, 0),
+        (Datatype.INT64, -(2**63)),
+        (Datatype.INT64, 2**63 - 1),
+        (Datatype.DOUBLE, 3.14159),
+        (Datatype.DOUBLE, float("inf")),
+        (Datatype.BOOL, True),
+        (Datatype.BOOL, False),
+        (Datatype.STRING, "héllo wörld"),
+        (Datatype.STRING, ""),
+        (Datatype.BYTES, b"\x00\xff"),
+    ],
+)
+def test_scalar_roundtrip(dtype, value):
+    assert decode_value(dtype, encode_value(dtype, value)) == value
+
+
+def test_array_roundtrips():
+    vec = np.array([1.5, -2.5, 0.0])
+    out = decode_value(Datatype.DOUBLE_ARRAY, encode_value(Datatype.DOUBLE_ARRAY, vec))
+    np.testing.assert_array_equal(out, vec)
+    ivec = np.array([1, -2, 3], dtype=np.int64)
+    out = decode_value(Datatype.INT64_ARRAY, encode_value(Datatype.INT64_ARRAY, ivec))
+    np.testing.assert_array_equal(out, ivec)
+
+
+def test_decoded_array_is_writable_copy():
+    blob = encode_value(Datatype.DOUBLE_ARRAY, [1.0, 2.0])
+    arr = decode_value(Datatype.DOUBLE_ARRAY, blob)
+    arr[0] = 9.0  # must not raise (frombuffer alone would be read-only)
+
+
+def test_int64_overflow_rejected():
+    with pytest.raises(GdiInvalidArgument):
+        encode_value(Datatype.INT64, 2**63)
+
+
+def test_type_mismatches_rejected():
+    with pytest.raises(GdiInvalidArgument):
+        encode_value(Datatype.STRING, 42)
+    with pytest.raises(GdiInvalidArgument):
+        encode_value(Datatype.BYTES, "str")
+    with pytest.raises(GdiInvalidArgument):
+        encode_value(Datatype.DOUBLE, "nan?")
+
+
+def test_decode_wrong_length_rejected():
+    with pytest.raises(GdiInvalidArgument):
+        decode_value(Datatype.INT64, b"\x01\x02")
+
+
+@pytest.mark.parametrize(
+    "dtype,value,n",
+    [
+        (Datatype.INT64, 5, 8),
+        (Datatype.DOUBLE, 1.0, 8),
+        (Datatype.BOOL, True, 1),
+        (Datatype.STRING, "abc", 3),
+        (Datatype.STRING, "é", 2),
+        (Datatype.BYTES, b"1234", 4),
+        (Datatype.DOUBLE_ARRAY, [1.0, 2.0, 3.0], 24),
+        (Datatype.INT64_ARRAY, [1], 8),
+    ],
+)
+def test_value_nbytes(dtype, value, n):
+    assert value_nbytes(dtype, value) == n
+    assert len(encode_value(dtype, value)) == n
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_int64_roundtrip_property(v):
+    assert decode_value(Datatype.INT64, encode_value(Datatype.INT64, v)) == v
+
+
+@given(st.text(max_size=100))
+def test_string_roundtrip_property(s):
+    assert decode_value(Datatype.STRING, encode_value(Datatype.STRING, s)) == s
+
+
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=64), max_size=32
+    )
+)
+def test_double_array_roundtrip_property(xs):
+    blob = encode_value(Datatype.DOUBLE_ARRAY, xs)
+    np.testing.assert_array_equal(
+        decode_value(Datatype.DOUBLE_ARRAY, blob), np.array(xs, dtype=np.float64)
+    )

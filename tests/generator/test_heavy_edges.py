@@ -1,0 +1,172 @@
+"""Tests for heavyweight-edge generation in the bulk loader."""
+
+import numpy as np
+import pytest
+
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gdi import Datatype, EdgeOrientation
+from repro.gdi.constants import EntityType
+from repro.generator import (
+    KroneckerParams,
+    LpgSchema,
+    PropertySpec,
+    build_lpg,
+    generate_edges,
+)
+from repro.rma import run_spmd
+from repro.workloads import sssp
+
+PARAMS = KroneckerParams(scale=5, edge_factor=4, seed=77)
+NRANKS = 2
+
+HEAVY_SCHEMA = LpgSchema(
+    n_vertex_labels=2,
+    n_edge_labels=2,
+    properties=[
+        PropertySpec("v_x", Datatype.INT64),
+        PropertySpec("e_weight", Datatype.DOUBLE, entity_type=EntityType.EDGE),
+        PropertySpec(
+            "e_note", Datatype.STRING, entity_type=EntityType.EDGE, density=0.5
+        ),
+    ],
+    heavy_edge_fraction=0.3,
+    seed=5,
+)
+
+
+def _unique_edges():
+    edges = np.vstack(
+        [generate_edges(PARAMS, r, NRANKS) for r in range(NRANKS)]
+    )
+    return {(int(a), int(b)) for a, b in edges}
+
+
+def _run(fn, schema=HEAVY_SCHEMA, directed=True):
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=16384))
+        g = build_lpg(ctx, db, PARAMS, schema, directed=directed)
+        return fn(ctx, g)
+
+    return run_spmd(NRANKS, prog)
+
+
+def test_heavy_fraction_roughly_respected():
+    unique = _unique_edges()
+    n_heavy = sum(1 for s, d in unique if HEAVY_SCHEMA.edge_is_heavy(s, d))
+    assert 0.15 < n_heavy / len(unique) < 0.45
+
+
+def test_heavy_edges_carry_schema_properties():
+    def body(ctx, g):
+        w = g.ptype("e_weight")
+        tx = g.db.start_collective_transaction(ctx)
+        checked = 0
+        for vid in g.db.directory.local_vertices(ctx):
+            v = tx.associate_vertex(vid)
+            for e in v.edges(EdgeOrientation.OUTGOING):
+                src, dst = e.endpoints()
+                src_app = tx.associate_vertex(src).app_id
+                dst_app = tx.associate_vertex(dst).app_id
+                expect_heavy = g.schema.edge_is_heavy(src_app, dst_app)
+                assert e.heavy == expect_heavy, (src_app, dst_app)
+                if e.heavy:
+                    expected = dict(
+                        g.schema.edge_property_values(src_app, dst_app)
+                    )
+                    assert e.property(w) == expected.get("e_weight")
+                    checked += 1
+        tx.commit()
+        return checked
+
+    _, res = _run(body)
+    unique = _unique_edges()
+    n_heavy = sum(1 for s, d in unique if HEAVY_SCHEMA.edge_is_heavy(s, d))
+    assert sum(res) == n_heavy
+    assert n_heavy > 0
+
+
+def test_heavy_edge_visible_from_destination_side():
+    def body(ctx, g):
+        tx = g.db.start_collective_transaction(ctx)
+        incoming_heavy = 0
+        for vid in g.db.directory.local_vertices(ctx):
+            v = tx.associate_vertex(vid)
+            for e in v.edges(EdgeOrientation.INCOMING):
+                if e.heavy:
+                    incoming_heavy += 1
+        tx.commit()
+        return ctx.allreduce(incoming_heavy)
+
+    _, res = _run(body)
+    unique = _unique_edges()
+    # directed self-loops also materialize an IN slot (same semantics as
+    # Transaction.create_edge), so every heavy edge has an incoming side
+    expected = sum(1 for s, d in unique if HEAVY_SCHEMA.edge_is_heavy(s, d))
+    assert res[0] == expected
+
+
+def test_total_edge_count_includes_heavy():
+    def body(ctx, g):
+        return g.n_edges_loaded
+
+    _, res = _run(body)
+    assert res[0] == len(_unique_edges())
+
+
+def test_weighted_sssp_on_generated_graph():
+    """End-to-end: generated heavy edges drive weighted shortest paths."""
+
+    def body(ctx, g):
+        w = g.ptype("e_weight")
+        return sssp(ctx, g, root=0, weight_ptype=w)
+
+    _, res = _run(body, directed=False)
+    got = {}
+    for part in res:
+        got.update({k: v for k, v in part.items() if v != float("inf")})
+
+    # reference Dijkstra over schema-derived weights
+    import networkx as nx
+
+    ref = nx.Graph()
+    ref.add_nodes_from(range(PARAMS.n_vertices))
+    for s, d in _unique_edges():
+        if HEAVY_SCHEMA.edge_is_heavy(s, d):
+            weight = dict(HEAVY_SCHEMA.edge_property_values(s, d)).get(
+                "e_weight", 1.0
+            )
+        else:
+            weight = 1.0
+        # parallel undirected edges collapse to the min weight
+        if ref.has_edge(s, d):
+            weight = min(weight, ref[s][d]["weight"])
+        ref.add_edge(s, d, weight=weight)
+    expected = nx.single_source_dijkstra_path_length(ref, 0)
+    assert set(got) == set(expected)
+    for u, dist in expected.items():
+        assert got[u] == pytest.approx(dist), u
+
+
+def test_zero_heavy_fraction_builds_only_lightweight():
+    schema = LpgSchema(
+        n_vertex_labels=1,
+        n_edge_labels=1,
+        properties=[
+            PropertySpec(
+                "e_weight", Datatype.DOUBLE, entity_type=EntityType.EDGE
+            )
+        ],
+        heavy_edge_fraction=0.0,
+    )
+
+    def body(ctx, g):
+        tx = g.db.start_collective_transaction(ctx)
+        heavies = 0
+        for vid in g.db.directory.local_vertices(ctx):
+            v = tx.associate_vertex(vid)
+            heavies += sum(1 for e in v.edges() if e.heavy)
+        tx.commit()
+        return ctx.allreduce(heavies)
+
+    _, res = _run(body, schema=schema)
+    assert res[0] == 0

@@ -1,0 +1,117 @@
+"""Tests for the Kronecker edge generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator.kronecker import (
+    KroneckerParams,
+    edge_slice,
+    generate_edges,
+    scramble,
+)
+
+
+def test_params_derived_quantities():
+    p = KroneckerParams(scale=10, edge_factor=16)
+    assert p.n_vertices == 1024
+    assert p.n_edges == 16384
+    assert p.d == pytest.approx(0.05)
+
+
+def test_edge_count_and_range():
+    p = KroneckerParams(scale=8, edge_factor=8, seed=3)
+    e = generate_edges(p)
+    assert e.shape == (p.n_edges, 2)
+    assert e.min() >= 0
+    assert e.max() < p.n_vertices
+
+
+def test_determinism():
+    p = KroneckerParams(scale=8, edge_factor=4, seed=5)
+    np.testing.assert_array_equal(generate_edges(p), generate_edges(p))
+
+
+def test_different_seeds_differ():
+    p1 = KroneckerParams(scale=8, edge_factor=4, seed=1)
+    p2 = KroneckerParams(scale=8, edge_factor=4, seed=2)
+    assert not np.array_equal(generate_edges(p1), generate_edges(p2))
+
+
+def test_sharding_covers_all_edges():
+    p = KroneckerParams(scale=7, edge_factor=5, seed=9)
+    total = sum(
+        generate_edges(p, rank, 4).shape[0] for rank in range(4)
+    )
+    assert total == p.n_edges
+
+
+@given(
+    n=st.integers(min_value=0, max_value=1000),
+    nranks=st.integers(min_value=1, max_value=17),
+)
+def test_edge_slice_partitions_exactly(n, nranks):
+    slices = [edge_slice(n, r, nranks) for r in range(nranks)]
+    assert slices[0][0] == 0
+    assert slices[-1][1] == n
+    for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+        assert a1 == b0
+        assert a1 >= a0
+    sizes = [b - a for a, b in slices]
+    assert max(sizes) - min(sizes) <= 1  # balanced
+
+
+def test_heavy_tail_degree_distribution():
+    """The Kronecker model must produce a skewed degree distribution
+    (paper: 'realistic Kronecker random graph model with a heavy-tail
+    skewed degree distribution')."""
+    p = KroneckerParams(scale=12, edge_factor=16, seed=1)
+    e = generate_edges(p)
+    deg = np.bincount(e[:, 0], minlength=p.n_vertices)
+    mean = deg.mean()
+    assert deg.max() > 10 * mean  # hubs exist
+    assert (deg == 0).sum() > 0.05 * p.n_vertices  # many isolated vertices
+
+
+def test_uniform_initiator_is_not_skewed():
+    """Sanity check of the sampler: with a uniform initiator matrix the
+    degree distribution concentrates near the mean."""
+    p = KroneckerParams(scale=12, edge_factor=16, a=0.25, b=0.25, c=0.25, seed=1)
+    e = generate_edges(p)
+    deg = np.bincount(e[:, 0], minlength=p.n_vertices)
+    assert deg.max() < 6 * deg.mean()
+
+
+class TestScramble:
+    def test_bijection(self):
+        ids = np.arange(1 << 10, dtype=np.int64)
+        out = scramble(ids, 10, seed=4)
+        assert len(np.unique(out)) == len(ids)
+        assert out.min() >= 0 and out.max() < (1 << 10)
+
+    def test_deterministic(self):
+        ids = np.arange(256, dtype=np.int64)
+        np.testing.assert_array_equal(scramble(ids, 8, 1), scramble(ids, 8, 1))
+
+    def test_seed_changes_permutation(self):
+        ids = np.arange(256, dtype=np.int64)
+        assert not np.array_equal(scramble(ids, 8, 1), scramble(ids, 8, 2))
+
+    @settings(max_examples=20)
+    @given(
+        scale=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_bijection_property(self, scale, seed):
+        n = 1 << scale
+        sample = np.arange(min(n, 4096), dtype=np.int64)
+        out = scramble(sample, scale, seed)
+        assert len(np.unique(out)) == len(sample)
+        assert out.min() >= 0 and out.max() < n
+
+
+def test_zero_edges_rank():
+    p = KroneckerParams(scale=4, edge_factor=1)  # 16 edges
+    e = generate_edges(p, rank=20, nranks=32)  # some ranks get nothing
+    assert e.shape[1] == 2

@@ -1,0 +1,106 @@
+"""Tests for the LPG schema and deterministic assignment rules."""
+
+import numpy as np
+import pytest
+
+from repro.gdi.constants import EntityType
+from repro.gdi.types import Datatype
+from repro.generator.schema import LpgSchema, PropertySpec, default_schema
+
+
+def test_default_schema_matches_paper_defaults():
+    """Paper Section 6.3: 'By default, we use 20 different labels and 13
+    property types'."""
+    s = default_schema()
+    assert s.n_labels == 20
+    assert len(s.properties) == 13
+
+
+def test_label_names_unique():
+    s = default_schema()
+    names = s.vertex_label_names + s.edge_label_names
+    assert len(set(names)) == len(names)
+
+
+def test_vertex_labels_deterministic_and_in_range():
+    s = default_schema(seed=3)
+    for app_id in range(200):
+        l1 = s.vertex_label_indices(app_id)
+        l2 = s.vertex_label_indices(app_id)
+        assert l1 == l2
+        assert 1 <= len(l1) <= 2
+        assert all(0 <= i < s.n_vertex_labels for i in l1)
+        assert len(set(l1)) == len(l1)
+
+
+def test_secondary_label_density_controls_fraction():
+    dense = LpgSchema(n_vertex_labels=8, secondary_label_density=1.0)
+    sparse = LpgSchema(n_vertex_labels=8, secondary_label_density=0.0)
+    n_two_dense = sum(len(dense.vertex_label_indices(i)) == 2 for i in range(500))
+    n_two_sparse = sum(len(sparse.vertex_label_indices(i)) == 2 for i in range(500))
+    assert n_two_sparse == 0
+    assert n_two_dense > 350  # not exactly 500: secondary may equal primary
+
+
+def test_zero_labels_schema():
+    s = LpgSchema(n_vertex_labels=0, n_edge_labels=0)
+    assert s.vertex_label_indices(5) == []
+    assert s.edge_label_index(1, 2) is None
+
+
+def test_edge_label_deterministic():
+    s = default_schema()
+    assert s.edge_label_index(3, 4) == s.edge_label_index(3, 4)
+    assert 0 <= s.edge_label_index(3, 4) < s.n_edge_labels
+
+
+def test_property_values_deterministic_and_typed():
+    s = default_schema(feature_dim=4)
+    vals1 = dict(s.vertex_property_values(42))
+    vals2 = dict(s.vertex_property_values(42))
+    assert set(vals1) == set(vals2)
+    spec_by_name = {p.name: p for p in s.properties}
+    for name, value in vals1.items():
+        spec = spec_by_name[name]
+        if spec.dtype is Datatype.INT64:
+            assert isinstance(value, int)
+        elif spec.dtype is Datatype.DOUBLE:
+            assert isinstance(value, float)
+        elif spec.dtype is Datatype.STRING:
+            assert isinstance(value, str) and len(value) == spec.length
+        elif spec.dtype is Datatype.BYTES:
+            assert isinstance(value, bytes) and len(value) == spec.length
+        elif spec.dtype is Datatype.DOUBLE_ARRAY:
+            assert isinstance(value, np.ndarray) and value.size == spec.length
+    np.testing.assert_array_equal(
+        dict(s.vertex_property_values(42))["p_feature"],
+        vals2["p_feature"],
+    )
+
+
+def test_density_zero_property_never_assigned():
+    s = LpgSchema(properties=[PropertySpec("never", Datatype.INT64, density=0.0)])
+    assert all(not s.vertex_property_values(i) for i in range(100))
+
+
+def test_density_one_property_always_assigned():
+    s = LpgSchema(properties=[PropertySpec("always", Datatype.INT64, density=1.0)])
+    assert all(
+        dict(s.vertex_property_values(i)).get("always") is not None
+        for i in range(100)
+    )
+
+
+def test_reduced_property_count():
+    s = default_schema(n_properties=3)
+    assert len(s.properties) == 3
+
+
+def test_edge_only_property_not_on_vertices():
+    s = LpgSchema(
+        properties=[
+            PropertySpec("e_only", Datatype.INT64, entity_type=EntityType.EDGE)
+        ]
+    )
+    assert s.vertex_properties_specs() == []
+    assert s.vertex_property_values(1) == []

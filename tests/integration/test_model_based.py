@@ -1,0 +1,235 @@
+"""Model-based testing: random transaction sequences vs a reference model.
+
+Hypothesis generates sequences of graph operations (create/delete
+vertices, add/remove labels and properties, create/delete edges) which
+are applied both to a GDA database through the GDI API and to a plain
+Python reference model; after every commit the database contents must
+match the model exactly.
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gdi import Datatype, EdgeOrientation, GdiNotFound
+from repro.rma import run_spmd
+
+
+class ReferenceModel:
+    """Ground-truth model: vertices with labels/props, directed lw edges."""
+
+    def __init__(self) -> None:
+        self.vertices: dict[int, dict] = {}  # app -> {labels:set, props:{}}
+        self.edges: list[tuple[int, int]] = []
+
+    def create_vertex(self, app):
+        self.vertices[app] = {"labels": set(), "props": {}}
+
+    def delete_vertex(self, app):
+        del self.vertices[app]
+        self.edges = [e for e in self.edges if app not in e]
+
+    def add_label(self, app, label):
+        self.vertices[app]["labels"].add(label)
+
+    def remove_label(self, app, label):
+        self.vertices[app]["labels"].discard(label)
+
+    def set_prop(self, app, value):
+        self.vertices[app]["props"]["x"] = value
+
+    def remove_prop(self, app):
+        self.vertices[app]["props"].pop("x", None)
+
+    def add_edge(self, a, b):
+        self.edges.append((a, b))
+
+    def delete_one_edge(self, a, b):
+        self.edges.remove((a, b))
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "create",
+                "delete",
+                "add_label",
+                "remove_label",
+                "set_prop",
+                "remove_prop",
+                "add_edge",
+                "del_edge",
+            ]
+        ),
+        st.integers(min_value=0, max_value=7),  # vertex A
+        st.integers(min_value=0, max_value=7),  # vertex B / label idx / value
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=OPS, txn_granularity=st.integers(min_value=1, max_value=10))
+def test_random_ops_match_reference(ops, txn_granularity):
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=4096))
+        if ctx.rank == 0:
+            db.create_label(ctx, "L0")
+            db.create_label(ctx, "L1")
+            db.create_label(ctx, "L2")
+            db.create_property_type(ctx, "x", dtype=Datatype.INT64)
+        ctx.barrier()
+        db.replica(ctx).sync()
+        if ctx.rank != 0:
+            ctx.barrier()
+            return None
+        labels = [db.label(ctx, f"L{i}") for i in range(3)]
+        xprop = db.property_type(ctx, "x")
+        model = ReferenceModel()
+
+        tx = db.start_transaction(ctx, write=True)
+        applied = 0
+        for op, a, b in ops:
+            label = labels[b % 3]
+            if op == "create":
+                if a not in model.vertices:
+                    tx.create_vertex(a)
+                    model.create_vertex(a)
+            elif op == "delete":
+                if a in model.vertices:
+                    v = tx.find_vertex(a)
+                    if v is not None:
+                        tx.delete_vertex(v)
+                        model.delete_vertex(a)
+            elif a in model.vertices:
+                v = tx.find_vertex(a)
+                if v is None:
+                    continue
+                if op == "add_label":
+                    v.add_label(label)
+                    model.add_label(a, label.name)
+                elif op == "remove_label":
+                    if label.name in model.vertices[a]["labels"]:
+                        v.remove_label(label)
+                        model.remove_label(a, label.name)
+                elif op == "set_prop":
+                    v.set_property(xprop, b)
+                    model.set_prop(a, b)
+                elif op == "remove_prop":
+                    v.remove_properties(xprop)
+                    model.remove_prop(a)
+                elif op == "add_edge" and b in model.vertices and a != b:
+                    w = tx.find_vertex(b)
+                    if w is not None:
+                        tx.create_edge(v, w)
+                        model.add_edge(a, b)
+                elif op == "del_edge" and (a, b) in model.edges:
+                    for e in tx.find_vertex(a).edges(EdgeOrientation.OUTGOING):
+                        src, dst = e.endpoints()
+                        if tx.associate_vertex(dst).app_id == b:
+                            tx.delete_edge(e)
+                            model.delete_one_edge(a, b)
+                            break
+            applied += 1
+            if applied % txn_granularity == 0:
+                tx.commit()
+                tx = db.start_transaction(ctx, write=True)
+        if tx.open:
+            tx.commit()
+
+        # --- compare final state against the model -----------------------
+        tx = db.start_transaction(ctx)
+        for app, desc in model.vertices.items():
+            v = tx.find_vertex(app)
+            assert v is not None, app
+            assert {l.name for l in v.labels()} == desc["labels"]
+            got_prop = v.property(xprop)
+            assert got_prop == desc["props"].get("x"), app
+        # absent vertices stay absent
+        for app in range(8):
+            if app not in model.vertices:
+                assert tx.find_vertex(app) is None
+        # edge multiset
+        got_edges = []
+        for app in model.vertices:
+            v = tx.find_vertex(app)
+            for e in v.edges(EdgeOrientation.OUTGOING):
+                _, dst = e.endpoints()
+                got_edges.append((app, tx.associate_vertex(dst).app_id))
+        assert sorted(got_edges) == sorted(model.edges)
+        tx.commit()
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
+
+
+@settings(deadline=None, max_examples=10)
+@given(ops=OPS)
+def test_abort_always_rolls_back(ops):
+    """Apply a committed prefix, then run random ops and abort: the state
+    must equal the committed prefix exactly (storage included)."""
+
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=4096))
+        if ctx.rank == 0:
+            db.create_property_type(ctx, "x", dtype=Datatype.INT64)
+            xprop = db.property_type(ctx, "x")
+            tx = db.start_transaction(ctx, write=True)
+            for app in range(4):
+                tx.create_vertex(app, properties=[(xprop, app)])
+            a = tx.associate_vertex(tx.translate_vertex_id(0))
+            b = tx.associate_vertex(tx.translate_vertex_id(1))
+            tx.create_edge(a, b)
+            tx.commit()
+            blocks_before = sum(
+                db.blocks.allocated_count(ctx, r) for r in range(ctx.nranks)
+            )
+
+            tx = db.start_transaction(ctx, write=True)
+            for op, va, vb in ops:
+                try:
+                    if op == "create":
+                        if va + 100 not in tx._created_app_ids:
+                            tx.create_vertex(va + 100)
+                    elif op == "delete":
+                        v = tx.find_vertex(va % 4)
+                        if v is not None:
+                            tx.delete_vertex(v)
+                    elif op == "set_prop":
+                        v = tx.find_vertex(va % 4)
+                        if v is not None:
+                            v.set_property(xprop, vb + 50)
+                    elif op == "add_edge":
+                        v = tx.find_vertex(va % 4)
+                        w = tx.find_vertex(vb % 4)
+                        if v is not None and w is not None and v.vid != w.vid:
+                            tx.create_edge(v, w)
+                except GdiNotFound:
+                    pass
+            tx.abort()
+
+            blocks_after = sum(
+                db.blocks.allocated_count(ctx, r) for r in range(ctx.nranks)
+            )
+            assert blocks_after == blocks_before  # no storage leak
+            tx = db.start_transaction(ctx)
+            for app in range(4):
+                v = tx.find_vertex(app)
+                assert v is not None
+                assert v.property(xprop) == app
+            a = tx.find_vertex(0)
+            assert len(a.edges(EdgeOrientation.OUTGOING)) == 1
+            assert tx.find_vertex(100) is None
+            tx.commit()
+        ctx.barrier()
+        return True
+
+    run_spmd(1, prog)

@@ -1,0 +1,96 @@
+"""Tests for receiver-side NIC service accounting (congestion model)."""
+
+import pytest
+
+from repro.rma import RmaRuntime, UNIFORM, ZERO_COST, run_spmd
+
+
+def test_remote_op_accrues_target_service():
+    rt = RmaRuntime(2, profile=UNIFORM)
+    win = rt.allocate_window("w", 1024)
+    c = rt.context(0)
+    c.put(win, 1, 0, b"x" * 100)
+    expected = UNIFORM.o_target + 100 * UNIFORM.beta
+    assert rt.service[1] == pytest.approx(expected)
+    assert rt.service[0] == 0.0
+
+
+def test_local_op_accrues_no_service():
+    rt = RmaRuntime(2, profile=UNIFORM)
+    win = rt.allocate_window("w", 1024)
+    rt.context(0).put(win, 0, 0, b"x" * 100)
+    assert rt.service == [0.0, 0.0]
+
+
+def test_atomics_and_nonblocking_ops_accrue_service():
+    rt = RmaRuntime(2, profile=UNIFORM)
+    win = rt.allocate_window("w", 1024)
+    c = rt.context(0)
+    c.cas(win, 1, 0, 0, 1)
+    c.faa(win, 1, 8, 1)
+    c.iput(win, 1, 16, b"x" * 8)
+    c.iget(win, 1, 16, 8)
+    per_atomic = UNIFORM.o_target + 8 * UNIFORM.beta
+    assert rt.service[1] == pytest.approx(4 * per_atomic)
+
+
+def test_effective_clock_is_max_of_clock_and_service():
+    rt = RmaRuntime(2, profile=UNIFORM)
+    win = rt.allocate_window("w", 1 << 16)
+    c = rt.context(0)
+    # hammer rank 1 until its service exceeds rank 1's own (zero) clock
+    for _ in range(100):
+        c.put(win, 1, 0, b"x" * 256)
+    assert rt.effective_clock(1) == rt.service[1] > rt.clocks[1]
+    assert rt.effective_clock(0) == rt.clocks[0]
+
+
+def test_barrier_absorbs_service_into_clocks():
+    """A hammered rank leaves the barrier no earlier than its NIC drains;
+    all ranks synchronize to that horizon."""
+
+    def prog(ctx):
+        win = ctx.win_allocate("w", 1 << 16)
+        if ctx.rank == 0:
+            for _ in range(200):
+                ctx.put(win, 1, 0, b"x" * 128)
+        service_before = ctx.rt.service[1]
+        ctx.barrier()
+        return ctx.clock, service_before
+
+    _, res = run_spmd(3, prog)
+    clocks = [c for c, _ in res]
+    assert len(set(clocks)) == 1  # synchronized
+    # the barrier-exit clock covers the victim's service horizon
+    service_seen = max(s for _, s in res)
+    assert clocks[0] >= service_seen
+
+
+def test_zero_cost_profile_has_no_service():
+    rt = RmaRuntime(2, profile=ZERO_COST)
+    win = rt.allocate_window("w", 64)
+    rt.context(0).put(win, 1, 0, b"x" * 8)
+    assert rt.service == [0.0, 0.0]
+
+
+def test_skewed_traffic_slows_the_hot_rank():
+    """End-to-end: all ranks reading from one victim produce a later
+    post-barrier clock than the same traffic spread evenly."""
+
+    def prog_skewed(ctx):
+        win = ctx.win_allocate("w", 4096)
+        for i in range(50):
+            ctx.get(win, 0, 0, 64)  # everyone hits rank 0
+        ctx.barrier()
+        return ctx.clock
+
+    def prog_even(ctx):
+        win = ctx.win_allocate("w", 4096)
+        for i in range(50):
+            ctx.get(win, (ctx.rank + 1 + i) % ctx.nranks, 0, 64)
+        ctx.barrier()
+        return ctx.clock
+
+    _, skewed = run_spmd(4, prog_skewed)
+    _, even = run_spmd(4, prog_even)
+    assert skewed[0] > even[0]

@@ -1,0 +1,89 @@
+"""Tests for the LogGP-style cost model and machine profiles."""
+
+import pytest
+
+from repro.rma.costmodel import (
+    UNIFORM,
+    XC40,
+    XC50,
+    ZERO_COST,
+    CostModel,
+    log2ceil,
+)
+
+
+@pytest.mark.parametrize(
+    "p,rounds", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10)]
+)
+def test_log2ceil(p, rounds):
+    assert log2ceil(p) == rounds
+
+
+def test_remote_costs_more_than_local():
+    m = CostModel(UNIFORM)
+    assert m.onesided(0, 1, 64) > m.onesided(0, 0, 64)
+    assert m.atomic(0, 1) > m.atomic(0, 0)
+
+
+def test_cost_scales_with_message_size():
+    m = CostModel(UNIFORM)
+    assert m.onesided(0, 1, 4096) > m.onesided(0, 1, 8)
+
+
+def test_atomic_includes_gamma():
+    m = CostModel(UNIFORM)
+    assert m.atomic(0, 1) == pytest.approx(UNIFORM.alpha + UNIFORM.gamma)
+
+
+def test_collective_cost_logarithmic_in_ranks():
+    m = CostModel(UNIFORM)
+    t2 = m.tree_collective(2, 8)
+    t4 = m.tree_collective(4, 8)
+    t1024 = m.tree_collective(1024, 8)
+    assert t4 == pytest.approx(2 * t2)
+    assert t1024 == pytest.approx(10 * t2)
+
+
+def test_alltoall_linear_in_ranks():
+    m = CostModel(UNIFORM)
+    assert m.alltoall(9, 8) == pytest.approx(
+        8 * (UNIFORM.alpha + 8 * UNIFORM.beta)
+    )
+
+
+def test_gather_has_bandwidth_term_for_full_payload():
+    m = CostModel(UNIFORM)
+    small = m.gather(8, 8)
+    large = m.gather(8, 8192)
+    assert large > small
+
+
+def test_xc50_has_more_bandwidth_per_core_than_xc40():
+    """Paper Section 6.4: XC50 outperforms XC40 on read-heavy loads
+    because fewer cores share the NIC."""
+    assert XC50.beta < XC40.beta
+    assert XC50.cores_per_server < XC40.cores_per_server
+
+
+def test_server_conversion():
+    assert XC40.servers(72) == 2
+    assert XC50.servers(24) == 2
+
+
+def test_zero_cost_profile_is_free():
+    m = CostModel(ZERO_COST)
+    assert m.onesided(0, 1, 10**6) == 0.0
+    assert m.atomic(0, 1) == 0.0
+    assert m.tree_collective(1024, 10**6) == 0.0
+
+
+def test_compute_cost():
+    m = CostModel(UNIFORM)
+    assert m.compute(2_000_000_000) == pytest.approx(1.0)
+    assert m.compute(0) == 0.0
+
+
+def test_piz_daint_memory_per_server():
+    """Both Piz Daint partitions have 64 GB per server (paper Table 1)."""
+    assert XC40.mem_per_server == 64 * 2**30
+    assert XC50.mem_per_server == 64 * 2**30

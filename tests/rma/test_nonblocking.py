@@ -1,0 +1,129 @@
+"""Tests for non-blocking one-sided operations and overlap accounting."""
+
+import pytest
+
+from repro.rma import RmaError, RmaRuntime, UNIFORM
+
+
+@pytest.fixture
+def rt():
+    return RmaRuntime(nranks=3, profile=UNIFORM)
+
+
+def test_iput_data_visible_and_completed_by_flush(rt):
+    win = rt.allocate_window("w", 128)
+    c = rt.context(0)
+    req = c.iput(win, 1, 0, b"hello")
+    assert not req.completed
+    assert win.read(1, 0, 5) == b"hello"  # consistent at completion time
+    c.flush(win, 1)
+    assert req.completed
+
+
+def test_iget_result_after_wait(rt):
+    win = rt.allocate_window("w", 128)
+    rt.context(1).put(win, 1, 8, b"abcdef")
+    c = rt.context(0)
+    req = c.iget(win, 1, 8, 6)
+    with pytest.raises(RmaError):
+        req.result()  # not yet completed
+    req.wait()
+    assert req.result() == b"abcdef"
+
+
+def test_put_request_has_no_result(rt):
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    req = c.iput(win, 1, 0, b"x")
+    req.wait()
+    with pytest.raises(RmaError):
+        req.result()
+
+
+def test_overlap_saves_latency_vs_blocking(rt):
+    """k non-blocking puts + one flush must cost about one latency plus
+    the bandwidth sum — much less than k blocking puts."""
+    win = rt.allocate_window("w", 1 << 16)
+    k, n = 16, 256
+    c_nb = rt.context(0)
+    t0 = c_nb.clock
+    for i in range(k):
+        c_nb.iput(win, 1, i * n, b"x" * n)
+    c_nb.flush(win, 1)
+    nb_cost = c_nb.clock - t0
+
+    c_b = rt.context(2)
+    t0 = c_b.clock
+    for i in range(k):
+        c_b.put(win, 1, i * n, b"x" * n)
+    c_b.flush(win, 1)
+    b_cost = c_b.clock - t0
+
+    assert nb_cost < b_cost
+    # the saving is roughly (k-1) latencies
+    expect_nb = (
+        k * UNIFORM.alpha_local + UNIFORM.alpha + k * n * UNIFORM.beta
+    )
+    assert nb_cost == pytest.approx(expect_nb, rel=1e-9)
+
+
+def test_flush_completes_only_matching_target(rt):
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    r1 = c.iput(win, 1, 0, b"a")
+    r2 = c.iput(win, 2, 0, b"b")
+    c.flush(win, 1)
+    assert r1.completed
+    assert not r2.completed
+    c.flush(win)  # window-wide completes the rest
+    assert r2.completed
+
+
+def test_flush_separates_windows(rt):
+    w1 = rt.allocate_window("w1", 64)
+    w2 = rt.allocate_window("w2", 64)
+    c = rt.context(0)
+    r1 = c.iput(w1, 1, 0, b"a")
+    r2 = c.iput(w2, 1, 0, b"b")
+    c.flush(w1)
+    assert r1.completed and not r2.completed
+    c.flush(w2)
+    assert r2.completed
+
+
+def test_empty_flush_still_costs_a_fence(rt):
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    t0 = c.clock
+    c.flush(win, 1)
+    assert c.clock - t0 == pytest.approx(UNIFORM.alpha)
+
+
+def test_wait_is_idempotent(rt):
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    req = c.iput(win, 1, 0, b"x")
+    req.wait()
+    t0 = c.clock
+    req.wait()  # completed: no extra charge
+    assert c.clock == t0
+
+
+def test_local_nonblocking_ops_cost_local_rates(rt):
+    win = rt.allocate_window("w", 1024)
+    c = rt.context(0)
+    t0 = c.clock
+    c.iput(win, 0, 0, b"x" * 512)
+    c.flush(win, 0)
+    cost = c.clock - t0
+    expect = 2 * UNIFORM.alpha_local + 512 * UNIFORM.beta_local
+    assert cost == pytest.approx(expect, rel=1e-9)
+
+
+def test_trace_counts_nonblocking_ops(rt):
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    c.iput(win, 1, 0, b"ab")
+    c.iget(win, 1, 0, 2)
+    s = rt.trace.summary()
+    assert s["puts"] == 1 and s["gets"] == 1

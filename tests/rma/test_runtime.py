@@ -1,0 +1,162 @@
+"""Unit tests for the RMA runtime: one-sided ops, atomics, clocks, traces."""
+
+import pytest
+
+from repro.rma import RmaError, RmaRuntime, ZERO_COST, run_spmd
+from repro.rma.costmodel import UNIFORM
+
+
+@pytest.fixture
+def rt():
+    return RmaRuntime(nranks=4)
+
+
+def test_put_get_roundtrip(rt):
+    win = rt.allocate_window("w", 128)
+    c0 = rt.context(0)
+    c0.put(win, 3, 16, b"payload!")
+    assert rt.context(3).get(win, 3, 16, 8) == b"payload!"
+
+
+def test_put_is_one_sided_target_passive(rt):
+    """Only the origin issues operations; the target's counters stay zero."""
+    win = rt.allocate_window("w", 64)
+    rt.context(1).put(win, 2, 0, b"x" * 32)
+    assert rt.trace.counters[1].puts == 1
+    assert rt.trace.counters[1].bytes_put == 32
+    assert rt.trace.counters[2].total_ops == 0
+
+
+def test_cas_success_and_failure(rt):
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    c.aput(win, 1, 0, 42)
+    assert c.cas(win, 1, 0, 42, 99) == 42  # succeeds, returns old
+    assert c.aget(win, 1, 0) == 99
+    assert c.cas(win, 1, 0, 42, 7) == 99  # fails, returns current
+    assert c.aget(win, 1, 0) == 99
+
+
+def test_faa_returns_previous_and_accumulates(rt):
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    assert c.faa(win, 2, 8, 5) == 0
+    assert c.faa(win, 2, 8, -2) == 5
+    assert c.aget(win, 2, 8) == 3
+
+
+def test_faa_wraps_to_signed_64bit(rt):
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    c.aput(win, 0, 0, 2**63 - 1)
+    c.faa(win, 0, 0, 1)
+    assert c.aget(win, 0, 0) == -(2**63)
+
+
+def test_clock_advances_per_operation():
+    rt = RmaRuntime(2, profile=UNIFORM)
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    before = c.clock
+    c.put(win, 1, 0, b"12345678")
+    after_remote = c.clock
+    assert after_remote > before
+    c.put(win, 0, 0, b"12345678")
+    local_cost = c.clock - after_remote
+    remote_cost = after_remote - before
+    assert local_cost < remote_cost  # remote ops cost more than local
+
+
+def test_zero_cost_profile_keeps_clocks_at_zero():
+    rt = RmaRuntime(2, profile=ZERO_COST)
+    win = rt.allocate_window("w", 64)
+    rt.context(0).put(win, 1, 0, b"abc")
+    rt.context(0).flush(win)
+    assert rt.max_clock() == 0.0
+
+
+def test_trace_counts_all_op_kinds(rt):
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    c.put(win, 1, 0, b"ab")
+    c.get(win, 1, 0, 2)
+    c.cas(win, 1, 8, 0, 1)
+    c.faa(win, 1, 16, 1)
+    c.aget(win, 1, 8)
+    c.aput(win, 1, 8, 0)
+    c.flush(win, 1)
+    s = rt.trace.summary()
+    assert s["puts"] == 1
+    assert s["gets"] == 1
+    assert s["atomics"] == 4
+    assert s["flushes"] == 1
+
+
+def test_duplicate_window_name_rejected(rt):
+    rt.allocate_window("w", 64)
+    with pytest.raises(RmaError):
+        rt.allocate_window("w", 64)
+
+
+def test_window_lookup_by_name(rt):
+    win = rt.allocate_window("data", 64)
+    assert rt.window("data") is win
+    with pytest.raises(RmaError):
+        rt.window("nope")
+
+
+def test_bad_rank_context(rt):
+    with pytest.raises(RmaError):
+        rt.context(4)
+    with pytest.raises(RmaError):
+        rt.context(-1)
+
+
+def test_op_log_records_sequence():
+    rt = RmaRuntime(2, log_ops=True)
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    c.put(win, 1, 8, b"abcd")
+    c.get(win, 1, 8, 4)
+    kinds = [op[0] for op in rt.trace.ops]
+    assert kinds == ["put", "get"]
+    assert rt.trace.ops[0][1:] == (0, 1, "w", 8, 4)
+
+
+def test_counter_snapshot_diff():
+    rt = RmaRuntime(1)
+    win = rt.allocate_window("w", 64)
+    c = rt.context(0)
+    c.put(win, 0, 0, b"ab")
+    snap = rt.trace.counters[0].snapshot()
+    c.put(win, 0, 0, b"ab")
+    c.get(win, 0, 0, 2)
+    d = rt.trace.counters[0].diff(snap)
+    assert d["puts"] == 1
+    assert d["gets"] == 1
+
+
+def test_concurrent_faa_from_all_ranks_is_atomic():
+    def prog(ctx):
+        win = ctx.win_allocate("ctr", 8)
+        for _ in range(200):
+            ctx.faa(win, 0, 0, 1)
+        ctx.barrier()
+        return ctx.aget(win, 0, 0)
+
+    _, res = run_spmd(8, prog)
+    assert all(v == 8 * 200 for v in res)
+
+
+def test_concurrent_cas_exactly_one_winner_per_round():
+    def prog(ctx):
+        win = ctx.win_allocate("w", 8)
+        wins = 0
+        for round_no in range(50):
+            if ctx.cas(win, 0, 0, round_no, round_no + 1) == round_no:
+                wins += 1
+            ctx.barrier()
+        return wins
+
+    _, res = run_spmd(4, prog)
+    assert sum(res) == 50  # every round has exactly one winner

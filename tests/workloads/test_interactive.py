@@ -1,0 +1,152 @@
+"""Tests for interactive complex queries: FOF and transactional paths."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gdi import EdgeOrientation
+from repro.generator import (
+    KroneckerParams,
+    build_lpg,
+    default_schema,
+    generate_edges,
+)
+from repro.rma import run_spmd
+from repro.workloads.interactive import (
+    friends_of_friends,
+    transactional_path_search,
+)
+
+PARAMS = KroneckerParams(scale=6, edge_factor=4, seed=55)
+NRANKS = 2
+SCHEMA = default_schema(n_vertex_labels=2, n_edge_labels=2, n_properties=2)
+
+
+def _reference_graph():
+    edges = np.vstack(
+        [generate_edges(PARAMS, r, NRANKS) for r in range(NRANKS)]
+    )
+    g = nx.Graph()
+    g.add_nodes_from(range(PARAMS.n_vertices))
+    g.add_edges_from(map(tuple, edges))
+    return g
+
+
+def _run(fn):
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=8192))
+        g = build_lpg(ctx, db, PARAMS, SCHEMA, dedup=True)
+        if ctx.rank == 0:
+            return fn(ctx, g)
+        ctx.barrier()
+        return None
+
+    def wrapped(ctx, g):
+        out = fn(ctx, g)
+        ctx.barrier()
+        return out
+
+    def prog2(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=8192))
+        g = build_lpg(ctx, db, PARAMS, SCHEMA, dedup=True)
+        return wrapped(ctx, g) if ctx.rank == 0 else (ctx.barrier() or None)
+
+    _, res = run_spmd(NRANKS, prog2)
+    return res[0]
+
+
+def test_fof_matches_networkx_ego_graph():
+    ref = _reference_graph()
+
+    def body(ctx, g):
+        return friends_of_friends(ctx, g, 0, hops=2)
+
+    got = _run(body)
+    depths = nx.single_source_shortest_path_length(ref, 0, cutoff=2)
+    expected = {u for u, d in depths.items() if 1 <= d <= 2}
+    assert got == expected
+
+
+def test_fof_three_hops():
+    ref = _reference_graph()
+
+    def body(ctx, g):
+        return friends_of_friends(ctx, g, 3, hops=3)
+
+    got = _run(body)
+    depths = nx.single_source_shortest_path_length(ref, 3, cutoff=3)
+    expected = {u for u, d in depths.items() if 1 <= d <= 3}
+    assert got == expected
+
+
+def test_fof_missing_vertex_returns_empty():
+    def body(ctx, g):
+        return friends_of_friends(ctx, g, 10**9, hops=2)
+
+    assert _run(body) == set()
+
+
+def test_fof_with_edge_label_filter():
+    def body(ctx, g):
+        label = g.edge_label(0)
+        filtered = friends_of_friends(ctx, g, 0, hops=1, edge_label=label)
+        unfiltered = friends_of_friends(ctx, g, 0, hops=1)
+        return filtered, unfiltered
+
+    filtered, unfiltered = _run(body)
+    assert filtered <= unfiltered
+
+
+def test_path_search_matches_networkx():
+    ref = _reference_graph()
+
+    def body(ctx, g):
+        out = {}
+        for dst in (1, 2, 5, 17, 40):
+            out[dst] = transactional_path_search(ctx, g, 0, dst, max_depth=8)
+        return out
+
+    got = _run(body)
+    for dst, length in got.items():
+        try:
+            expected = nx.shortest_path_length(ref, 0, dst)
+            if expected > 8:
+                expected = None
+        except nx.NetworkXNoPath:
+            expected = None
+        assert length == expected, dst
+
+
+def test_path_search_same_vertex_is_zero():
+    def body(ctx, g):
+        return transactional_path_search(ctx, g, 0, 0)
+
+    assert _run(body) == 0
+
+
+def test_path_search_respects_max_depth():
+    ref = _reference_graph()
+    # find a pair at distance >= 3
+    depths = nx.single_source_shortest_path_length(ref, 0)
+    far = [u for u, d in depths.items() if d >= 3]
+    if not far:
+        pytest.skip("no vertex at distance >= 3 in this graph")
+    target = far[0]
+
+    def body(ctx, g):
+        return (
+            transactional_path_search(ctx, g, 0, target, max_depth=2),
+            transactional_path_search(ctx, g, 0, target, max_depth=8),
+        )
+
+    capped, full = _run(body)
+    assert capped is None
+    assert full == depths[target]
+
+
+def test_path_search_missing_endpoint_is_none():
+    def body(ctx, g):
+        return transactional_path_search(ctx, g, 0, 10**9)
+
+    assert _run(body) is None
