@@ -205,3 +205,60 @@ def test_oltp_transaction_wall_time(benchmark):
         return out
 
     benchmark(op)
+
+
+def test_batched_vs_scalar_remote_reads(benchmark, report):
+    """Doorbell coalescing: one ``get_batch`` vs a scalar ``get`` loop.
+
+    Measured in *simulated* time on the UNIFORM profile (the ZERO_COST
+    module fixture would hide the effect): a batch of k same-target reads
+    pays one latency term instead of k, so the speedup approaches
+    alpha/(nbytes*beta) for large k.  The acceptance bar is >= 2x at
+    batch size 64.
+    """
+    from repro.analysis.scaling import format_table
+    from repro.rma import UNIFORM
+
+    nbytes = 64
+    sizes = [1, 8, 64, 512]
+    rt2 = RmaRuntime(2, profile=UNIFORM)
+    win = rt2.allocate_window("micro.batch", max(sizes) * nbytes)
+    c = rt2.context(0)
+
+    rows = []
+    speedups = {}
+    for k in sizes:
+        ops = [(1, i * nbytes, nbytes) for i in range(k)]
+        t0 = c.clock
+        scalar_out = [c.get(win, t, o, n) for t, o, n in ops]
+        scalar = c.clock - t0
+        t0 = c.clock
+        batched_out = c.get_batch(win, ops)
+        batched = c.clock - t0
+        assert batched_out == scalar_out
+        speedups[k] = scalar / batched
+        rows.append(
+            [k, f"{scalar * 1e6:.3f}", f"{batched * 1e6:.3f}",
+             f"{speedups[k]:.2f}x"]
+        )
+
+    snap = rt2.trace.counters[0].snapshot()
+    report(
+        "micro_batch_coalescing",
+        "Scalar vs batched remote reads (64 B each, 1 target)"
+        " [us, simulated]\n"
+        + format_table(
+            ["batch size", "scalar", "batched", "speedup"], rows
+        )
+        + (
+            f"\ncoalescing counters (rank 0): batches={snap['batches']}"
+            f" batched_ops={snap['batched_ops']}"
+            f" msgs_saved={snap['msgs_saved']}"
+            f" bytes_batched={snap['bytes_batched']}"
+        ),
+    )
+    assert speedups[64] >= 2.0
+    assert speedups[512] >= speedups[64]
+
+    ops64 = [(1, i * nbytes, nbytes) for i in range(64)]
+    benchmark(lambda: c.get_batch(win, ops64))

@@ -116,6 +116,10 @@ def test_sec66_edge_factor_sweep(benchmark, report):
         "Section 6.6: varying the edge factor (default e=16)\n"
         + format_table(["edge factor", "LB ops/s", "BFS ms", "blocks"], rows),
     )
-    # denser graphs need more storage and more BFS time
+    # denser graphs need more storage ...
     assert data[32][2] > data[8][2]
-    assert data[32][1] > data[8][1]
+    # ... but since the BFS frontiers are deduplicated per destination
+    # before the alltoall, runtime tracks *distinct* frontier vertices
+    # rather than edges: quadrupling the edge factor must no longer
+    # quadruple the BFS time (it stays within a small factor).
+    assert data[32][1] < data[8][1] * 2.0

@@ -217,3 +217,36 @@ class BlockManager:
         if offset < 0 or offset + nbytes > self.block_size:
             raise ValueError("read outside block bounds")
         return ctx.iget(self.data_win, d.rank, d.offset + offset, nbytes)
+
+    # -- batched block data access ------------------------------------------------
+    def read_blocks(
+        self, ctx: RankContext, specs: list[tuple[int, int, int]]
+    ) -> list[bytes]:
+        """Batched blocking read of many (parts of) blocks.
+
+        ``specs`` is ``(dptr, offset, nbytes)`` per element; the reads
+        coalesce into one network message per distinct owner rank.
+        """
+        ops = []
+        for dptr, offset, nbytes in specs:
+            d = unpack_dptr(dptr)
+            if offset < 0 or offset + nbytes > self.block_size:
+                raise ValueError("read outside block bounds")
+            ops.append((d.rank, d.offset + offset, nbytes))
+        return ctx.get_batch(self.data_win, ops)
+
+    def iwrite_blocks(
+        self, ctx: RankContext, items: list[tuple[int, bytes]]
+    ):
+        """Batched non-blocking write of many whole-or-partial blocks.
+
+        ``items`` is ``(dptr, data)`` per element (written at block
+        offset 0); complete with a data-window flush.
+        """
+        ops = []
+        for dptr, data in items:
+            d = unpack_dptr(dptr)
+            if len(data) > self.block_size:
+                raise ValueError("write outside block bounds")
+            ops.append((d.rank, d.offset, data))
+        return ctx.iput_batch(self.data_win, ops)

@@ -152,20 +152,62 @@ class DistributedHashTable:
 
     def lookup(self, ctx: RankContext, key: int) -> int | None:
         """Return the most recently inserted value for ``key``, else None."""
-        while True:
-            rank, boff = self.bucket_of(key)
-            ptr = ctx.aget(self.table_win, rank, boff)
-            restart = False
-            while not is_null(ptr):
-                k, v, nxt = self._read_entry(ctx, ptr)
-                if nxt == ptr:  # entry is being deleted: restart
-                    restart = True
-                    break
-                if k == key:
-                    return v
-                ptr = nxt
-            if not restart:
-                return None
+        return self.lookup_many(ctx, [key])[0]
+
+    def lookup_many(
+        self, ctx: RankContext, keys: list[int]
+    ) -> list[int | None]:
+        """Batched lookup: one value (or ``None``) per key, in key order.
+
+        Wave algorithm: all bucket heads are fetched in one batched read
+        (coalesced per owner rank), then each wave fetches the next chain
+        entry of every still-unresolved key in one batch.  The number of
+        network rounds is the longest chain walked, not the key count.  A
+        key whose walk hits a deletion mark (next pointing at itself)
+        restarts from its bucket, joining the next wave — the same restart
+        rule as the scalar path.
+        """
+        n = len(keys)
+        keys = [int(k) for k in keys]
+        results: list[int | None] = [None] * n
+        locs = [self.bucket_of(k) for k in keys]
+        heads = ctx.get_batch(
+            self.table_win, [(rank, boff, 8) for rank, boff in locs]
+        )
+        ptrs = [int.from_bytes(b, "little", signed=True) for b in heads]
+        active = [i for i in range(n) if not is_null(ptrs[i])]
+        while active:
+            specs = []
+            for i in active:
+                d = unpack_dptr(ptrs[i])
+                specs.append((d.rank, d.offset, ENTRY_BYTES))
+            blobs = ctx.get_batch(self.heap.data_win, specs)
+            nxt_active: list[int] = []
+            restart: list[int] = []
+            for i, blob in zip(active, blobs):
+                k = int.from_bytes(blob[0:8], "little", signed=True)
+                v = int.from_bytes(blob[8:16], "little", signed=True)
+                nxt = int.from_bytes(blob[16:24], "little", signed=True)
+                if nxt == ptrs[i]:  # entry is being deleted: restart
+                    restart.append(i)
+                elif k == keys[i]:
+                    results[i] = v
+                elif not is_null(nxt):
+                    ptrs[i] = nxt
+                    nxt_active.append(i)
+                # else: chain exhausted — the key is absent.
+            if restart:
+                heads = ctx.get_batch(
+                    self.table_win,
+                    [(locs[i][0], locs[i][1], 8) for i in restart],
+                )
+                for i, b in zip(restart, heads):
+                    results[i] = None
+                    ptrs[i] = int.from_bytes(b, "little", signed=True)
+                    if not is_null(ptrs[i]):
+                        nxt_active.append(i)
+            active = nxt_active
+        return results
 
     def delete(self, ctx: RankContext, key: int) -> bool:
         """Unlink and reclaim the first entry matching ``key``.

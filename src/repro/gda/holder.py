@@ -289,6 +289,29 @@ class HolderStorage:
         self._resize(ctx, stored.index_blocks, nindex, home)
         self._write_blocks(ctx, stored, payload, extra_flags)
 
+    def rewrite_many(
+        self, ctx: RankContext, stored_list: list[StoredHolder]
+    ) -> None:
+        """Write back many mutated holders with one batched flush.
+
+        Each holder's block set is resized as in :meth:`rewrite`, then all
+        block writes of all holders coalesce into one non-blocking batch
+        (one network message per distinct owner rank) completed by a
+        single data-window flush — the transaction write pipeline.
+        """
+        if not stored_list:
+            return
+        items: list[tuple[int, bytes]] = []
+        for stored in stored_list:
+            payload, extra_flags = stored.holder.payload()
+            nindex, ndata = plan_layout(len(payload), self.blocks.block_size)
+            home = stored.home_rank
+            self._resize(ctx, stored.data_blocks, ndata, home)
+            self._resize(ctx, stored.index_blocks, nindex, home)
+            items.extend(self._write_items(stored, payload, extra_flags))
+        self.blocks.iwrite_blocks(ctx, items)
+        ctx.flush(self.blocks.data_win)
+
     def _resize(
         self, ctx: RankContext, blocks: list[int], want: int, home: int
     ) -> None:
@@ -298,19 +321,20 @@ class HolderStorage:
         while len(blocks) > want:
             self.blocks.release_block(ctx, blocks.pop())
 
-    def _write_blocks(
+    def _write_items(
         self,
-        ctx: RankContext,
         stored: StoredHolder,
         payload: bytes,
         extra_flags: int,
-    ) -> None:
+    ) -> list[tuple[int, bytes]]:
+        """Serialize a holder into ``(dptr, data)`` block-write items."""
         bs = self.blocks.block_size
         holder = stored.holder
         flags = extra_flags | (FLAG_INDIRECT if stored.index_blocks else 0)
         nindex = len(stored.index_blocks)
         ndata = len(stored.data_blocks)
         header = self._pack_header(holder, flags, nindex, ndata, len(payload))
+        items: list[tuple[int, bytes]] = []
         if nindex:
             addr_area = b"".join(
                 p.to_bytes(8, "little", signed=True) for p in stored.index_blocks
@@ -322,7 +346,7 @@ class HolderStorage:
                 blob = b"".join(
                     p.to_bytes(8, "little", signed=True) for p in chunk
                 )
-                self.blocks.iwrite_block(ctx, iptr, blob)
+                items.append((iptr, blob))
         else:
             addr_area = b"".join(
                 p.to_bytes(8, "little", signed=True) for p in stored.data_blocks
@@ -331,81 +355,165 @@ class HolderStorage:
         head = payload[:cap_primary]
         primary_blob = header + addr_area + head
         primary_blob += b"\x00" * (bs - len(primary_blob))
-        # All block writes are non-blocking and complete at one flush:
-        # the paper's overlap of one-sided communication (Section 5.1).
-        self.blocks.iwrite_block(ctx, stored.primary, primary_blob)
+        items.append((stored.primary, primary_blob))
         pos = len(head)
         for dptr in stored.data_blocks:
             chunk = payload[pos : pos + bs]
-            self.blocks.iwrite_block(ctx, dptr, chunk)
+            items.append((dptr, chunk))
             pos += len(chunk)
+        return items
+
+    def _write_blocks(
+        self,
+        ctx: RankContext,
+        stored: StoredHolder,
+        payload: bytes,
+        extra_flags: int,
+    ) -> None:
+        # All block writes are non-blocking, coalesced per owner rank, and
+        # complete at one flush: the paper's overlap of one-sided
+        # communication (Section 5.1).
+        items = self._write_items(stored, payload, extra_flags)
+        self.blocks.iwrite_blocks(ctx, items)
         ctx.flush(self.blocks.data_win)
 
     # -- read -------------------------------------------------------------------
     def read(self, ctx: RankContext, primary: int) -> StoredHolder:
         """Fetch and decode the holder whose primary block is ``primary``."""
+        return self.read_many(ctx, [primary])[0]  # type: ignore[return-value]
+
+    def read_many(
+        self,
+        ctx: RankContext,
+        primaries: list[int],
+        missing_ok: bool = False,
+    ) -> list[StoredHolder | None]:
+        """Fetch and decode many holders with batched per-rank reads.
+
+        Three fetch rounds regardless of holder count — primaries, then
+        index blocks, then data blocks — each round one coalesced message
+        per distinct owner rank.  With ``missing_ok`` a primary block that
+        holds no holder yields ``None`` instead of raising
+        :class:`GdiStateError`.
+        """
+        if not primaries:
+            return []
         bs = self.blocks.block_size
-        blob = self.blocks.read_block(ctx, primary)
-        (
-            kind,
-            flags,
-            _,
-            ndata,
-            nindex,
-            app_id,
-            edge_count,
-            _entries_len,
-            payload_len,
-            _,
-        ) = _HEADER.unpack_from(blob, 0)
-        if kind not in (KIND_VERTEX, KIND_EDGE):
-            raise GdiStateError(f"no holder at {primary:#x} (kind={kind})")
-        pos = HEADER_BYTES
-        index_blocks: list[int] = []
-        data_blocks: list[int] = []
-        if flags & FLAG_INDIRECT:
-            for _ in range(nindex):
-                index_blocks.append(
-                    int.from_bytes(blob[pos : pos + 8], "little", signed=True)
-                )
-                pos += 8
-            per_index = bs // 8
-            remaining = ndata
-            for iptr in index_blocks:
-                take = min(per_index, remaining)
-                iblob = self.blocks.read_block(ctx, iptr, nbytes=8 * take)
-                for k in range(take):
+        # Round 1: every primary block, coalesced per owner rank.
+        blobs = self.blocks.read_blocks(
+            ctx, [(p, 0, bs) for p in primaries]
+        )
+        infos: list[dict | None] = []
+        for primary, blob in zip(primaries, blobs):
+            (
+                kind,
+                flags,
+                _,
+                ndata,
+                nindex,
+                app_id,
+                edge_count,
+                _entries_len,
+                payload_len,
+                _,
+            ) = _HEADER.unpack_from(blob, 0)
+            if kind not in (KIND_VERTEX, KIND_EDGE):
+                if missing_ok:
+                    infos.append(None)
+                    continue
+                raise GdiStateError(f"no holder at {primary:#x} (kind={kind})")
+            pos = HEADER_BYTES
+            index_blocks: list[int] = []
+            data_blocks: list[int] = []
+            if flags & FLAG_INDIRECT:
+                for _ in range(nindex):
+                    index_blocks.append(
+                        int.from_bytes(blob[pos : pos + 8], "little", signed=True)
+                    )
+                    pos += 8
+            else:
+                for _ in range(ndata):
                     data_blocks.append(
+                        int.from_bytes(blob[pos : pos + 8], "little", signed=True)
+                    )
+                    pos += 8
+            infos.append(
+                {
+                    "primary": primary,
+                    "kind": kind,
+                    "flags": flags,
+                    "ndata": ndata,
+                    "app_id": app_id,
+                    "edge_count": edge_count,
+                    "payload_len": payload_len,
+                    "pos": pos,
+                    "blob": blob,
+                    "index_blocks": index_blocks,
+                    "data_blocks": data_blocks,
+                }
+            )
+        # Round 2: index blocks of indirect holders, all in one batch.
+        per_index = bs // 8
+        index_specs: list[tuple[int, int, int]] = []
+        index_owner: list[tuple[dict, int]] = []
+        for info in infos:
+            if info is None or not info["index_blocks"]:
+                continue
+            remaining = info["ndata"]
+            for iptr in info["index_blocks"]:
+                take = min(per_index, remaining)
+                index_specs.append((iptr, 0, 8 * take))
+                index_owner.append((info, take))
+                remaining -= take
+        if index_specs:
+            iblobs = self.blocks.read_blocks(ctx, index_specs)
+            for (info, take), iblob in zip(index_owner, iblobs):
+                for k in range(take):
+                    info["data_blocks"].append(
                         int.from_bytes(
                             iblob[8 * k : 8 * k + 8], "little", signed=True
                         )
                     )
-                remaining -= take
-        else:
-            for _ in range(ndata):
-                data_blocks.append(
-                    int.from_bytes(blob[pos : pos + 8], "little", signed=True)
+        # Round 3: every continuation data block of every holder.
+        data_specs: list[tuple[int, int, int]] = []
+        data_owner: list[dict] = []
+        for info in infos:
+            if info is None:
+                continue
+            head = info["blob"][
+                info["pos"] : info["pos"]
+                + min(info["payload_len"], bs - info["pos"])
+            ]
+            info["parts"] = [head]
+            got = len(head)
+            for dptr in info["data_blocks"]:
+                take = min(bs, info["payload_len"] - got)
+                data_specs.append((dptr, 0, take))
+                data_owner.append(info)
+                got += take
+        if data_specs:
+            dblobs = self.blocks.read_blocks(ctx, data_specs)
+            for info, dblob in zip(data_owner, dblobs):
+                info["parts"].append(dblob)
+        out: list[StoredHolder | None] = []
+        for info in infos:
+            if info is None:
+                out.append(None)
+                continue
+            payload = b"".join(info["parts"])
+            holder = self._parse_payload(
+                info["kind"], info["flags"], info["edge_count"], payload
+            )
+            holder.app_id = info["app_id"]
+            out.append(
+                StoredHolder(
+                    holder=holder,
+                    primary=info["primary"],
+                    data_blocks=info["data_blocks"],
+                    index_blocks=info["index_blocks"],
                 )
-                pos += 8
-        parts = [blob[pos : pos + min(payload_len, bs - pos)]]
-        got = len(parts[0])
-        requests = []
-        for dptr in data_blocks:
-            take = min(bs, payload_len - got)
-            requests.append(self.blocks.iread_block(ctx, dptr, nbytes=take))
-            got += take
-        if requests:
-            ctx.flush(self.blocks.data_win)  # all fetches overlap
-        parts.extend(r.result() for r in requests)
-        payload = b"".join(parts)
-        holder = self._parse_payload(kind, flags, edge_count, payload)
-        holder.app_id = app_id
-        return StoredHolder(
-            holder=holder,
-            primary=primary,
-            data_blocks=data_blocks,
-            index_blocks=index_blocks,
-        )
+            )
+        return out
 
     # -- delete --------------------------------------------------------------------
     def delete(self, ctx: RankContext, stored: StoredHolder) -> None:

@@ -224,50 +224,119 @@ class Transaction:
     def _load_vertex(
         self, vid: int, for_write: bool, expected_app_id: int | None = None
     ) -> _TxVertex:
+        return self.load_vertices(
+            [vid], for_write=for_write, expected_app_ids=[expected_app_id]
+        )[0]  # type: ignore[return-value]
+
+    def load_vertices(
+        self,
+        vids: list[int],
+        for_write: bool = False,
+        expected_app_ids: list[int | None] | None = None,
+        missing_ok: bool = False,
+    ) -> "list[_TxVertex | None]":
+        """Read-pipeline many vertices into the transaction cache at once.
+
+        All uncached holders are fetched with the batched storage path
+        (holder and block reads coalesce per home rank and complete in a
+        fixed number of flush rounds).  Per-element validation matches the
+        scalar path: a vanished holder raises :class:`GdiNotFound` (or
+        yields ``None`` with ``missing_ok``), a non-vertex holder raises
+        :class:`GdiObjectMismatch`, and an ``expected_app_ids`` mismatch —
+        the block was recycled between translate and associate — counts as
+        a read miss.  Locks are taken *before* the batched read (2PL) and
+        rolled back for any element that fails validation.
+        """
         self._check_open()
         if for_write:
             self._check_write()
-        txv = self._vertices.get(vid)
-        if txv is not None:
-            if txv.deleted:
-                raise GdiNotFound(f"vertex {vid:#x} deleted in this transaction")
-            self._ensure_lock(txv, for_write)
-            return txv
-        # Lock *before* reading so the fetched holder is stable (2PL).
-        placeholder = _TxVertex(vid=vid, stored=None)  # type: ignore[arg-type]
-        self._ensure_lock(placeholder, for_write)
-        try:
-            stored = self.db.storage.read(self.ctx, vid)
-        except GdiStateError:
-            # The holder vanished between the ID translation and this read
-            # (vertex deleted, block freed): a normal read-miss outcome.
-            self._rollback_placeholder_lock(placeholder)
-            raise GdiNotFound(f"vertex {vid:#x} no longer exists") from None
-        except BaseException:
-            # Undo the lock taken for a vertex we failed to read.
-            self._rollback_placeholder_lock(placeholder)
-            raise
-        if stored.holder.kind != 1:
-            self._rollback_placeholder_lock(placeholder)
-            raise GdiObjectMismatch(f"{vid:#x} is not a vertex")
-        if (
-            expected_app_id is not None
-            and stored.holder.app_id != expected_app_id
-        ):
-            # The block was freed and recycled into a different vertex
-            # between translate and associate: treat as a read miss.
-            self._rollback_placeholder_lock(placeholder)
-            raise GdiNotFound(
-                f"vertex {vid:#x} was recycled (expected application ID "
-                f"{expected_app_id}, found {stored.holder.app_id})"
-            )
-        txv = _TxVertex(
-            vid=vid, stored=stored, lock_mode=placeholder.lock_mode
-        )
-        txv.index_preimage = self._index_matches(stored.holder)
-        self._vertices[vid] = txv
-        txv.edge_index_preimage = self._edge_index_matches(txv)
-        return txv
+        if expected_app_ids is None:
+            expected_app_ids = [None] * len(vids)
+        results: list[_TxVertex | None] = [None] * len(vids)
+        fetch_idx: list[int] = []
+        placeholders: dict[int, _TxVertex] = {}
+        expected_by_vid: dict[int, int] = {}
+        # Pass 1: serve cache hits (and fail fast on in-txn deletions)
+        # before taking any new locks.
+        for i, vid in enumerate(vids):
+            txv = self._vertices.get(vid)
+            if txv is not None:
+                if txv.deleted:
+                    if missing_ok:
+                        continue
+                    raise GdiNotFound(
+                        f"vertex {vid:#x} deleted in this transaction"
+                    )
+                self._ensure_lock(txv, for_write)
+                results[i] = txv
+            else:
+                fetch_idx.append(i)
+                if expected_app_ids[i] is not None:
+                    expected_by_vid.setdefault(vid, expected_app_ids[i])
+        # Pass 2: lock *before* reading so the fetched holders are stable
+        # (2PL); a lock failure mid-batch rolls back the locks already
+        # taken for this batch (they are not yet owned by the cache).
+        for i in fetch_idx:
+            vid = vids[i]
+            if vid in placeholders:
+                continue  # duplicate in this batch: one lock, one fetch
+            placeholder = _TxVertex(vid=vid, stored=None)  # type: ignore[arg-type]
+            try:
+                self._ensure_lock(placeholder, for_write)
+            except BaseException:
+                for p in placeholders.values():
+                    self._rollback_placeholder_lock(p)
+                raise
+            placeholders[vid] = placeholder
+        fetch_vids = list(placeholders)
+        if fetch_vids:
+            try:
+                stored_list = self.db.storage.read_many(
+                    self.ctx, fetch_vids, missing_ok=True
+                )
+            except BaseException:
+                for p in placeholders.values():
+                    self._rollback_placeholder_lock(p)
+                raise
+            error: BaseException | None = None
+            for vid, stored in zip(fetch_vids, stored_list):
+                placeholder = placeholders[vid]
+                if stored is None:
+                    # The holder vanished between the ID translation and
+                    # this read (vertex deleted, block freed): a normal
+                    # read-miss outcome.
+                    self._rollback_placeholder_lock(placeholder)
+                    if not missing_ok and error is None:
+                        error = GdiNotFound(
+                            f"vertex {vid:#x} no longer exists"
+                        )
+                    continue
+                if stored.holder.kind != 1:
+                    self._rollback_placeholder_lock(placeholder)
+                    if error is None:
+                        error = GdiObjectMismatch(f"{vid:#x} is not a vertex")
+                    continue
+                expected = expected_by_vid.get(vid)
+                if expected is not None and stored.holder.app_id != expected:
+                    self._rollback_placeholder_lock(placeholder)
+                    if not missing_ok and error is None:
+                        error = GdiNotFound(
+                            f"vertex {vid:#x} was recycled (expected "
+                            f"application ID {expected}, found "
+                            f"{stored.holder.app_id})"
+                        )
+                    continue
+                txv = _TxVertex(
+                    vid=vid, stored=stored, lock_mode=placeholder.lock_mode
+                )
+                txv.index_preimage = self._index_matches(stored.holder)
+                self._vertices[vid] = txv
+                txv.edge_index_preimage = self._edge_index_matches(txv)
+            if error is not None:
+                raise error
+            for i in fetch_idx:
+                results[i] = self._vertices.get(vids[i])
+        return results
 
     def _rollback_placeholder_lock(self, placeholder: _TxVertex) -> None:
         if self.collective:
@@ -347,14 +416,44 @@ class Transaction:
         against the translate/associate race with a concurrent delete
         that recycled the primary block.
         """
-        try:
-            vid = self.translate_vertex_id(app_id)
-            return VertexHandle(
-                self,
-                self._load_vertex(vid, for_write=False, expected_app_id=app_id),
+        return self.find_vertices([app_id])[0]
+
+    def find_vertices(
+        self, app_ids: list[int]
+    ) -> "list[VertexHandle | None]":
+        """Batched :meth:`find_vertex`: one handle (or ``None``) per ID.
+
+        Translations resolve through one batched DHT lookup and the
+        holders through one pipelined storage read, so the network rounds
+        are bounded by chain/indirection depth rather than the ID count.
+        """
+        self._check_open()
+        app_ids = [int(a) for a in app_ids]
+        vids: list[int | None] = [None] * len(app_ids)
+        to_lookup: list[int] = []
+        for i, app_id in enumerate(app_ids):
+            if app_id in self._created_app_ids:
+                vids[i] = self._created_app_ids[app_id]
+            else:
+                to_lookup.append(i)
+        if to_lookup:
+            found = self.db.dht.lookup_many(
+                self.ctx, [app_ids[i] for i in to_lookup]
             )
-        except GdiNotFound:
-            return None
+            for i, vid in zip(to_lookup, found):
+                vids[i] = vid
+        present = [i for i in range(len(app_ids)) if vids[i] is not None]
+        loaded = self.load_vertices(
+            [vids[i] for i in present],
+            for_write=False,
+            expected_app_ids=[app_ids[i] for i in present],
+            missing_ok=True,
+        )
+        out: list[VertexHandle | None] = [None] * len(app_ids)
+        for i, txv in zip(present, loaded):
+            if txv is not None:
+                out[i] = VertexHandle(self, txv)
+        return out
 
     # -- vertex CRUD ------------------------------------------------------------------------
     def create_vertex(
@@ -403,6 +502,26 @@ class Transaction:
         return VertexHandle(
             self, self._load_vertex(self._resolve_vid(vid), for_write=False)
         )
+
+    def associate_vertices(
+        self, vids, missing_ok: bool = False
+    ) -> "list[VertexHandle | None]":
+        """Batched ``GDI_AssociateVertex``: one pipelined read for all IDs.
+
+        Neighborhood expansions (analytics, GNN sampling, BI traversals)
+        use this to fetch a whole frontier's holders with coalesced
+        per-rank messages instead of one round trip per vertex.  With
+        ``missing_ok`` deleted/recycled vertices yield ``None`` instead of
+        raising, matching the scalar try/except-``GdiNotFound`` idiom.
+        """
+        resolved = [self._resolve_vid(v) for v in vids]
+        loaded = self.load_vertices(
+            resolved, for_write=False, missing_ok=missing_ok
+        )
+        return [
+            VertexHandle(self, txv) if txv is not None else None
+            for txv in loaded
+        ]
 
     def delete_vertex(self, handle: "VertexHandle") -> None:
         """``GDI_FreeVertex`` (delete): remove vertex and incident edges.
@@ -691,16 +810,21 @@ class Transaction:
 
     def _commit_writes(self) -> None:
         ctx = self.ctx
-        # Final uniqueness validation of created application IDs.
-        for app_id in self._created_app_ids:
-            existing = self.db.dht.lookup(ctx, app_id)
-            if existing is not None and not self._deleted_in_txn(existing):
-                self._rollback_created()
-                self._fail()
-                raise GdiNonUniqueId(
-                    f"application ID {app_id} concurrently created"
-                )
-        # Heavy edge holders first so endpoint slots never dangle.
+        # Final uniqueness validation of created application IDs, one
+        # batched DHT lookup for all of them.
+        created_ids = list(self._created_app_ids)
+        if created_ids:
+            found = self.db.dht.lookup_many(ctx, created_ids)
+            for app_id, existing in zip(created_ids, found):
+                if existing is not None and not self._deleted_in_txn(existing):
+                    self._rollback_created()
+                    self._fail()
+                    raise GdiNonUniqueId(
+                        f"application ID {app_id} concurrently created"
+                    )
+        # Heavy edge holders first so endpoint slots never dangle; all
+        # dirty edge holders write back in one batched flush.
+        edge_rewrites: list[StoredHolder] = []
         for txe in self._edges.values():
             if txe.deleted:
                 if txe.created:
@@ -708,9 +832,11 @@ class Transaction:
                 else:
                     self.db.storage.delete(ctx, txe.stored)
             elif txe.dirty:
-                self.db.storage.rewrite(ctx, txe.stored)
+                edge_rewrites.append(txe.stored)
+        self.db.storage.rewrite_many(ctx, edge_rewrites)
         log_entries = []
         ordered = sorted(self._vertices.values(), key=lambda t: not t.deleted)
+        survivors: list[_TxVertex] = []
         for txv in ordered:
             if txv.deleted and txv.created:
                 self.db.blocks.release_block(ctx, txv.stored.primary)
@@ -725,14 +851,23 @@ class Transaction:
                 self._apply_index_updates(txv, deleted=True)
                 self.db.storage.delete(ctx, txv.stored)
                 log_entries.append(("del_v", txv.holder.app_id))
-            elif txv.created:
-                self.db.storage.rewrite(ctx, txv.stored)
+            elif txv.created or txv.dirty:
+                survivors.append(txv)
+        # One batched write-back for every created/dirty vertex holder:
+        # block writes of all holders coalesce per home rank and complete
+        # at a single flush (deletions above already freed their blocks,
+        # so grown holders can reuse them).  Publication (DHT, directory,
+        # indexes) follows the write-back, as in the scalar path.
+        self.db.storage.rewrite_many(
+            ctx, [txv.stored for txv in survivors]
+        )
+        for txv in survivors:
+            if txv.created:
                 self.db.dht.insert(ctx, txv.holder.app_id, txv.vid)
                 self.db.directory.add(ctx, txv.vid)
                 self._apply_index_updates(txv)
                 log_entries.append(("new_v", txv.holder.app_id))
-            elif txv.dirty:
-                self.db.storage.rewrite(ctx, txv.stored)
+            else:
                 self._apply_index_updates(txv)
                 log_entries.append(("upd_v", txv.holder.app_id))
         if log_entries:

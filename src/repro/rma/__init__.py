@@ -16,7 +16,7 @@ from .costmodel import (
     log2ceil,
 )
 from .executor import InterleavingScheduler, SpmdError, ThreadExecutor, run_spmd
-from .runtime import RankContext, Request, RmaError, RmaRuntime
+from .runtime import BatchRequest, RankContext, Request, RmaError, RmaRuntime
 from .trace import RankCounters, TraceRecorder
 from .window import Window, WindowError
 
@@ -36,6 +36,7 @@ __all__ = [
     "RmaError",
     "RmaRuntime",
     "Request",
+    "BatchRequest",
     "RankCounters",
     "TraceRecorder",
     "Window",

@@ -163,6 +163,21 @@ class CostModel:
             return p.alpha_local + nbytes * p.beta_local
         return p.alpha + nbytes * p.beta
 
+    def batched_onesided(
+        self, origin: int, per_target: dict[int, int]
+    ) -> float:
+        """Cost of a batched put/get: one message per distinct target.
+
+        ``per_target`` maps each target rank to the summed payload of the
+        coalesced operations headed there; each distinct target costs one
+        latency term plus the summed bandwidth term, so a batch of ``n``
+        same-target operations pays ``alpha + total_bytes * beta`` instead
+        of ``n * alpha + total_bytes * beta``.
+        """
+        return sum(
+            self.onesided(origin, t, n) for t, n in per_target.items()
+        )
+
     def atomic(self, origin: int, target: int) -> float:
         """Cost of an 8-byte remote atomic (CAS/FAA/APUT/AGET)."""
         p = self.profile

@@ -26,6 +26,15 @@ class RankCounters:
     bytes_got: int = 0
     remote_ops: int = 0
     local_ops: int = 0
+    #: batched-operation accounting (doorbell coalescing): ``batches`` counts
+    #: batch calls, ``batched_ops`` the logical operations inside them,
+    #: ``msgs_saved`` how many network messages coalescing removed
+    #: (ops minus distinct targets), ``bytes_batched`` the payload moved
+    #: through batch calls.
+    batches: int = 0
+    batched_ops: int = 0
+    msgs_saved: int = 0
+    bytes_batched: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -42,6 +51,10 @@ class RankCounters:
             "bytes_got": self.bytes_got,
             "remote_ops": self.remote_ops,
             "local_ops": self.local_ops,
+            "batches": self.batches,
+            "batched_ops": self.batched_ops,
+            "msgs_saved": self.msgs_saved,
+            "bytes_batched": self.bytes_batched,
         }
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -96,6 +109,17 @@ class TraceRecorder:
                 c.remote_ops += 1
         if self.log_ops:
             self.ops.append((kind, origin, target, window, offset, nbytes))
+
+    def record_batch(
+        self, origin: int, nops: int, nmsgs: int, nbytes: int
+    ) -> None:
+        """Account one batch call that coalesced ``nops`` logical operations
+        into ``nmsgs`` network messages carrying ``nbytes`` total payload."""
+        c = self.counters[origin]
+        c.batches += 1
+        c.batched_ops += nops
+        c.msgs_saved += nops - nmsgs
+        c.bytes_batched += nbytes
 
     # -- aggregation ------------------------------------------------------
     def total(self, field_name: str) -> int:

@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..gdi import EdgeOrientation
 from ..generator.lpg import GeneratedGraph
 from ..rma.runtime import RankContext
@@ -71,9 +73,12 @@ def load_local_adjacency(
     db = graph.db
     tx = db.start_collective_transaction(ctx)
     local_vids = db.directory.local_vertices(ctx)
-    local_map: dict[int, int] = {}
-    for vid in local_vids:
-        local_map[vid] = tx.associate_vertex(vid).app_id
+    # One batched read pipelines every local holder fetch (coalesced
+    # per home rank) instead of one round trip per vertex.
+    handles = tx.associate_vertices(local_vids)
+    local_map: dict[int, int] = {
+        vid: h.app_id for vid, h in zip(local_vids, handles)
+    }
     app_of: dict[int, int] = {}
     owner: dict[int, int] = {}
     for rank, part in enumerate(ctx.allgather(local_map)):
@@ -82,8 +87,7 @@ def load_local_adjacency(
             owner[app] = rank
     neighbors: dict[int, list[int]] = {}
     n_edges = 0
-    for vid in local_vids:
-        v = tx.associate_vertex(vid)
+    for v in handles:
         # Skip dangling slots whose target vanished mid-snapshot.
         nbrs = [
             app_of[nvid]
@@ -133,11 +137,18 @@ def bfs(
                 outboxes[adj.home(nbr)].append(nbr)
                 scanned += 1
         ctx.compute(scanned)
-        received = ctx.alltoall(outboxes)
+        # Vectorized per-destination dedup: a frontier reaching the same
+        # remote vertex through many edges sends its ID once, shrinking
+        # both the alltoall payload and the receiver-side scan.
+        packed = [
+            np.unique(np.asarray(box, dtype=np.int64)) for box in outboxes
+        ]
+        received = ctx.alltoall(packed)
         level += 1
         frontier = []
         for box in received:
             for v in box:
+                v = int(v)
                 if v not in depth:
                     depth[v] = level
                     frontier.append(v)
@@ -169,10 +180,14 @@ def khop_count(
             for nbr in adj.neighbors.get(u, ()):
                 outboxes[adj.home(nbr)].append(nbr)
         ctx.compute(sum(len(b) for b in outboxes))
-        received = ctx.alltoall(outboxes)
+        packed = [
+            np.unique(np.asarray(box, dtype=np.int64)) for box in outboxes
+        ]
+        received = ctx.alltoall(packed)
         frontier = []
         for box in received:
             for v in box:
+                v = int(v)
                 if v not in depth:
                     depth[v] = level
                     frontier.append(v)
@@ -195,9 +210,10 @@ def pagerank(
     n = max(1, ctx.allreduce(len(adj.neighbors)))
     pr = {u: 1.0 / n for u in adj.neighbors}
     for _ in range(iterations):
-        outboxes: list[list[tuple[int, float]]] = [
-            [] for _ in range(ctx.nranks)
-        ]
+        # Combiner aggregation: sum all shares headed for one destination
+        # vertex locally, then ship (ids, sums) as packed numpy vectors —
+        # the alltoall payload scales with distinct targets, not edges.
+        outacc: list[dict[int, float]] = [{} for _ in range(ctx.nranks)]
         dangling = 0.0
         for u, nbrs in adj.neighbors.items():
             if not nbrs:
@@ -205,14 +221,22 @@ def pagerank(
                 continue
             share = pr[u] / len(nbrs)
             for v in nbrs:
-                outboxes[adj.home(v)].append((v, share))
+                acc = outacc[adj.home(v)]
+                acc[v] = acc.get(v, 0.0) + share
         ctx.compute(adj.n_local_edges)
-        received = ctx.alltoall(outboxes)
+        packed = [
+            (
+                np.fromiter(acc.keys(), dtype=np.int64, count=len(acc)),
+                np.fromiter(acc.values(), dtype=np.float64, count=len(acc)),
+            )
+            for acc in outacc
+        ]
+        received = ctx.alltoall(packed)
         dangling_total = ctx.allreduce(dangling)
         incoming: dict[int, float] = {u: 0.0 for u in adj.neighbors}
-        for box in received:
-            for v, share in box:
-                incoming[v] += share
+        for ids, sums in received:
+            for v, share in zip(ids, sums):
+                incoming[int(v)] += share
         base = (1.0 - damping) / n + damping * dangling_total / n
         pr = {u: base + damping * s for u, s in incoming.items()}
         ctx.compute(len(pr))
@@ -359,7 +383,8 @@ def load_local_weighted_adjacency(
     db = graph.db
     tx = db.start_collective_transaction(ctx)
     local_vids = db.directory.local_vertices(ctx)
-    local_map = {vid: tx.associate_vertex(vid).app_id for vid in local_vids}
+    handles = tx.associate_vertices(local_vids)
+    local_map = {vid: h.app_id for vid, h in zip(local_vids, handles)}
     app_of: dict[int, int] = {}
     owner: dict[int, int] = {}
     for rank, part in enumerate(ctx.allgather(local_map)):
@@ -369,8 +394,7 @@ def load_local_weighted_adjacency(
     neighbors: dict[int, list[int]] = {}
     weights: dict[int, list[float]] = {}
     n_edges = 0
-    for vid in local_vids:
-        v = tx.associate_vertex(vid)
+    for v in handles:
         nbrs: list[int] = []
         wts: list[float] = []
         for e in v.edges(orientation):
@@ -424,24 +448,36 @@ def sssp(
     while True:
         if not ctx.allreduce(len(active)):
             return dist
-        outboxes: list[list[tuple[int, float]]] = [
-            [] for _ in range(ctx.nranks)
-        ]
+        # Min-combine per destination: only the best tentative distance
+        # for each remote vertex crosses the network, packed as numpy
+        # (ids, dists) vectors.
+        outacc: list[dict[int, float]] = [{} for _ in range(ctx.nranks)]
         relaxed = 0
         for u in active:
             du = dist[u]
             for v, w in zip(adj.neighbors[u], weights[u]):
-                outboxes[adj.home(v)].append((v, du + w))
+                acc = outacc[adj.home(v)]
+                cand = du + w
+                if cand < acc.get(v, INF):
+                    acc[v] = cand
                 relaxed += 1
         ctx.compute(relaxed)
-        received = ctx.alltoall(outboxes)
+        packed = [
+            (
+                np.fromiter(acc.keys(), dtype=np.int64, count=len(acc)),
+                np.fromiter(acc.values(), dtype=np.float64, count=len(acc)),
+            )
+            for acc in outacc
+        ]
+        received = ctx.alltoall(packed)
         active = set()
-        for box in received:
-            for v, cand in box:
+        for ids, cands in received:
+            for v, cand in zip(ids, cands):
+                v = int(v)
                 if cand < dist[v]:
-                    dist[v] = cand
+                    dist[v] = float(cand)
                     active.add(v)
-        ctx.compute(sum(len(b) for b in received))
+        ctx.compute(sum(len(ids) for ids, _ in received))
 
 
 # ------------------------------------------------------------ triangles --

@@ -68,16 +68,24 @@ def filtered_two_hop_count(
         Constraint.has_label(edge_label.int_id) if edge_label else None
     )
     local_count = 0
-    for vid in candidates:
-        v = tx.associate_vertex(vid)
+    sources: list[tuple[object, list[int]]] = []
+    frontier: list[int] = []
+    for v in tx.associate_vertices(candidates):
         if index is None and not v.has_label(src_label):
             continue
         if src_ptype is not None:
             value = v.property(src_ptype)
             if value is None or not _compare(src_op, value, src_value):
                 continue
+        nvids = v.neighbors(orientation, constraint=edge_constraint)
+        sources.append((v, nvids))
+        frontier.extend(nvids)
+    # Batched second hop: every surviving source's neighborhood is
+    # pipelined in one read; the check loop below hits the cache.
+    tx.associate_vertices(frontier)
+    for v, nvids in sources:
         matched = False
-        for nvid in v.neighbors(orientation, constraint=edge_constraint):
+        for nvid in nvids:
             n = tx.associate_vertex(nvid)
             if dst_label is not None and not n.has_label(dst_label):
                 continue
@@ -174,8 +182,7 @@ def group_count_by_label(
     replica = db.replica(ctx)
     tx = db.start_collective_transaction(ctx)
     partial: dict[str, tuple[int]] = {}
-    for vid in db.directory.local_vertices(ctx):
-        v = tx.associate_vertex(vid)
+    for v in tx.associate_vertices(db.directory.local_vertices(ctx)):
         for label in v.labels():
             key = label.name
             partial[key] = (partial.get(key, (0,))[0] + 1,)
@@ -200,8 +207,7 @@ def aggregate_property_by_label(
     db = graph.db
     tx = db.start_collective_transaction(ctx)
     partial: dict[str, tuple] = {}
-    for vid in db.directory.local_vertices(ctx):
-        v = tx.associate_vertex(vid)
+    for v in tx.associate_vertices(db.directory.local_vertices(ctx)):
         value = v.property(ptype)
         if value is None:
             continue

@@ -65,16 +65,23 @@ def gcn_forward(
     for W in weights:
         tx = db.start_collective_transaction(ctx, write=True)
         updates: list[tuple[object, np.ndarray]] = []
-        for vid in db.directory.local_vertices(ctx):
-            v = tx.associate_vertex(vid)
+        handles = tx.associate_vertices(db.directory.local_vertices(ctx))
+        work: list[tuple[object, object, list[int]]] = []
+        frontier: list[int] = []
+        for v in handles:
             feature = v.property(ptype)
             if feature is None:
                 continue
-            agg = np.array(feature, dtype=np.float64)
             nbr_vids = v.neighbors(orientation)
+            work.append((v, feature, nbr_vids))
+            frontier.extend(nbr_vids)
+        # One batched read pipelines the whole layer's neighborhood —
+        # subsequent associate_vertex calls are transaction-cache hits.
+        tx.associate_vertices(frontier)
+        for v, feature, nbr_vids in work:
+            agg = np.array(feature, dtype=np.float64)
             for nvid in nbr_vids:
-                n = tx.associate_vertex(nvid)  # may be a remote fetch
-                nf = n.property(ptype)
+                nf = tx.associate_vertex(nvid).property(ptype)
                 if nf is not None:
                     agg += nf
             if normalize and nbr_vids:
@@ -89,8 +96,7 @@ def gcn_forward(
     # Collect final local features.
     tx = db.start_collective_transaction(ctx)
     out: dict[int, np.ndarray] = {}
-    for vid in db.directory.local_vertices(ctx):
-        v = tx.associate_vertex(vid)
+    for v in tx.associate_vertices(db.directory.local_vertices(ctx)):
         f = v.property(ptype)
         if f is not None:
             out[v.app_id] = f
@@ -132,13 +138,19 @@ def gcn_train(
         # ---- forward (Listing 2 structure, activations cached) --------
         tx = db.start_collective_transaction(ctx)
         agg0: dict[int, np.ndarray] = {}
-        for vid in db.directory.local_vertices(ctx):
-            v = tx.associate_vertex(vid)
+        handles = tx.associate_vertices(db.directory.local_vertices(ctx))
+        work: list[tuple[object, object, list[int]]] = []
+        frontier: list[int] = []
+        for v in handles:
             feature = v.property(ptype)
             if feature is None:
                 continue
-            acc = np.array(feature, dtype=np.float64)
             nbr_vids = v.neighbors(orientation)
+            work.append((v, feature, nbr_vids))
+            frontier.extend(nbr_vids)
+        tx.associate_vertices(frontier)  # batched neighborhood prefetch
+        for v, feature, nbr_vids in work:
+            acc = np.array(feature, dtype=np.float64)
             for nvid in nbr_vids:
                 nf = tx.associate_vertex(nvid).property(ptype)
                 if nf is not None:

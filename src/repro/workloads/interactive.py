@@ -55,21 +55,19 @@ def friends_of_friends(
         result: set[int] = set()
         for _ in range(hops):
             next_frontier = []
-            for vid in frontier:
-                try:
-                    v = tx.associate_vertex(vid)
-                except GdiNotFound:
+            # The whole frontier is fetched with one pipelined read; a
+            # concurrently deleted vertex simply drops out (missing_ok).
+            for v in tx.associate_vertices(frontier, missing_ok=True):
+                if v is None:
                     continue
                 for nvid in v.neighbors(orientation, constraint=constraint):
                     if nvid not in seen_vids:
                         seen_vids.add(nvid)
                         next_frontier.append(nvid)
             frontier = next_frontier
-            for vid in frontier:
-                try:
-                    result.add(tx.associate_vertex(vid).app_id)
-                except GdiNotFound:
-                    pass
+            for v in tx.associate_vertices(frontier, missing_ok=True):
+                if v is not None:
+                    result.add(v.app_id)
         return result
     finally:
         if tx.open:
@@ -105,10 +103,9 @@ def transactional_path_search(
             frontier: set[int], dist: dict[int, int], level: int
         ) -> set[int]:
             out: set[int] = set()
-            for vid in frontier:
-                try:
-                    v = tx.associate_vertex(vid)
-                except GdiNotFound:
+            handles = tx.associate_vertices(sorted(frontier), missing_ok=True)
+            for v in handles:
+                if v is None:
                     continue
                 for nvid in v.neighbors(orientation):
                     if nvid not in dist:
