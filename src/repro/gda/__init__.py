@@ -34,7 +34,15 @@ from .holder import (
 from .index_impl import ExplicitEdgeIndex, ExplicitIndex, VertexDirectory
 from .locks import LockTimeout, RWLock
 from .metadata import Label, MetadataReplica, MetadataStore, PropertyType
+from .recovery import (
+    Checkpoint,
+    CommitLog,
+    CommitRecord,
+    recover,
+    take_checkpoint,
+)
 from .relocate import plan_balance, rebalance
+from .retry import RetryPolicy, run_transaction
 from .transaction_impl import (
     EdgeHandle,
     Transaction,
@@ -80,4 +88,11 @@ __all__ = [
     "VolatileVertexId",
     "plan_balance",
     "rebalance",
+    "Checkpoint",
+    "CommitLog",
+    "CommitRecord",
+    "recover",
+    "take_checkpoint",
+    "RetryPolicy",
+    "run_transaction",
 ]

@@ -195,7 +195,10 @@ def restore(ctx: RankContext, db: GdaDatabase, snap: dict[str, Any]) -> dict[int
     for box in received:
         for a, b, direction, lid in box:
             base, other = (b, a) if direction == DIR_IN else (a, b)
-            tx.bulk_append_half_edge(vid_map[base], vid_map[other], direction, lid)
+            tx.bulk_append_half_edge(
+                vid_map[base], vid_map[other], direction, lid,
+                other_app_id=other,
+            )
     tx.commit()
 
     # -- heavyweight edges: ordinary transactions on rank 0 -------------------

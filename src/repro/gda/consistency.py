@@ -15,6 +15,9 @@ quiescent point (no open transactions):
    referenced from both endpoints.
 4. **Storage accounting** — the number of allocated blocks equals the
    blocks reachable from live holders (no leaks, no double use).
+5. **No leaked locks** — at quiescence every per-block RW lock word is
+   zero (no reader counts or write bits left behind by aborted or
+   crashed transactions).
 
 Used by the integration tests after concurrent OLTP storms; returns a
 report object whose ``ok`` flag and ``problems`` list make failures
@@ -23,10 +26,12 @@ debuggable.
 
 from __future__ import annotations
 
+import struct
 from collections import Counter
 from dataclasses import dataclass, field
 
 from ..rma.runtime import RankContext
+from .blocks import SYS_LOCKS_OFF
 from .database_impl import GdaDatabase
 from .holder import DIR_IN, DIR_OUT, DIR_UNDIR, KIND_EDGE, KIND_VERTEX
 
@@ -194,6 +199,18 @@ def check_consistency(ctx: RankContext, db: GdaDatabase) -> ConsistencyReport:
             f"storage leak: {report.blocks_allocated} blocks allocated, "
             f"{report.blocks_reachable} reachable from live holders"
         )
+
+    # ---- invariant 5: no leaked lock words --------------------------------
+    nblocks = db.blocks.blocks_per_rank
+    raw = ctx.get(
+        db.blocks.system_win, ctx.rank, SYS_LOCKS_OFF, 8 * nblocks
+    )
+    for i, word in enumerate(struct.unpack(f"<{nblocks}Q", raw)):
+        if word != 0:
+            report.problems.append(
+                f"lock word for block {i} on rank {ctx.rank} leaked: "
+                f"{word:#x}"
+            )
 
     # every rank returns the merged problem list
     all_problems: list[str] = []

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..gdi.constants import EntityType, Multiplicity, SizeType
 from ..gdi.constraint import Constraint
@@ -35,6 +35,7 @@ from .dht import DistributedHashTable
 from .holder import HolderStorage
 from .index_impl import ExplicitEdgeIndex, ExplicitIndex, VertexDirectory
 from .metadata import Label, MetadataReplica, MetadataStore, PropertyType
+from .recovery import CommitLog
 
 __all__ = ["GdaConfig", "GdaDatabase", "TxStats"]
 
@@ -54,6 +55,13 @@ class GdaConfig:
     dht_buckets_per_rank: int = 1024
     dht_entries_per_rank: int = 4096
     lock_max_retries: int = 64
+    #: seeded exponential backoff between lock attempts (0 disables);
+    #: charged as pure simulated time, never extra one-sided operations.
+    #: The cap is ~10 lock-hold times: large enough to desynchronize
+    #: contenders, small enough that even a full ``lock_max_retries``
+    #: timeout costs well under a millisecond of simulated time.
+    lock_backoff_base: float = 2e-6
+    lock_backoff_cap: float = 20e-6
 
 
 @dataclass
@@ -64,10 +72,15 @@ class TxStats:
     committed: int = 0
     aborted: int = 0
     failed: int = 0  # aborted due to a transaction-critical error
+    restarts: int = 0  # automatic retries by repro.gda.retry.run_transaction
+    by_cause: dict = field(default_factory=dict)  # failure cause -> count
 
     @property
     def failure_fraction(self) -> float:
         return self.failed / self.started if self.started else 0.0
+
+    def count_failure(self, cause: str) -> None:
+        self.by_cause[cause] = self.by_cause.get(cause, 0) + 1
 
 
 class GdaDatabase:
@@ -95,8 +108,7 @@ class GdaDatabase:
         self.edge_indexes: dict[str, ExplicitEdgeIndex] = {}
         self._index_lock = threading.Lock()
         self.stats = [TxStats() for _ in range(nranks)]
-        self.commit_log: list[tuple] = []  # durability: in-memory redo log
-        self._commit_log_lock = threading.Lock()
+        self.commit_log = CommitLog()  # durability: in-memory redo log
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -314,9 +326,13 @@ class GdaDatabase:
         ctx.barrier()
 
     # -- durability (in-memory redo log; the paper's system is in-memory) ----------------
-    def log_commit(self, record: tuple) -> None:
-        with self._commit_log_lock:
-            self.commit_log.append(record)
+    def log_commit(self, rank: int, entries: tuple) -> int:
+        """Append one commit record; returns its global sequence number.
+
+        Called while the committing transaction still holds its write
+        locks, so the sequence order is a valid serialization order.
+        """
+        return self.commit_log.append(rank, entries)
 
     # -- statistics ----------------------------------------------------------------------
     def total_stats(self) -> TxStats:
@@ -326,6 +342,9 @@ class GdaDatabase:
             agg.committed += s.committed
             agg.aborted += s.aborted
             agg.failed += s.failed
+            agg.restarts += s.restarts
+            for cause, n in s.by_cause.items():
+                agg.by_cause[cause] = agg.by_cause.get(cause, 0) + n
         return agg
 
     def num_vertices(self, ctx: RankContext) -> int:

@@ -10,6 +10,10 @@ bit and a reader counter:
 Acquisition is try-lock style with bounded retries: GDA transactions that
 cannot obtain a lock fail (the paper reports failed-transaction percentages
 rather than blocking forever), and the GDI user starts a new transaction.
+Between attempts the contender backs off with a seeded exponential delay
+charged to its simulated clock (``ctx.charge``), so retries neither spin
+back-to-back (which would inflate CAS contention) nor come free in the
+cost model.  ``backoff_base = 0`` disables the backoff.
 
 Protocol (all via remote atomics, two network ops worst case per attempt):
 
@@ -26,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..rma.faults import backoff_delay
 from ..rma.runtime import RankContext
 from ..rma.window import Window
 
@@ -54,14 +59,39 @@ class RWLock:
     rank: int
     offset: int
     max_retries: int = 64
+    #: seeded exponential backoff between attempts (0 = spin, the
+    #: pre-backoff behaviour kept for unit tests exercising raw retries)
+    backoff_base: float = 0.0
+    backoff_cap: float = 20e-6
+    seed: int = 0
+
+    def _backoff(self, ctx: RankContext, attempt: int) -> None:
+        """Charge one seeded backoff delay between lock attempts.
+
+        Pure simulated time — no extra one-sided operations, so the
+        work-depth guarantees of the lock protocol are unchanged.
+        """
+        if self.backoff_base <= 0.0:
+            return
+        delay = backoff_delay(
+            self.backoff_base,
+            attempt,
+            cap=self.backoff_cap,
+            seed=self.seed,
+            token=(self.rank << 32) ^ self.offset ^ (ctx.rank << 8),
+        )
+        ctx.charge(delay)
+        ctx.rt.trace.record_backoff(ctx.rank, delay)
 
     # -- read side --------------------------------------------------------
     def acquire_read(self, ctx: RankContext) -> None:
-        for _ in range(self.max_retries):
+        for attempt in range(self.max_retries):
             old = ctx.faa(self.window, self.rank, self.offset, 1)
             if not old & WRITE_BIT:
                 return
             ctx.faa(self.window, self.rank, self.offset, -1)  # back out
+            if attempt + 1 < self.max_retries:
+                self._backoff(ctx, attempt)
         raise LockTimeout(
             f"read lock at rank {self.rank} offset {self.offset} busy"
         )
@@ -73,9 +103,11 @@ class RWLock:
 
     # -- write side -------------------------------------------------------
     def acquire_write(self, ctx: RankContext) -> None:
-        for _ in range(self.max_retries):
+        for attempt in range(self.max_retries):
             if ctx.cas(self.window, self.rank, self.offset, 0, WRITE_BIT) == 0:
                 return
+            if attempt + 1 < self.max_retries:
+                self._backoff(ctx, attempt)
         raise LockTimeout(
             f"write lock at rank {self.rank} offset {self.offset} busy"
         )
@@ -97,9 +129,11 @@ class RWLock:
         caller's transaction must abort (lock-order-free deadlock
         avoidance).
         """
-        for _ in range(self.max_retries):
+        for attempt in range(self.max_retries):
             if ctx.cas(self.window, self.rank, self.offset, 1, WRITE_BIT) == 1:
                 return
+            if attempt + 1 < self.max_retries:
+                self._backoff(ctx, attempt)
         raise LockTimeout(
             f"upgrade at rank {self.rank} offset {self.offset} failed "
             "(concurrent readers or writer)"

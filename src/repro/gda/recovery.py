@@ -1,0 +1,304 @@
+"""Crash recovery: per-rank commit log, checkpoints, and replay.
+
+The paper's system is fully in-memory; durability of committed data comes
+from checkpointing the distributed state plus an in-memory commit log for
+the tail (Section 3.3 discusses the ACID "D" as an implementation
+choice).  This module provides the machinery the rank-crash fault model
+(:mod:`repro.rma.faults`) is recovered with:
+
+* :class:`CommitLog` — a global, thread-safe, totally ordered log of
+  commit records.  Every committing write transaction appends one record
+  *while still holding its write locks*, so the sequence order is a valid
+  serialization order of the committed transactions.
+* :class:`Checkpoint` / :func:`take_checkpoint` — a consistent snapshot
+  (:func:`repro.gda.checkpoint.snapshot`) paired with the commit-log
+  position at capture time.
+* :func:`recover` — a collective that rebuilds a database into a fresh
+  (post-crash) runtime: restore the checkpoint, then replay the log tail
+  record by record through ordinary write transactions.  After recovery,
+  ``snapshot(recovered)`` equals the snapshot of a fault-free twin that
+  executed the same committed transactions, and
+  :func:`repro.gda.consistency.check_consistency` passes.
+
+Replay entry vocabulary (everything is identified by *application* IDs and
+metadata *names*, never internal DPtrs, which differ after restore):
+
+=====================  ==============================================
+``("del_v", app)``                      delete vertex + incident edges
+``("new_v", app, labels, props)``       create vertex (post-image)
+``("upd_v", app, labels, props)``       replace labels/props (post-image)
+``("edge+", src, dst, directed, lbl)``  add a lightweight edge
+``("edge-", src, dst, directed, lbl)``  remove a lightweight edge
+``("hedge+", src, dst, directed, labels, props)``  add a heavy edge
+``("hedge-", src, dst, directed)``      remove a heavy edge
+``("hedge*", src, dst, directed, labels, props)``  heavy edge post-image
+=====================  ==============================================
+
+Known limitation: labels and property types referenced by the tail must
+already exist at checkpoint time (metadata changes are eventually
+consistent and not logged); replay creates missing *labels* on demand but
+cannot reconstruct full property-type specifications.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..gdi.errors import GdiNotFound, GdiStateError
+from ..rma.runtime import RankContext
+from .holder import DIR_IN, DIR_OUT, DIR_UNDIR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database_impl import GdaDatabase
+
+__all__ = [
+    "CommitRecord",
+    "CommitLog",
+    "Checkpoint",
+    "take_checkpoint",
+    "recover",
+]
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed write transaction's replayable effect."""
+
+    seq: int  # global sequence number (serialization order)
+    rank: int  # committing rank (diagnostics only)
+    entries: tuple  # replay entries, see module docstring
+
+
+class CommitLog:
+    """Thread-safe, totally ordered in-memory commit log."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[CommitRecord] = []
+
+    def append(self, rank: int, entries: tuple) -> int:
+        """Append one record; returns its sequence number.
+
+        Callers must still hold the transaction's write locks so that the
+        assigned sequence order is a valid serialization order.
+        """
+        with self._lock:
+            seq = len(self._records)
+            self._records.append(CommitRecord(seq=seq, rank=rank, entries=entries))
+            return seq
+
+    def position(self) -> int:
+        """Current log length; records with ``seq >= position`` come later."""
+        with self._lock:
+            return len(self._records)
+
+    def tail(self, since: int) -> list[CommitRecord]:
+        """All records appended at or after position ``since``, in order."""
+        with self._lock:
+            return list(self._records[since:])
+
+    def __len__(self) -> int:
+        return self.position()
+
+    def __iter__(self) -> Iterator[CommitRecord]:
+        return iter(self.tail(0))
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A consistent snapshot plus the commit-log position it covers."""
+
+    snap: dict[str, Any]
+    log_pos: int
+
+
+def take_checkpoint(ctx: RankContext, db: "GdaDatabase") -> Checkpoint:
+    """Collectively capture a checkpoint of a quiescent database.
+
+    Must be called with no transactions open anywhere (quiescence), like
+    :func:`repro.gda.checkpoint.snapshot` itself.
+    """
+    from .checkpoint import snapshot
+
+    # The log position must be read while no rank can be committing: after
+    # the entry barrier every rank is inside this call, and none can leave
+    # (and resume mutating) before the snapshot's final rendezvous — which
+    # it only reaches after every position read below.  Reading the
+    # position *after* the snapshot instead would race: peers exit the
+    # snapshot's last collective and may commit again before this rank's
+    # (unscheduled, pure-Python) position read, silently advancing log_pos
+    # past the captured state.
+    ctx.barrier()
+    pos = db.commit_log.position()
+    snap = snapshot(ctx, db)
+    return Checkpoint(snap=snap, log_pos=pos)
+
+
+def recover(
+    ctx: RankContext,
+    db: "GdaDatabase",
+    checkpoint: Checkpoint,
+    commit_log: CommitLog,
+) -> dict[int, int]:
+    """Collectively rebuild ``checkpoint`` + the log tail into empty ``db``.
+
+    ``db`` is a fresh database in a fresh (post-crash) runtime;
+    ``commit_log`` is the surviving log of the crashed instance.  The
+    checkpoint is restored first, then rank 0 replays the tail
+    sequentially, one ordinary write transaction per commit record (the
+    sequence order is a serialization order, so sequential replay
+    reproduces the committed state).  Returns the application-ID ->
+    internal-ID map of the restored vertices.
+    """
+    from .checkpoint import restore
+
+    vid_map = restore(ctx, db, checkpoint.snap)
+    tail = commit_log.tail(checkpoint.log_pos)
+    if ctx.rank == 0:
+        for rec in tail:
+            _replay_record(ctx, db, rec)
+    ctx.barrier()
+    return vid_map
+
+
+# -- replay ----------------------------------------------------------------
+def _replay_record(ctx: RankContext, db: "GdaDatabase", rec: CommitRecord) -> None:
+    replica = db.replica(ctx)
+    replica.sync()
+    label_by_name = {l.name: l for l in replica.labels}
+    ptype_by_name = {p.name: p for p in replica.ptypes}
+
+    def label_of(name: str):
+        if name not in label_by_name:
+            label_by_name[name] = db.create_label(ctx, name)
+        return label_by_name[name]
+
+    tx = db.start_transaction(ctx, write=True)
+    try:
+        for entry in rec.entries:
+            _apply_entry(tx, entry, label_of, ptype_by_name)
+        tx.commit()
+    except BaseException:
+        if tx.open:
+            tx.abort()
+        raise
+
+
+def _apply_entry(tx, entry: tuple, label_of, ptype_by_name) -> None:
+    kind = entry[0]
+    if kind == "del_v":
+        h = tx.find_vertex(entry[1])
+        if h is None:
+            raise GdiStateError(f"replay del_v: vertex {entry[1]} missing")
+        tx.delete_vertex(h)
+    elif kind in ("new_v", "upd_v"):
+        _, app, label_names, props = entry
+        if kind == "new_v":
+            h = tx.create_vertex(app)
+            holder = h._txv.holder
+        else:
+            h = tx.find_vertex(app)
+            if h is None:
+                raise GdiStateError(f"replay upd_v: vertex {app} missing")
+            holder = tx._mutate(h._txv)
+        # post-image splice: payload blobs are stored verbatim
+        holder.labels = [label_of(n).int_id for n in label_names]
+        holder.properties = [
+            (ptype_by_name[n].int_id, blob) for n, blob in props
+        ]
+    elif kind == "edge+":
+        _, src, dst, directed, label_name = entry
+        a, b = _endpoints(tx, src, dst, kind)
+        tx.create_edge(
+            a,
+            b,
+            directed=directed,
+            label=label_of(label_name) if label_name else None,
+        )
+    elif kind == "edge-":
+        _, src, dst, directed, label_name = entry
+        a, b = _endpoints(tx, src, dst, kind)
+        want_lid = label_of(label_name).int_id if label_name else 0
+        want_dir = DIR_OUT if directed else DIR_UNDIR
+        for e in a.edges():
+            s = e._slot
+            if (
+                not s.heavy
+                and s.direction == want_dir
+                and s.dptr == b.vid
+                and s.label_id == want_lid
+            ):
+                tx.delete_edge(e)
+                break
+        else:
+            raise GdiStateError(
+                f"replay edge-: no matching edge {src}->{dst}"
+            )
+    elif kind == "hedge+":
+        _, src, dst, directed, label_names, props = entry
+        a, b = _endpoints(tx, src, dst, kind)
+        e = tx.create_edge(
+            a,
+            b,
+            directed=directed,
+            labels=[label_of(n) for n in label_names],
+            force_heavy=True,
+        )
+        holder = tx._load_edge_holder(e._slot.dptr).holder
+        holder.properties = [
+            (ptype_by_name[n].int_id, blob) for n, blob in props
+        ]
+    elif kind == "hedge-":
+        _, src, dst, directed = entry
+        a, b = _endpoints(tx, src, dst, kind)
+        e = _find_heavy(tx, a, b, directed)
+        if e is None:
+            raise GdiStateError(
+                f"replay hedge-: no matching heavy edge {src}->{dst}"
+            )
+        tx.delete_edge(e)
+    elif kind == "hedge*":
+        _, src, dst, directed, label_names, props = entry
+        a, b = _endpoints(tx, src, dst, kind)
+        e = _find_heavy(tx, a, b, directed)
+        if e is None:
+            raise GdiStateError(
+                f"replay hedge*: no matching heavy edge {src}->{dst}"
+            )
+        tx._mutate(a._txv)  # take the source vertex's write lock
+        txe = tx._load_edge_holder(e._slot.dptr)
+        txe.holder.labels = [label_of(n).int_id for n in label_names]
+        txe.holder.properties = [
+            (ptype_by_name[n].int_id, blob) for n, blob in props
+        ]
+        txe.dirty = True
+    else:  # pragma: no cover - defensive
+        raise GdiStateError(f"unknown commit-log entry kind {kind!r}")
+
+
+def _endpoints(tx, src_app: int, dst_app: int, kind: str):
+    a = tx.find_vertex(src_app)
+    b = tx.find_vertex(dst_app) if dst_app != src_app else a
+    if a is None or b is None:
+        raise GdiNotFound(
+            f"replay {kind}: endpoint {src_app if a is None else dst_app} "
+            "missing"
+        )
+    return a, b
+
+
+def _find_heavy(tx, a, b, directed: bool):
+    for e in a.edges():
+        s = e._slot
+        if not s.heavy or s.direction == DIR_IN:
+            continue
+        h = tx._load_edge_holder(s.dptr).holder
+        if h.directed != directed:
+            continue
+        if (h.src == a.vid and h.dst == b.vid) or (
+            not directed and h.src == b.vid and h.dst == a.vid
+        ):
+            return e
+    return None

@@ -91,6 +91,9 @@ class _TxVertex:
     deleted: bool = False
     index_preimage: dict[str, bool] = field(default_factory=dict)
     edge_index_preimage: dict[str, bool] = field(default_factory=dict)
+    #: edge-slot list as loaded (write txns only) — identity-diffed at
+    #: commit to derive the replayable commit-log edge entries
+    edge_preimage: "list[EdgeSlot] | None" = None
 
     @property
     def holder(self) -> VertexHolder:
@@ -106,6 +109,9 @@ class _TxEdge:
     dirty: bool = False
     created: bool = False
     deleted: bool = False
+    #: (src_app, dst_app) when supplied by the bulk loader, so commit
+    #: logging needs no remote reads to resolve application IDs
+    app_ids: "tuple[int, int] | None" = None
 
     @property
     def holder(self) -> EdgeHolder:
@@ -129,11 +135,13 @@ class Transaction:
         self.collective = collective
         self.open = True
         self.failed = False
+        self.fail_cause: str | None = None  # per-cause abort accounting
         self._vertices: dict[int, _TxVertex] = {}
         self._edges: dict[int, _TxEdge] = {}
         self._dirty_order: list[int] = []  # the paper's dirty-block vector
         self._created_app_ids: dict[int, int] = {}  # app_id -> vid
         self._volatile_ids: dict[int, int] = {}  # volatile token -> vid
+        self._bulk_slot_apps: dict[int, int] = {}  # id(slot) -> other app ID
 
     # -- context manager: abort on error, commit must be explicit ----------
     def __enter__(self) -> "Transaction":
@@ -156,8 +164,10 @@ class Transaction:
         if not self.write:
             raise GdiReadOnly("mutation inside a read-only transaction")
 
-    def _fail(self) -> None:
+    def _fail(self, cause: str = "other") -> None:
         self.failed = True
+        if self.fail_cause is None:
+            self.fail_cause = cause
 
     def _deleted_in_txn(self, vid: int) -> bool:
         """Is ``vid`` a vertex this transaction has marked deleted?
@@ -176,17 +186,20 @@ class Transaction:
         try:
             return self.db.blocks.acquire_block_anywhere(self.ctx, home)
         except OutOfBlocksError as exc:
-            self._fail()
+            self._fail("nomem")
             raise GdiNoMemory(str(exc)) from exc
 
     # -- locking ---------------------------------------------------------------
     def _lock_of(self, vid: int) -> RWLock:
         rank, offset = self.db.blocks.lock_location(vid)
+        cfg = self.db.config
         return RWLock(
             self.db.blocks.system_win,
             rank=rank,
             offset=offset,
-            max_retries=self.db.config.lock_max_retries,
+            max_retries=cfg.lock_max_retries,
+            backoff_base=cfg.lock_backoff_base,
+            backoff_cap=cfg.lock_backoff_cap,
         )
 
     def _ensure_lock(self, txv: _TxVertex, want_write: bool) -> None:
@@ -205,7 +218,7 @@ class Transaction:
             else:  # read -> write upgrade
                 lock.upgrade(self.ctx)
         except LockTimeout as exc:
-            self._fail()
+            self._fail("lock")
             raise GdiLockFailed(str(exc)) from exc
         txv.lock_mode = want
 
@@ -329,6 +342,9 @@ class Transaction:
                 txv = _TxVertex(
                     vid=vid, stored=stored, lock_mode=placeholder.lock_mode
                 )
+                if self.write:
+                    # capture the slot identities for the commit-log diff
+                    txv.edge_preimage = list(stored.holder.edges)
                 txv.index_preimage = self._index_matches(stored.holder)
                 self._vertices[vid] = txv
                 txv.edge_index_preimage = self._edge_index_matches(txv)
@@ -466,12 +482,14 @@ class Transaction:
         self._check_open()
         self._check_write()
         app_id = int(app_id)  # accept numpy integers
-        if app_id in self._created_app_ids:
-            self._fail()
+        if app_id in self._created_app_ids and not self._deleted_in_txn(
+            self._created_app_ids[app_id]
+        ):
+            self._fail("nonunique")
             raise GdiNonUniqueId(f"application ID {app_id} created twice")
         existing = self.db.dht.lookup(self.ctx, app_id)
         if existing is not None and not self._deleted_in_txn(existing):
-            self._fail()
+            self._fail("nonunique")
             raise GdiNonUniqueId(f"application ID {app_id} already in use")
         home = self.db.home_rank(app_id)
         primary = self._acquire_or_fail(home)
@@ -657,6 +675,7 @@ class Transaction:
         direction: int,
         label_id: int = 0,
         heavy_dptr: int | None = None,
+        other_app_id: int | None = None,
     ) -> None:
         """Bulk-ingestion fast path: append one edge slot to ``vid``.
 
@@ -666,7 +685,9 @@ class Transaction:
         caller is responsible for appending the reciprocal slot on the
         other endpoint (usually in a second exchange phase).  When
         ``heavy_dptr`` is given the slot references that heavyweight edge
-        holder instead of the neighbor vertex.
+        holder instead of the neighbor vertex.  Pass ``other_app_id``
+        (the loader already knows it) so commit logging resolves the
+        neighbor's application ID without a remote read.
         """
         if not self.collective:
             raise GdiStateError(
@@ -677,6 +698,8 @@ class Transaction:
             slot = EdgeSlot(heavy_dptr, 0, direction | SLOT_HEAVY)
         else:
             slot = EdgeSlot(other_vid, label_id, direction)
+            if other_app_id is not None:
+                self._bulk_slot_apps[id(slot)] = int(other_app_id)
         txv.holder.edges.append(slot)
         self._mark_dirty(txv)
 
@@ -688,11 +711,15 @@ class Transaction:
         directed: bool = True,
         labels: Iterable[Label] = (),
         properties: Iterable[tuple[PropertyType, Any]] = (),
+        src_app_id: int | None = None,
+        dst_app_id: int | None = None,
     ) -> int:
         """Bulk-ingestion fast path: materialize a heavyweight edge holder.
 
         Returns its DPtr; the caller routes it to both endpoints' owners,
-        which attach the slots with :meth:`bulk_append_half_edge`.
+        which attach the slots with :meth:`bulk_append_half_edge`.  Pass
+        the endpoint application IDs (the loader already knows them) so
+        commit logging needs no remote reads to resolve them.
         """
         if not self.collective:
             raise GdiStateError(
@@ -717,6 +744,11 @@ class Transaction:
             stored=StoredHolder(holder=holder, primary=eptr),
             created=True,
             dirty=True,
+            app_ids=(
+                (int(src_app_id), int(dst_app_id))
+                if src_app_id is not None and dst_app_id is not None
+                else None
+            ),
         )
         return eptr
 
@@ -801,6 +833,7 @@ class Transaction:
             stats.aborted += 1
             if self.failed:
                 stats.failed += 1
+                stats.count_failure(self.fail_cause or "other")
             raise
         self._release_locks()
         self.open = False
@@ -818,7 +851,7 @@ class Transaction:
             for app_id, existing in zip(created_ids, found):
                 if existing is not None and not self._deleted_in_txn(existing):
                     self._rollback_created()
-                    self._fail()
+                    self._fail("nonunique")
                     raise GdiNonUniqueId(
                         f"application ID {app_id} concurrently created"
                     )
@@ -834,7 +867,9 @@ class Transaction:
             elif txe.dirty:
                 edge_rewrites.append(txe.stored)
         self.db.storage.rewrite_many(ctx, edge_rewrites)
-        log_entries = []
+        replica = self.db.replica(ctx)
+        deletes: list[tuple] = []
+        upserts: list[tuple] = []
         ordered = sorted(self._vertices.values(), key=lambda t: not t.deleted)
         survivors: list[_TxVertex] = []
         for txv in ordered:
@@ -850,7 +885,7 @@ class Transaction:
                 self.db.directory.remove(ctx, txv.vid)
                 self._apply_index_updates(txv, deleted=True)
                 self.db.storage.delete(ctx, txv.stored)
-                log_entries.append(("del_v", txv.holder.app_id))
+                deletes.append(("del_v", txv.holder.app_id))
             elif txv.created or txv.dirty:
                 survivors.append(txv)
         # One batched write-back for every created/dirty vertex holder:
@@ -862,16 +897,114 @@ class Transaction:
             ctx, [txv.stored for txv in survivors]
         )
         for txv in survivors:
+            holder = txv.holder
+            kind = "new_v" if txv.created else "upd_v"
             if txv.created:
-                self.db.dht.insert(ctx, txv.holder.app_id, txv.vid)
+                self.db.dht.insert(ctx, holder.app_id, txv.vid)
                 self.db.directory.add(ctx, txv.vid)
-                self._apply_index_updates(txv)
-                log_entries.append(("new_v", txv.holder.app_id))
-            else:
-                self._apply_index_updates(txv)
-                log_entries.append(("upd_v", txv.holder.app_id))
+            self._apply_index_updates(txv)
+            upserts.append(
+                (
+                    kind,
+                    holder.app_id,
+                    tuple(replica.label_by_id(l).name for l in holder.labels),
+                    tuple(
+                        (replica.ptype_by_id(pid).name, bytes(blob))
+                        for pid, blob in holder.properties
+                    ),
+                )
+            )
+        edge_rm, edge_add = self._edge_log_entries(replica, survivors)
+        log_entries = deletes + upserts + edge_rm + edge_add
         if log_entries:
-            self.db.log_commit((ctx.rank, tuple(log_entries)))
+            self.db.log_commit(ctx.rank, tuple(log_entries))
+
+    def _edge_log_entries(
+        self, replica, survivors: "list[_TxVertex]"
+    ) -> tuple[list[tuple], list[tuple]]:
+        """Replayable edge entries: identity-diff of slots vs. load time.
+
+        Each logical edge is emitted exactly once, from its canonical
+        side, matching :func:`repro.gda.checkpoint.snapshot`: the OUT
+        slot for directed edges, the smaller application-ID endpoint for
+        undirected ones.  Edges whose other endpoint is deleted in this
+        transaction are skipped — their ``del_v`` entry removes incident
+        edges on replay.  Heavyweight edges are logged from the cached
+        edge holders instead of the slots.
+        """
+        edge_rm: list[tuple] = []
+        edge_add: list[tuple] = []
+
+        def emit(out: list[tuple], tag: str, txv: _TxVertex, slot) -> None:
+            direction = slot.direction
+            if slot.heavy or direction == DIR_IN:
+                return
+            if self._deleted_in_txn(slot.dptr):
+                return
+            app = txv.holder.app_id
+            other_app = self._bulk_slot_apps.get(id(slot))
+            if other_app is None:
+                other_app = self._log_app_of(slot.dptr)
+            if direction == DIR_UNDIR and app > other_app:
+                return  # the smaller endpoint's side emits
+            label_name = (
+                replica.label_by_id(slot.label_id).name
+                if slot.label_id
+                else None
+            )
+            out.append((tag, app, other_app, direction == DIR_OUT, label_name))
+
+        for txv in survivors:
+            pre = txv.edge_preimage if txv.edge_preimage is not None else []
+            cur = txv.holder.edges
+            pre_ids = {id(s) for s in pre}
+            cur_ids = {id(s) for s in cur}
+            for slot in pre:
+                if id(slot) not in cur_ids:
+                    emit(edge_rm, "edge-", txv, slot)
+            for slot in cur:
+                if id(slot) not in pre_ids:
+                    emit(edge_add, "edge+", txv, slot)
+        for txe in self._edges.values():
+            h = txe.holder
+            if txe.created and txe.deleted:
+                continue
+            if not (txe.created or txe.deleted or txe.dirty):
+                continue
+            if self._deleted_in_txn(h.src) or self._deleted_in_txn(h.dst):
+                continue  # del_v covers the removal on replay
+            if txe.app_ids is not None:
+                src_app, dst_app = txe.app_ids
+            else:
+                src_app = self._log_app_of(h.src)
+                dst_app = self._log_app_of(h.dst)
+            if txe.deleted:
+                edge_rm.append(("hedge-", src_app, dst_app, h.directed))
+                continue
+            label_names = tuple(
+                replica.label_by_id(l).name for l in h.labels
+            )
+            props = tuple(
+                (replica.ptype_by_id(pid).name, bytes(blob))
+                for pid, blob in h.properties
+            )
+            tag = "hedge+" if txe.created else "hedge*"
+            edge_add.append(
+                (tag, src_app, dst_app, h.directed, label_names, props)
+            )
+        return edge_rm, edge_add
+
+    def _log_app_of(self, vid: int) -> int:
+        """Application ID of ``vid`` for commit logging.
+
+        Served from the transaction cache in every ordinary path (both
+        endpoints of a mutated edge are cached); the storage read is a
+        fallback for exotic callers only.
+        """
+        txv = self._vertices.get(vid)
+        if txv is not None:
+            return txv.holder.app_id
+        return self.db.storage.read(self.ctx, vid).holder.app_id
 
     def _apply_index_updates(self, txv: _TxVertex, deleted: bool = False) -> None:
         dtype_of = self.db.replica(self.ctx).dtype_of
@@ -903,6 +1036,7 @@ class Transaction:
         stats.aborted += 1
         if self.failed:
             stats.failed += 1
+            stats.count_failure(self.fail_cause or "other")
         if self.collective:
             self.ctx.barrier()
 

@@ -191,7 +191,8 @@ def build_lpg_from_edges(
         else:  # DIR_IN half lives on the destination vertex
             base, other = b, a
         tx.bulk_append_half_edge(
-            vid_map[base], vid_map[other], direction, label_id
+            vid_map[base], vid_map[other], direction, label_id,
+            other_app_id=other,
         )
         # Count each logical edge exactly once across all ranks.
         if direction == DIR_OUT or (direction == DIR_UNDIR and a <= b):
@@ -213,6 +214,8 @@ def build_lpg_from_edges(
             directed=directed,
             labels=elabels,
             properties=props,
+            src_app_id=src,
+            dst_app_id=dst,
         )
         fwd = DIR_OUT if directed else DIR_UNDIR
         tx.bulk_append_half_edge(vid_map[src], vid_map[dst], fwd, 0, eptr)

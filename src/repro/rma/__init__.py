@@ -16,6 +16,13 @@ from .costmodel import (
     log2ceil,
 )
 from .executor import InterleavingScheduler, SpmdError, ThreadExecutor, run_spmd
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    RmaRankDead,
+    RmaTransientError,
+    backoff_delay,
+)
 from .runtime import BatchRequest, RankContext, Request, RmaError, RmaRuntime
 from .trace import RankCounters, TraceRecorder
 from .window import Window, WindowError
@@ -32,6 +39,11 @@ __all__ = [
     "SpmdError",
     "ThreadExecutor",
     "run_spmd",
+    "FaultInjector",
+    "FaultPlan",
+    "RmaRankDead",
+    "RmaTransientError",
+    "backoff_delay",
     "RankContext",
     "RmaError",
     "RmaRuntime",

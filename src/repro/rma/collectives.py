@@ -130,6 +130,10 @@ class CollectiveEngine:
     # -- core rendezvous ---------------------------------------------------
     def _exchange(self, rank: int, value: Any) -> list:
         """Deposit ``value`` and return the list of all contributions."""
+        faults = getattr(self._rt, "faults", None)
+        if faults is not None:
+            # a crashed rank must not keep participating in collectives
+            faults.check_alive(rank)
         with self._cond:
             self._check_poison()
             gen = self._generation

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from .costmodel import UNIFORM, MachineProfile
+from .faults import FaultInjector, FaultPlan
 from .runtime import RankContext, RmaRuntime
 
 __all__ = [
@@ -154,6 +155,7 @@ def run_spmd(
     seed: int | None = None,
     args_per_rank: Sequence[tuple] | None = None,
     runtime: RmaRuntime | None = None,
+    faults: "FaultPlan | FaultInjector | None" = None,
 ) -> tuple[RmaRuntime, list]:
     """Run ``fn(ctx, *args)`` on every rank and return (runtime, results).
 
@@ -166,15 +168,29 @@ def run_spmd(
     runtime:
         Reuse an existing runtime (e.g. to run several phases against the
         same windows); otherwise a fresh one is created.
+    faults:
+        A :class:`~repro.rma.faults.FaultPlan` (wrapped into a fresh
+        injector) or a ready :class:`~repro.rma.faults.FaultInjector`
+        attached to the runtime before the program starts.  With a reused
+        runtime this arms (or replaces) its injector for this phase.
     """
+    if isinstance(faults, FaultPlan):
+        faults = FaultInjector(faults)
     if runtime is None:
         scheduler = InterleavingScheduler(seed) if seed is not None else None
         runtime = RmaRuntime(
-            nranks, profile=profile, log_ops=log_ops, scheduler=scheduler
+            nranks,
+            profile=profile,
+            log_ops=log_ops,
+            scheduler=scheduler,
+            faults=faults,
         )
-    elif runtime.nranks != nranks:
-        raise ValueError(
-            f"runtime has {runtime.nranks} ranks, requested {nranks}"
-        )
+    else:
+        if runtime.nranks != nranks:
+            raise ValueError(
+                f"runtime has {runtime.nranks} ranks, requested {nranks}"
+            )
+        if faults is not None:
+            runtime.faults = faults
     results = ThreadExecutor().run(runtime, fn, args_per_rank)
     return runtime, results

@@ -1,0 +1,215 @@
+"""Deterministic fault injection for the simulated RMA substrate.
+
+The paper's reliability story (failed transactions in Figure 4, the
+transaction-critical error class of Section 3.3, checkpoint-based
+durability) is only meaningful if the substrate can actually fail.  This
+module provides a seeded fault model that the runtime consults before
+every one-sided operation:
+
+* **transient operation failures** — with probability ``transient_rate``
+  an attempt fails; the substrate absorbs up to ``op_retry_limit``
+  bounded retries per operation, charging each wasted attempt's modeled
+  cost plus a seeded exponential backoff through the cost model.
+  Exhausting the budget raises :class:`RmaTransientError` (retryable at
+  the transaction layer).
+* **stragglers** — designated ranks run slower: every operation they
+  issue is charged ``factor`` times its modeled cost.
+* **rank crashes** — once the global operation counter reaches
+  ``crash_at_op``, ``crash_rank`` is marked dead; any subsequent
+  operation issued by it or targeting it raises :class:`RmaRankDead`
+  (fatal: the run aborts and recovery must rebuild from a checkpoint
+  plus the commit-log tail, see :mod:`repro.gda.recovery`).
+
+Everything is a pure function of ``(FaultPlan.seed, global op number,
+origin rank)``, so a storm replays identically under the
+:class:`~repro.rma.executor.InterleavingScheduler`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .runtime import RmaError
+
+__all__ = [
+    "RmaTransientError",
+    "RmaRankDead",
+    "FaultPlan",
+    "FaultInjector",
+    "backoff_delay",
+]
+
+
+class RmaTransientError(RmaError):
+    """A one-sided operation failed after exhausting substrate retries.
+
+    Retryable: the operation had no effect, so the caller (typically the
+    transaction retry helper) may back off and restart its unit of work.
+    """
+
+
+class RmaRankDead(RmaError):
+    """A rank has crashed; the operation touched it and cannot complete.
+
+    Fatal: no retry can succeed.  The surviving state must be recovered
+    into a fresh runtime from the last checkpoint plus the commit log.
+    """
+
+
+def _mix64(seed: int, a: int, b: int) -> int:
+    """Deterministic 64-bit hash (same construction as the scheduler's)."""
+    x = (seed * 0x9E3779B97F4A7C15 + a * 0xBF58476D1CE4E5B9 + b + 1) & (
+        (1 << 64) - 1
+    )
+    x ^= x >> 31
+    x = (x * 0x94D049BB133111EB) & ((1 << 64) - 1)
+    x ^= x >> 29
+    return x
+
+
+def _uniform(seed: int, a: int, b: int) -> float:
+    """Deterministic uniform draw in [0, 1) keyed by ``(seed, a, b)``."""
+    return _mix64(seed, a, b) / float(1 << 64)
+
+
+def backoff_delay(
+    base: float,
+    attempt: int,
+    *,
+    cap: float = 1e-3,
+    factor: float = 2.0,
+    seed: int = 0,
+    token: int = 0,
+) -> float:
+    """Seeded exponential backoff with jitter, in simulated seconds.
+
+    The ceiling doubles (``factor``) per attempt up to ``cap``; the
+    returned delay is jittered into ``[ceiling/2, ceiling]`` by a
+    deterministic hash of ``(seed, attempt, token)``, so concurrent
+    contenders desynchronize without any shared random state.
+    """
+    if base <= 0.0:
+        return 0.0
+    ceiling = min(cap, base * (factor ** attempt))
+    return ceiling * (0.5 + 0.5 * _uniform(seed, attempt, token))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of one fault storm.
+
+    Attributes
+    ----------
+    seed:
+        Root of all fault/backoff randomness; same plan + same schedule
+        seed = same storm.
+    transient_rate:
+        Per-attempt probability that a one-sided operation fails
+        transiently (0 disables).
+    op_retry_limit:
+        Substrate-level retry budget per operation before the failure
+        escalates to :class:`RmaTransientError`.
+    op_backoff_base / op_backoff_cap:
+        Exponential backoff window between substrate retries (seconds).
+    stragglers:
+        ``rank -> slowdown factor`` (>= 1.0); every op issued by a
+        straggler is charged ``factor`` times its modeled cost.
+    crash_rank / crash_at_op:
+        When the global operation counter reaches ``crash_at_op``,
+        ``crash_rank`` dies; ``None`` disables crashing.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    op_retry_limit: int = 12
+    op_backoff_base: float = 1e-6
+    op_backoff_cap: float = 100e-6
+    stragglers: Mapping[int, float] = field(default_factory=dict)
+    crash_rank: int | None = None
+    crash_at_op: int | None = None
+
+
+class FaultInjector:
+    """Runtime hook evaluating a :class:`FaultPlan` before each operation.
+
+    One injector serves all ranks of a runtime; the operation counter and
+    the dead set are shared (a crash is a global event).  Pass it to
+    :class:`~repro.rma.runtime.RmaRuntime` (or ``run_spmd(faults=...)``).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.dead: set[int] = set()
+        self._n_ops = 0
+        self._lock = threading.Lock()
+
+    @property
+    def op_count(self) -> int:
+        """Global number of one-sided operations observed so far."""
+        return self._n_ops
+
+    # -- internals ---------------------------------------------------------
+    def _tick(self) -> int:
+        """Advance the global op counter and trigger a scheduled crash."""
+        p = self.plan
+        with self._lock:
+            self._n_ops += 1
+            n = self._n_ops
+            if (
+                p.crash_rank is not None
+                and p.crash_at_op is not None
+                and n >= p.crash_at_op
+            ):
+                self.dead.add(p.crash_rank)
+            return n
+
+    def check_alive(self, *ranks: int) -> None:
+        """Raise :class:`RmaRankDead` if any of ``ranks`` has crashed."""
+        for r in ranks:
+            if r in self.dead:
+                raise RmaRankDead(f"rank {r} crashed")
+
+    def _inject(self, rt, n: int, origin: int, opcost: float) -> None:
+        p = self.plan
+        factor = p.stragglers.get(origin)
+        if factor is not None and factor > 1.0:
+            extra = (factor - 1.0) * opcost
+            rt._charge(origin, extra)
+            rt.trace.record_straggler(origin, extra)
+        if p.transient_rate <= 0.0:
+            return
+        for attempt in range(p.op_retry_limit):
+            if _uniform(p.seed, n, (origin << 16) ^ attempt) >= p.transient_rate:
+                return  # this attempt goes through
+            rt.trace.record_fault(origin)
+            if attempt + 1 >= p.op_retry_limit:
+                raise RmaTransientError(
+                    f"operation {n} from rank {origin} failed "
+                    f"{p.op_retry_limit} attempts"
+                )
+            delay = backoff_delay(
+                p.op_backoff_base,
+                attempt,
+                cap=p.op_backoff_cap,
+                seed=p.seed,
+                token=(n << 8) ^ origin,
+            )
+            # the wasted attempt costs the op itself plus the backoff
+            rt._charge(origin, opcost + delay)
+            rt.trace.record_retry(origin)
+            rt.trace.record_backoff(origin, delay)
+
+    # -- runtime hooks ------------------------------------------------------
+    def before_op(self, rt, origin: int, target: int, opcost: float) -> None:
+        """Called by the runtime before a scalar one-sided op or flush."""
+        n = self._tick()
+        self.check_alive(origin, target)
+        self._inject(rt, n, origin, opcost)
+
+    def before_batch(self, rt, origin: int, targets, opcost: float) -> None:
+        """Called before a batched op: one doorbell, one fault draw."""
+        n = self._tick()
+        self.check_alive(origin, *targets)
+        self._inject(rt, n, origin, opcost)

@@ -72,13 +72,14 @@ def _wrap_i64(value: int) -> int:
 class _PendingOp:
     """A non-blocking operation awaiting its completing flush."""
 
-    __slots__ = ("win_name", "target", "nbytes", "done")
+    __slots__ = ("win_name", "target", "nbytes", "done", "failed")
 
     def __init__(self, win_name: str, target: int, nbytes: int) -> None:
         self.win_name = win_name
         self.target = target
         self.nbytes = nbytes
         self.done = False
+        self.failed = False
 
 
 class Request:
@@ -100,14 +101,23 @@ class Request:
     def completed(self) -> bool:
         return self._op.done
 
+    @property
+    def failed(self) -> bool:
+        return self._op.failed
+
     def wait(self) -> None:
-        if not self._op.done:
+        """Complete the operation; idempotent once completed or faulted."""
+        if not self._op.done and not self._op.failed:
             self._ctx._complete_pending(
                 lambda op: op is self._op
             )
 
     def result(self) -> bytes:
         """The data of an ``iget`` (only valid after completion)."""
+        if self._op.failed:
+            raise RmaError(
+                "request faulted (target rank crashed); no data available"
+            )
         if not self._op.done:
             raise RmaError("request not yet completed; call wait()/flush()")
         if self._data is None:
@@ -141,13 +151,24 @@ class BatchRequest:
     def completed(self) -> bool:
         return all(op.done for op in self._ops)
 
+    @property
+    def failed(self) -> bool:
+        return any(op.failed for op in self._ops)
+
     def wait(self) -> None:
-        undone = {id(op) for op in self._ops if not op.done}
+        """Complete the batch; idempotent once completed or faulted."""
+        undone = {
+            id(op) for op in self._ops if not op.done and not op.failed
+        }
         if undone:
             self._ctx._complete_pending(lambda op: id(op) in undone)
 
     def results(self) -> list[bytes]:
         """The payloads of an ``iget_batch`` (only valid after completion)."""
+        if self.failed:
+            raise RmaError(
+                "batch faulted (target rank crashed); no data available"
+            )
         if not self.completed:
             raise RmaError("batch not yet completed; call wait()/flush()")
         if self._data is None:
@@ -173,6 +194,11 @@ class RmaRuntime:
         Optional interleaving scheduler hook (see
         :mod:`repro.rma.executor`); ``scheduler.step(rank)`` is invoked
         before every one-sided operation.
+    faults:
+        Optional :class:`~repro.rma.faults.FaultInjector` consulted
+        before every one-sided operation (transient failures,
+        stragglers, rank crashes).  May also be attached/armed later by
+        assigning the ``faults`` attribute between SPMD phases.
     """
 
     def __init__(
@@ -181,6 +207,7 @@ class RmaRuntime:
         profile: MachineProfile = UNIFORM,
         log_ops: bool = False,
         scheduler=None,
+        faults=None,
     ) -> None:
         if nranks <= 0:
             raise RmaError("nranks must be positive")
@@ -189,6 +216,7 @@ class RmaRuntime:
         self.trace = TraceRecorder(nranks, log_ops=log_ops)
         self.clocks = [0.0] * nranks
         self.scheduler = scheduler
+        self.faults = faults
         self._windows: dict[str, Window] = {}
         self._windows_lock = threading.Lock()
         self._pending: list[list[_PendingOp]] = [[] for _ in range(nranks)]
@@ -274,6 +302,11 @@ class RankContext:
         """Non-blocking one-sided write of ``data`` into ``target``'s segment."""
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            rt.faults.before_op(
+                rt, self.rank, target,
+                rt.cost.onesided(self.rank, target, len(data)),
+            )
         win.write(target, offset, data)
         rt.trace.record("put", self.rank, target, win.name, offset, len(data))
         rt._charge(self.rank, rt.cost.onesided(self.rank, target, len(data)))
@@ -283,6 +316,11 @@ class RankContext:
         """One-sided read of ``nbytes`` from ``target``'s segment."""
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            rt.faults.before_op(
+                rt, self.rank, target,
+                rt.cost.onesided(self.rank, target, nbytes),
+            )
         data = win.read(target, offset, nbytes)
         rt.trace.record("get", self.rank, target, win.name, offset, nbytes)
         rt._charge(self.rank, rt.cost.onesided(self.rank, target, nbytes))
@@ -296,6 +334,10 @@ class RankContext:
         """Remote compare-and-swap; returns the value found at the target."""
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            rt.faults.before_op(
+                rt, self.rank, target, rt.cost.atomic(self.rank, target)
+            )
         compare = _wrap_i64(compare)
         with rt._atomic_locks[target]:
             old = win.read_i64(target, offset)
@@ -310,6 +352,10 @@ class RankContext:
         """Remote fetch-and-add; returns the pre-add value."""
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            rt.faults.before_op(
+                rt, self.rank, target, rt.cost.atomic(self.rank, target)
+            )
         with rt._atomic_locks[target]:
             old = win.read_i64(target, offset)
             win.write_i64(target, offset, _wrap_i64(old + delta))
@@ -322,6 +368,10 @@ class RankContext:
         """Atomic 64-bit read (AGET in the paper's notation)."""
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            rt.faults.before_op(
+                rt, self.rank, target, rt.cost.atomic(self.rank, target)
+            )
         with rt._atomic_locks[target]:
             value = win.read_i64(target, offset)
         rt.trace.record("atomic", self.rank, target, win.name, offset, 8)
@@ -333,6 +383,10 @@ class RankContext:
         """Atomic 64-bit write (APUT)."""
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            rt.faults.before_op(
+                rt, self.rank, target, rt.cost.atomic(self.rank, target)
+            )
         with rt._atomic_locks[target]:
             win.write_i64(target, offset, _wrap_i64(value))
         rt.trace.record("atomic", self.rank, target, win.name, offset, 8)
@@ -354,6 +408,14 @@ class RankContext:
             return
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            per_t: dict[int, int] = {}
+            for target, _, data in ops:
+                per_t[target] = per_t.get(target, 0) + len(data)
+            rt.faults.before_batch(
+                rt, self.rank, per_t,
+                rt.cost.batched_onesided(self.rank, per_t),
+            )
         per_target: dict[int, int] = {}
         for target, offset, data in ops:
             win.write(target, offset, data)
@@ -380,6 +442,14 @@ class RankContext:
             return []
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            per_t: dict[int, int] = {}
+            for target, _, nbytes in ops:
+                per_t[target] = per_t.get(target, 0) + nbytes
+            rt.faults.before_batch(
+                rt, self.rank, per_t,
+                rt.cost.batched_onesided(self.rank, per_t),
+            )
         out: list[bytes] = []
         per_target: dict[int, int] = {}
         for target, offset, nbytes in ops:
@@ -408,6 +478,13 @@ class RankContext:
             return BatchRequest(self, [], None)
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            per_t: dict[int, int] = {}
+            for target, _, data in ops:
+                per_t[target] = per_t.get(target, 0) + len(data)
+            rt.faults.before_batch(
+                rt, self.rank, per_t, rt.cost.profile.alpha_local
+            )
         per_target: dict[int, int] = {}
         for target, offset, data in ops:
             win.write(target, offset, data)
@@ -439,6 +516,13 @@ class RankContext:
             return BatchRequest(self, [], [])
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            per_t: dict[int, int] = {}
+            for target, _, nbytes in ops:
+                per_t[target] = per_t.get(target, 0) + nbytes
+            rt.faults.before_batch(
+                rt, self.rank, per_t, rt.cost.profile.alpha_local
+            )
         out: list[bytes] = []
         per_target: dict[int, int] = {}
         for target, offset, nbytes in ops:
@@ -464,6 +548,10 @@ class RankContext:
         """Non-blocking put: issue now, pay the network at the flush."""
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            rt.faults.before_op(
+                rt, self.rank, target, rt.cost.profile.alpha_local
+            )
         win.write(target, offset, data)
         rt.trace.record("put", self.rank, target, win.name, offset, len(data))
         rt._charge(self.rank, rt.cost.profile.alpha_local)  # injection CPU
@@ -476,6 +564,10 @@ class RankContext:
         """Non-blocking get: data is valid after wait()/flush."""
         rt = self.rt
         rt._step(self.rank)
+        if rt.faults is not None:
+            rt.faults.before_op(
+                rt, self.rank, target, rt.cost.profile.alpha_local
+            )
         data = win.read(target, offset, nbytes)
         rt.trace.record("get", self.rank, target, win.name, offset, nbytes)
         rt._charge(self.rank, rt.cost.profile.alpha_local)
@@ -496,6 +588,24 @@ class RankContext:
         chosen = [op for op in pending if selector(op)]
         if not chosen:
             return
+        inj = rt.faults
+        if inj is not None and inj.dead:
+            inj.check_alive(self.rank)
+            bad = [op for op in chosen if op.target in inj.dead]
+            if bad:
+                # the message can never complete: fail the ops so waiters
+                # see a clear error instead of stale data
+                for op in bad:
+                    op.failed = True
+                rt._pending[self.rank] = [
+                    op for op in pending if not (op.done or op.failed)
+                ]
+                from .faults import RmaRankDead
+
+                raise RmaRankDead(
+                    f"pending operation towards crashed rank "
+                    f"{bad[0].target} cannot complete"
+                )
         p = rt.cost.profile
         any_remote = any(op.target != self.rank for op in chosen)
         cost = p.alpha if any_remote else p.alpha_local
@@ -514,6 +624,13 @@ class RankContext:
         fence), as in MPI RMA.
         """
         rt = self.rt
+        if rt.faults is not None:
+            rt.faults.before_op(
+                rt,
+                self.rank,
+                target if target is not None else self.rank,
+                rt.cost.flush(self.rank, target),
+            )
         rt.trace.record(
             "flush", self.rank, target if target is not None else self.rank,
             win.name, 0, 0,

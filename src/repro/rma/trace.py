@@ -35,6 +35,16 @@ class RankCounters:
     batched_ops: int = 0
     msgs_saved: int = 0
     bytes_batched: int = 0
+    #: fault-injection accounting (:mod:`repro.rma.faults`):
+    #: ``faults_injected`` counts injected transient failures,
+    #: ``op_retries`` the substrate-level retries that absorbed them,
+    #: ``backoff_time`` the total seeded backoff charged (seconds — also
+    #: fed by lock and transaction backoff), ``straggler_time`` the extra
+    #: slowdown charged to straggler ranks (seconds).
+    faults_injected: int = 0
+    op_retries: int = 0
+    backoff_time: float = 0.0
+    straggler_time: float = 0.0
 
     @property
     def total_ops(self) -> int:
@@ -55,6 +65,10 @@ class RankCounters:
             "batched_ops": self.batched_ops,
             "msgs_saved": self.msgs_saved,
             "bytes_batched": self.bytes_batched,
+            "faults_injected": self.faults_injected,
+            "op_retries": self.op_retries,
+            "backoff_time": self.backoff_time,
+            "straggler_time": self.straggler_time,
         }
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -120,6 +134,23 @@ class TraceRecorder:
         c.batched_ops += nops
         c.msgs_saved += nops - nmsgs
         c.bytes_batched += nbytes
+
+    # -- fault-injection accounting ---------------------------------------
+    def record_fault(self, origin: int) -> None:
+        """Account one injected transient failure at ``origin``."""
+        self.counters[origin].faults_injected += 1
+
+    def record_retry(self, origin: int) -> None:
+        """Account one substrate-level retry of a faulted operation."""
+        self.counters[origin].op_retries += 1
+
+    def record_backoff(self, origin: int, seconds: float) -> None:
+        """Account ``seconds`` of seeded backoff charged to ``origin``."""
+        self.counters[origin].backoff_time += seconds
+
+    def record_straggler(self, origin: int, seconds: float) -> None:
+        """Account ``seconds`` of straggler slowdown charged to ``origin``."""
+        self.counters[origin].straggler_time += seconds
 
     # -- aggregation ------------------------------------------------------
     def total(self, field_name: str) -> int:

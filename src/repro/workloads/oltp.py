@@ -28,9 +28,11 @@ import random
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..gda.retry import RetryPolicy, run_transaction
 from ..gdi import EdgeOrientation
 from ..gdi.errors import GdiNotFound, GdiTransactionCritical
 from ..generator.lpg import GeneratedGraph
+from ..rma.faults import RmaTransientError
 from ..rma.runtime import RankContext
 
 __all__ = ["OpType", "WorkloadMix", "MIXES", "OltpRankResult", "OltpResult", "run_oltp_rank", "aggregate_oltp"]
@@ -138,6 +140,8 @@ class OltpRankResult:
     n_failed: int = 0
     latencies: dict[OpType, list[float]] = field(default_factory=dict)
     sim_elapsed: float = 0.0
+    n_retries: int = 0  # automatic transaction restarts (retry policy)
+    n_commits: int = 0  # committed transactions (batches)
 
     def record(self, op: OpType, latency: float) -> None:
         self.latencies.setdefault(op, []).append(latency)
@@ -154,6 +158,8 @@ class OltpResult:
     n_failed: int
     makespan: float  # max simulated elapsed time over ranks
     latencies: dict[OpType, list[float]]
+    n_retries: int = 0
+    n_commits: int = 0
 
     @property
     def throughput(self) -> float:
@@ -165,6 +171,11 @@ class OltpResult:
     def failed_fraction(self) -> float:
         return self.n_failed / self.n_ops if self.n_ops else 0.0
 
+    @property
+    def retries_per_commit(self) -> float:
+        """Mean automatic restarts per committed transaction."""
+        return self.n_retries / self.n_commits if self.n_commits else 0.0
+
 
 def run_oltp_rank(
     ctx: RankContext,
@@ -173,6 +184,7 @@ def run_oltp_rank(
     n_ops: int,
     seed: int = 0,
     ops_per_txn: int = 1,
+    retry: RetryPolicy | None = None,
 ) -> OltpRankResult:
     """Execute ``n_ops`` operations of ``mix`` on this rank.
 
@@ -183,6 +195,12 @@ def run_oltp_rank(
     (amortizing start/commit overhead at the cost of a larger failure
     blast radius — a batch aborts as a unit).  The recorded latency of a
     batched operation is the batch latency divided by the batch size.
+
+    With a ``retry`` policy, aborted batches are automatically restarted
+    through :func:`repro.gda.retry.run_transaction`; a batch only counts
+    as failed when the whole retry budget is exhausted.  All random
+    choices of a batch are drawn *before* its transaction starts, so a
+    restarted batch replays the identical logical operations.
     """
     if ops_per_txn < 1:
         raise ValueError("ops_per_txn must be >= 1")
@@ -197,48 +215,65 @@ def run_oltp_rank(
     next_new_id = graph.n_vertices + ctx.rank * 10_000_000
     my_created: list[int] = []
     deleted: set[int] = set()
+    restarts_before = db.stats[ctx.rank].restarts
 
     def random_app_id() -> int:
         if my_created and rng.random() < 0.1:
             return rng.choice(my_created)
         return rng.randrange(n)
 
-    def execute_op(tx, op: OpType) -> None:
+    def draw_op(op: OpType) -> tuple:
+        """Pre-draw all randomness so retried batches replay identically."""
         nonlocal next_new_id
+        if op is OpType.ADD_VERTEX:
+            app_id = next_new_id
+            next_new_id += 1
+            return (op, app_id)
+        if op is OpType.ADD_EDGE:
+            return (op, random_app_id(), random_app_id())
+        if op is OpType.UPD_PROP:
+            return (op, random_app_id(), rng.randrange(1 << 31))
+        return (op, random_app_id())
+
+    def execute_op(tx, desc: tuple) -> None:
+        op = desc[0]
         if op is OpType.GET_PROPS:
-            v = tx.find_vertex(random_app_id())
+            v = tx.find_vertex(desc[1])
             if v is not None and p_ts is not None:
                 v.property(p_ts)
         elif op is OpType.COUNT_EDGES:
-            v = tx.find_vertex(random_app_id())
+            v = tx.find_vertex(desc[1])
             if v is not None:
                 v.degree()
         elif op is OpType.GET_EDGES:
-            v = tx.find_vertex(random_app_id())
+            v = tx.find_vertex(desc[1])
             if v is not None:
                 for e in v.edges(EdgeOrientation.OUTGOING):
                     e.endpoints()
         elif op is OpType.ADD_VERTEX:
-            app_id = next_new_id
-            next_new_id += 1
             props = [(p_ts, 0)] if p_ts is not None else []
-            tx.create_vertex(app_id, properties=props)
-            my_created.append(app_id)
+            tx.create_vertex(desc[1], properties=props)
         elif op is OpType.DEL_VERTEX:
-            target = random_app_id()
-            v = tx.find_vertex(target)
+            v = tx.find_vertex(desc[1])
             if v is not None:
                 tx.delete_vertex(v)
-                deleted.add(target)
         elif op is OpType.UPD_PROP:
-            v = tx.find_vertex(random_app_id())
+            v = tx.find_vertex(desc[1])
             if v is not None and p_ts is not None:
-                v.set_property(p_ts, rng.randrange(1 << 31))
+                v.set_property(p_ts, desc[2])
         elif op is OpType.ADD_EDGE:
-            a = tx.find_vertex(random_app_id())
-            b = tx.find_vertex(random_app_id())
+            a = tx.find_vertex(desc[1])
+            b = tx.find_vertex(desc[2])
             if a is not None and b is not None and a.vid != b.vid:
                 tx.create_edge(a, b, label=label)
+
+    def apply_side_effects(descs: list[tuple]) -> None:
+        """Record committed creations/deletions (drives later ID draws)."""
+        for desc in descs:
+            if desc[0] is OpType.ADD_VERTEX:
+                my_created.append(desc[1])
+            elif desc[0] is OpType.DEL_VERTEX:
+                deleted.add(desc[1])
 
     # Effective time includes receiver-side NIC service: a rank that is
     # hammered by remote accesses finishes later than its own op stream.
@@ -247,31 +282,47 @@ def run_oltp_rank(
     while remaining > 0:
         batch = [mix.sample(rng) for _ in range(min(ops_per_txn, remaining))]
         remaining -= len(batch)
+        descs = [draw_op(op) for op in batch]
+        write = any(op.is_update for op in batch)
         t0 = ctx.clock
-        tx = db.start_transaction(
-            ctx, write=any(op.is_update for op in batch)
-        )
         failed = False
-        try:
-            for op in batch:
+
+        def body(tx):
+            for desc in descs:
                 try:
-                    execute_op(tx, op)
+                    execute_op(tx, desc)
                 except GdiNotFound:
                     pass  # a read miss inside the batch is an OK outcome
-            tx.commit()
-        except GdiTransactionCritical:
-            if tx.open:
-                tx.abort()
-            failed = True
-        except GdiNotFound:
-            if tx.open:
-                tx.abort()
+
+        if retry is None:
+            tx = db.start_transaction(ctx, write=write)
+            try:
+                body(tx)
+                tx.commit()
+            except GdiTransactionCritical:
+                if tx.open:
+                    tx.abort()
+                failed = True
+            except GdiNotFound:
+                if tx.open:
+                    tx.abort()
+        else:
+            try:
+                run_transaction(
+                    ctx, db, body, write=write, policy=retry
+                )
+            except (GdiTransactionCritical, RmaTransientError):
+                failed = True
         latency = (ctx.clock - t0) / len(batch)
         for op in batch:
             res.record(op, latency)
         if failed:
             res.n_failed += len(batch)
+        else:
+            res.n_commits += 1
+            apply_side_effects(descs)
     res.sim_elapsed = ctx.rt.effective_clock(ctx.rank) - start
+    res.n_retries = db.stats[ctx.rank].restarts - restarts_before
     return res
 
 
@@ -290,4 +341,6 @@ def aggregate_oltp(
         n_failed=sum(r.n_failed for r in rank_results),
         makespan=max(r.sim_elapsed for r in rank_results),
         latencies=latencies,
+        n_retries=sum(r.n_retries for r in rank_results),
+        n_commits=sum(r.n_commits for r in rank_results),
     )

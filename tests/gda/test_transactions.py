@@ -777,7 +777,7 @@ def test_commit_log_records_changes():
             tx.create_vertex(1)
             tx.commit()
         ctx.barrier()
-        kinds = [e[0] for _, entries in db.commit_log for e in entries]
+        kinds = [e[0] for rec in db.commit_log for e in rec.entries]
         assert "new_v" in kinds
 
     _with_db(2, body)

@@ -1,0 +1,201 @@
+"""Seeded chaos storms: concurrent OLTP under fault injection.
+
+Each storm runs the write-heavy OLTP mix on every rank while the fault
+injector fires transient failures and slows a straggler, with the
+interleaving scheduler serializing operations in a seeded pseudo-random
+order.  Afterwards every structural invariant must hold: consistency
+check OK (which includes lock-word leak detection), and zero block leaks
+(allocated == reachable).
+
+The heavy storms (more seeds, bigger graph, rank crash + recovery) are
+marked ``slow`` and gated behind ``REPRO_CHAOS=1`` so tier-1 stays fast;
+the CI ``chaos`` job runs them across a seed matrix.
+"""
+
+import os
+
+import pytest
+
+from repro.gda import (
+    GdaConfig,
+    GdaDatabase,
+    RetryPolicy,
+    recover,
+    take_checkpoint,
+)
+from repro.gda.checkpoint import snapshot
+from repro.gda.consistency import check_consistency
+from repro.gda.recovery import CommitLog
+from repro.generator import KroneckerParams, build_lpg, default_schema
+from repro.rma import run_spmd
+from repro.rma.executor import SpmdError
+from repro.rma.faults import FaultPlan
+from repro.workloads.oltp import MIXES, run_oltp_rank
+
+NRANKS = 3
+CFG = GdaConfig(blocks_per_rank=4096)
+PARAMS = KroneckerParams(scale=5, edge_factor=3, seed=7)
+SCHEMA = default_schema(n_vertex_labels=2, n_edge_labels=2, n_properties=3)
+RETRY = RetryPolicy(max_attempts=6)
+
+chaos_gate = pytest.mark.skipif(
+    not os.environ.get("REPRO_CHAOS"),
+    reason="heavy chaos storms run only with REPRO_CHAOS=1 (CI chaos job)",
+)
+
+
+def _assert_clean(ctx, db):
+    report = check_consistency(ctx, db)
+    assert report.ok, report.problems[:5]
+    assert report.blocks_allocated == report.blocks_reachable
+    return report
+
+
+def _storm_plan(seed: int) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        transient_rate=0.03,
+        op_backoff_base=5e-7,
+        stragglers={1: 1.5},
+    )
+
+
+def _oltp_storm(ctx, seed: int, n_ops: int, params=PARAMS):
+    db = GdaDatabase.create(ctx, CFG)
+    g = build_lpg(ctx, db, params, SCHEMA)
+    res = run_oltp_rank(
+        ctx, g, MIXES["WI"], n_ops, seed=seed, ops_per_txn=2, retry=RETRY
+    )
+    ctx.barrier()
+    _assert_clean(ctx, db)
+    return db, res
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_chaos_storm_ends_consistent(seed):
+    def prog(ctx):
+        db, res = _oltp_storm(ctx, seed, n_ops=16)
+        return res.n_failed
+
+    rt, res = run_spmd(NRANKS, prog, seed=seed, faults=_storm_plan(seed))
+    # the storm really stormed: injected faults and straggler slowdowns
+    # are visible in the trace, and the graph still checked out clean
+    totals = [rt.trace.counters[r].snapshot() for r in range(NRANKS)]
+    assert sum(t["faults_injected"] for t in totals) > 0
+    assert totals[1]["straggler_time"] > 0.0
+
+
+@chaos_gate
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(100, 120))
+def test_chaos_storm_heavy(seed):
+    params = KroneckerParams(scale=6, edge_factor=4, seed=31)
+
+    def prog(ctx):
+        db, res = _oltp_storm(ctx, seed, n_ops=60, params=params)
+        return res.n_failed, db.stats[ctx.rank].restarts
+
+    rt, res = run_spmd(NRANKS, prog, seed=seed, faults=_storm_plan(seed))
+    assert sum(rt.trace.counters[r].snapshot()["faults_injected"] for r in range(NRANKS)) > 0
+
+
+def _crash_storm(seed: int):
+    """Storm, checkpoint mid-flight, storm more, crash a rank, recover.
+
+    Verifies the replay path against live execution: recovering from the
+    mid-storm checkpoint plus the log records committed before the final
+    quiescent point must reproduce the final quiescent snapshot exactly.
+    """
+    state = {}
+
+    def build_and_storm(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        g = build_lpg(ctx, db, PARAMS, SCHEMA)
+        run_oltp_rank(
+            ctx, g, MIXES["WI"], 12, seed=seed, ops_per_txn=2, retry=RETRY
+        )
+        ctx.barrier()
+        cp1 = take_checkpoint(ctx, db)  # mid-storm checkpoint
+        run_oltp_rank(
+            ctx, g, MIXES["WI"], 12, seed=seed + 1, ops_per_txn=2, retry=RETRY
+        )
+        ctx.barrier()
+        cp2 = take_checkpoint(ctx, db)  # quiescent ground truth
+        if ctx.rank == 0:
+            state.update(db=db, g=g, cp1=cp1, cp2=cp2)
+
+    rt, _ = run_spmd(
+        NRANKS, build_and_storm, seed=seed, faults=_storm_plan(seed)
+    )
+
+    def doomed(ctx):
+        run_oltp_rank(
+            ctx,
+            state["g"],
+            MIXES["WI"],
+            40,
+            seed=seed + 2,
+            ops_per_txn=2,
+            retry=RETRY,
+        )
+        ctx.barrier()
+
+    with pytest.raises(SpmdError):
+        run_spmd(
+            NRANKS,
+            doomed,
+            runtime=rt,
+            faults=FaultPlan(seed=seed, crash_rank=2, crash_at_op=40),
+        )
+
+    db = state["db"]
+    # log records committed before the ground-truth checkpoint
+    surviving = CommitLog()
+    for rec in db.commit_log.tail(0)[: state["cp2"].log_pos]:
+        surviving.append(rec.rank, rec.entries)
+
+    def recover_prog(ctx):
+        db2 = GdaDatabase.create(ctx, CFG)
+        recover(ctx, db2, state["cp1"], surviving)
+        _assert_clean(ctx, db2)
+        return snapshot(ctx, db2)
+
+    _, recovered = run_spmd(NRANKS, recover_prog)
+    assert _canon(recovered[0]) == _canon(state["cp2"].snap)
+
+    # recovering from the later checkpoint plus the full log (including
+    # transactions committed during the doomed phase before the crash)
+    # must also yield a consistent database
+    def recover_full(ctx):
+        db2 = GdaDatabase.create(ctx, CFG)
+        recover(ctx, db2, state["cp2"], db.commit_log)
+        _assert_clean(ctx, db2)
+
+    run_spmd(NRANKS, recover_full)
+
+
+def _canon(snap):
+    return {
+        "labels": set(snap["labels"]),
+        "ptypes": sorted(p["name"] for p in snap["ptypes"]),
+        "vertices": snap["vertices"],
+        "light_edges": sorted(snap["light_edges"], key=repr),
+        "heavy_edges": sorted(
+            (
+                (s, d, dr, sorted(ls), sorted(ps))
+                for s, d, dr, ls, ps in snap["heavy_edges"]
+            ),
+            key=repr,
+        ),
+    }
+
+
+def test_chaos_crash_and_recover():
+    _crash_storm(seed=1)
+
+
+@chaos_gate
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(200, 210))
+def test_chaos_crash_and_recover_matrix(seed):
+    _crash_storm(seed)
