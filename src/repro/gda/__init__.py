@@ -32,16 +32,18 @@ from .holder import (
     VertexHolder,
 )
 from .index_impl import ExplicitEdgeIndex, ExplicitIndex, VertexDirectory
-from .locks import LockTimeout, RWLock
+from .locks import LockRegistry, LockTimeout, RWLock
 from .metadata import Label, MetadataReplica, MetadataStore, PropertyType
 from .recovery import (
     Checkpoint,
     CommitLog,
     CommitRecord,
     recover,
+    replay_entries_idempotent,
     take_checkpoint,
 )
 from .relocate import plan_balance, rebalance
+from .replication import ReplicationLog, ReplicationManager
 from .retry import RetryPolicy, run_transaction
 from .transaction_impl import (
     EdgeHandle,
@@ -76,8 +78,12 @@ __all__ = [
     "ExplicitIndex",
     "ExplicitEdgeIndex",
     "VertexDirectory",
+    "LockRegistry",
     "LockTimeout",
     "RWLock",
+    "ReplicationLog",
+    "ReplicationManager",
+    "replay_entries_idempotent",
     "Label",
     "MetadataReplica",
     "MetadataStore",

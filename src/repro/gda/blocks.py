@@ -21,7 +21,8 @@ value the CAS returned (no extra AGET), exactly as described in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from ..rma.runtime import RankContext
 from ..rma.window import Window
@@ -59,6 +60,12 @@ class BlockManager:
     system_win: Window
     block_size: int
     blocks_per_rank: int
+    #: optional callbacks ``fn(ctx, dptr)`` fired after a successful
+    #: acquire/release.  The replication layer uses them to keep its
+    #: allocation journal and mirror metadata consistent with the free
+    #: lists (a freed block must never be restored on failover).
+    on_acquire: Any = field(default=None, repr=False, compare=False)
+    on_release: Any = field(default=None, repr=False, compare=False)
 
     # -- construction -------------------------------------------------------
     @classmethod
@@ -133,7 +140,10 @@ class BlockManager:
             found = ctx.cas(sw, target, SYS_HEAD_OFF, head, new_head)  # step 3
             if found == head:
                 ctx.faa(sw, target, SYS_COUNT_OFF, 1)
-                return pack_dptr(target, idx * self.block_size)
+                dptr = pack_dptr(target, idx * self.block_size)
+                if self.on_acquire is not None:
+                    self.on_acquire(ctx, dptr)
+                return dptr
             head = found  # restart at step 2 with the CAS result
 
     def acquire_block_anywhere(
@@ -170,6 +180,8 @@ class BlockManager:
             found = ctx.cas(sw, d.rank, SYS_HEAD_OFF, head, new_head)
             if found == head:
                 ctx.faa(sw, d.rank, SYS_COUNT_OFF, -1)
+                if self.on_release is not None:
+                    self.on_release(ctx, dptr)
                 return
             head = found
 

@@ -33,6 +33,22 @@ from .metadata import PropertyType
 __all__ = ["snapshot", "restore"]
 
 
+def _hosted_vertices(ctx: RankContext, db: GdaDatabase) -> list[int]:
+    """Vertices this rank must walk in a collective sweep.
+
+    Normally just the rank's own shard; after a failover the membership
+    view's translation table may assign a dead rank's shard to its
+    backup, which then walks both (degraded-mode iteration).
+    """
+    mem = getattr(ctx.rt, "membership", None)
+    if mem is None or not mem.degraded():
+        return db.directory.local_vertices(ctx)
+    vids: list[int] = []
+    for shard in mem.shards_of(ctx.rank):
+        vids.extend(db.directory.shard_vertices(ctx, shard))
+    return vids
+
+
 def snapshot(ctx: RankContext, db: GdaDatabase) -> dict[str, Any]:
     """Collectively capture the database content; every rank returns the
     same snapshot dictionary."""
@@ -42,7 +58,7 @@ def snapshot(ctx: RankContext, db: GdaDatabase) -> dict[str, Any]:
     vertices: dict[int, dict] = {}
     light_edges: list[tuple] = []
     heavy_edges: list[tuple] = []
-    for vid in db.directory.local_vertices(ctx):
+    for vid in _hosted_vertices(ctx, db):
         v = tx.associate_vertex(vid)
         vertices[v.app_id] = {
             "labels": [l.name for l in v.labels()],
@@ -108,15 +124,20 @@ def snapshot(ctx: RankContext, db: GdaDatabase) -> dict[str, Any]:
     ]
     labels = [l.name for l in replica.labels]
 
+    # a crashed rank contributes None to collectives; its shard's data
+    # arrives via the backup that now hosts it (degraded-mode iteration)
     merged_vertices: dict[int, dict] = {}
     for part in ctx.allgather(vertices):
-        merged_vertices.update(part)
+        if part is not None:
+            merged_vertices.update(part)
     merged_light: list = []
     merged_heavy: list = []
     for part in ctx.allgather(light_edges):
-        merged_light.extend(part)
+        if part is not None:
+            merged_light.extend(part)
     for part in ctx.allgather(heavy_edges):
-        merged_heavy.extend(part)
+        if part is not None:
+            merged_heavy.extend(part)
     return {
         "labels": labels,
         "ptypes": ptypes,
@@ -175,7 +196,8 @@ def restore(ctx: RankContext, db: GdaDatabase, snap: dict[str, Any]) -> dict[int
     tx.commit()
     vid_map: dict[int, int] = {}
     for part in ctx.allgather(local_map):
-        vid_map.update(part)
+        if part is not None:
+            vid_map.update(part)
 
     # -- lightweight edges: bulk half-edge exchange -------------------------
     outboxes: list[list[tuple]] = [[] for _ in range(ctx.nranks)]
@@ -193,6 +215,8 @@ def restore(ctx: RankContext, db: GdaDatabase, snap: dict[str, Any]) -> dict[int
     received = ctx.alltoall(outboxes)
     tx = db.start_collective_transaction(ctx, write=True)
     for box in received:
+        if box is None:
+            continue  # part from a crashed rank
         for a, b, direction, lid in box:
             base, other = (b, a) if direction == DIR_IN else (a, b)
             tx.bulk_append_half_edge(

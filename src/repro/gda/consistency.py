@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 from ..rma.runtime import RankContext
 from .blocks import SYS_LOCKS_OFF
+from .checkpoint import _hosted_vertices
 from .database_impl import GdaDatabase
 from .holder import DIR_IN, DIR_OUT, DIR_UNDIR, KIND_EDGE, KIND_VERTEX
 
@@ -66,9 +67,12 @@ def _reciprocal(direction: int) -> int:
 def check_consistency(ctx: RankContext, db: GdaDatabase) -> ConsistencyReport:
     """Collectively verify the invariants; all ranks get the same report."""
     report = ConsistencyReport()
+    mem = getattr(ctx.rt, "membership", None)
+    degraded = mem is not None and mem.degraded()
+    hosted = mem.shards_of(ctx.rank) if degraded else [ctx.rank]
 
     # ---- gather the global picture -------------------------------------
-    local_vids = db.directory.local_vertices(ctx)
+    local_vids = _hosted_vertices(ctx, db)
     local_holders = {}
     for vid in local_vids:
         try:
@@ -90,7 +94,8 @@ def check_consistency(ctx: RankContext, db: GdaDatabase) -> ConsistencyReport:
         slot_summary[vid] = (stored.holder.app_id, slots)
     global_slots: dict[int, tuple[int, list]] = {}
     for part in ctx.allgather(slot_summary):
-        global_slots.update(part)
+        if part is not None:  # crashed ranks contribute None
+            global_slots.update(part)
     report.n_vertices = len(global_slots)
 
     # ---- invariant 1: directory <-> DHT --------------------------------
@@ -139,12 +144,16 @@ def check_consistency(ctx: RankContext, db: GdaDatabase) -> ConsistencyReport:
                 f"dir {direction}) x{count}: reciprocal x{back}"
             )
 
-    # heavy holders: read each once (owner = rank of the holder's dptr)
+    # heavy holders: read each once (owner = current host of the
+    # holder's shard, per the membership translation table)
     local_heavy = {}
     for dptr in heavy_refs:
         from .dptr import unpack_dptr
 
-        if unpack_dptr(dptr).rank != ctx.rank:
+        owner = unpack_dptr(dptr).rank
+        if degraded:
+            owner = mem.host_of(owner)
+        if owner != ctx.rank:
             continue
         try:
             stored = db.storage.read(ctx, dptr)
@@ -162,7 +171,8 @@ def check_consistency(ctx: RankContext, db: GdaDatabase) -> ConsistencyReport:
         )
     global_heavy: dict[int, tuple] = {}
     for part in ctx.allgather(local_heavy):
-        global_heavy.update(part)
+        if part is not None:
+            global_heavy.update(part)
     report.n_edge_holders = len(global_heavy)
     for dptr, refs in heavy_refs.items():
         meta = global_heavy.get(dptr)
@@ -202,19 +212,22 @@ def check_consistency(ctx: RankContext, db: GdaDatabase) -> ConsistencyReport:
 
     # ---- invariant 5: no leaked lock words --------------------------------
     nblocks = db.blocks.blocks_per_rank
-    raw = ctx.get(
-        db.blocks.system_win, ctx.rank, SYS_LOCKS_OFF, 8 * nblocks
-    )
-    for i, word in enumerate(struct.unpack(f"<{nblocks}Q", raw)):
-        if word != 0:
-            report.problems.append(
-                f"lock word for block {i} on rank {ctx.rank} leaked: "
-                f"{word:#x}"
-            )
+    for shard in hosted:
+        raw = ctx.get(
+            db.blocks.system_win, shard, SYS_LOCKS_OFF, 8 * nblocks
+        )
+        for i, word in enumerate(struct.unpack(f"<{nblocks}Q", raw)):
+            if word != 0:
+                report.problems.append(
+                    f"lock word for block {i} on shard {shard} leaked: "
+                    f"{word:#x}"
+                )
 
     # every rank returns the merged problem list
     all_problems: list[str] = []
     for part in ctx.allgather(report.problems):
+        if part is None:
+            continue
         for p in part:
             if p not in all_problems:
                 all_problems.append(p)

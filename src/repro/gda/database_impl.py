@@ -62,6 +62,10 @@ class GdaConfig:
     #: timeout costs well under a millisecond of simulated time.
     lock_backoff_base: float = 2e-6
     lock_backoff_cap: float = 20e-6
+    #: primary-backup block replication + live failover (requires the
+    #: runtime to carry a :class:`~repro.rma.membership.ClusterMembership`).
+    #: Off by default: fault-free workloads pay no mirroring traffic.
+    replication: bool = False
 
 
 @dataclass
@@ -109,6 +113,12 @@ class GdaDatabase:
         self._index_lock = threading.Lock()
         self.stats = [TxStats() for _ in range(nranks)]
         self.commit_log = CommitLog()  # durability: in-memory redo log
+        #: :class:`~repro.gda.replication.ReplicationManager` when the
+        #: config enables replication; None keeps the seed behavior.
+        self.replication = None
+        #: :class:`~repro.gda.locks.LockRegistry` (failover lock cleanup);
+        #: only instantiated alongside replication.
+        self.lock_registry = None
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -132,6 +142,13 @@ class GdaDatabase:
             entries_per_rank=config.dht_entries_per_rank,
             name_prefix=f"{name}.index",
         )
+        mirror_win = None
+        if config.replication:
+            # Backup image of every data block, at the block's own offset
+            # in the backup rank's segment.
+            mirror_win = ctx.win_allocate(
+                f"{name}.mirror", config.block_size * config.blocks_per_rank
+            )
         db = None
         if ctx.rank == 0:
             db = cls(
@@ -142,6 +159,22 @@ class GdaDatabase:
                 nranks=ctx.nranks,
                 name=name,
             )
+            if config.replication:
+                from ..rma.membership import ClusterMembership
+                from .locks import LockRegistry
+                from .replication import ReplicationManager
+
+                mem = getattr(ctx.rt, "membership", None)
+                if mem is None:
+                    mem = ClusterMembership(ctx.nranks)
+                    ctx.rt.membership = mem
+                repl = ReplicationManager(mirror_win, mem, blocks, ctx.nranks)
+                db.replication = repl
+                db.storage.mirror = repl
+                db.blocks.on_acquire = repl.note_acquire
+                db.blocks.on_release = repl.note_release
+                db.dht.enable_mirror()
+                db.lock_registry = LockRegistry()
         db = ctx.bcast(db, root=0)
         ctx.barrier()
         return db
@@ -325,6 +358,45 @@ class GdaDatabase:
                 self.indexes.pop(name, None)
         ctx.barrier()
 
+    # -- availability: failover healing ------------------------------------------------
+    def heal(self, ctx: RankContext) -> None:
+        """Repair failed shards from their block mirrors (single-flight).
+
+        Called by the transaction retry machinery after an operation was
+        fenced (:class:`~repro.rma.faults.RmaStaleEpoch`).  The first rank
+        to claim a failed shard rebuilds it
+        (:meth:`~repro.gda.replication.ReplicationManager.repair_shard`);
+        everyone else waits (bounded) for the repair to publish, then
+        adopts the current epoch so the retried transaction runs against
+        the reconfigured view.  A repair that fails (e.g. a mirror CRC
+        mismatch) returns the shard to FAILED and re-raises; waiters time
+        out and surface the fence to their caller.
+        """
+        import time
+
+        from ..rma.membership import SHARD_FAILED, SHARD_REPAIRING
+
+        mem = getattr(ctx.rt, "membership", None)
+        if mem is None or self.replication is None:
+            return
+        for shard in mem.failed_shards():
+            if mem.begin_repair(shard, ctx.rank):
+                try:
+                    self.replication.repair_shard(ctx, self, shard)
+                except BaseException:
+                    mem.abort_repair(shard)
+                    raise
+                mem.finish_repair(shard)
+        # Bounded real-time wait for repairs owned by other rank threads.
+        for _ in range(2000):
+            if not any(
+                mem.shard_state(s) in (SHARD_FAILED, SHARD_REPAIRING)
+                for s in range(self.nranks)
+            ):
+                break
+            time.sleep(0.001)
+        mem.adopt_epoch(ctx.rank)
+
     # -- durability (in-memory redo log; the paper's system is in-memory) ----------------
     def log_commit(self, rank: int, entries: tuple) -> int:
         """Append one commit record; returns its global sequence number.
@@ -369,4 +441,6 @@ class GdaDatabase:
                 self.dht.heap.system_win,
             ):
                 ctx.rt.free_window(win)
+            if self.replication is not None:
+                ctx.rt.free_window(self.replication.mirror_win)
         ctx.barrier()

@@ -33,7 +33,14 @@ from dataclasses import dataclass, field
 from ..rma.runtime import RankContext
 from ..rma.window import Window
 from .blocks import BlockManager
-from .dptr import DPTR_NULL, is_null, pack_dptr, unpack_dptr
+from .dptr import (
+    DPTR_NULL,
+    TAG_NULL_INDEX,
+    is_null,
+    pack_dptr,
+    pack_tagged,
+    unpack_dptr,
+)
 
 __all__ = ["DistributedHashTable", "ENTRY_BYTES"]
 
@@ -65,6 +72,17 @@ class DistributedHashTable:
     nranks: int
     _limbo: list[list[int]] = field(default_factory=list, repr=False)
     _limbo_locks: list[threading.Lock] = field(default_factory=list, repr=False)
+    #: optional per-bucket-shard mirror ``{key: value}`` maintained by
+    #: insert/delete when replication is enabled.  The chain structure
+    #: cannot be rebuilt from surviving ranks alone (chains are anchored in
+    #: the dead shard's table segment), so failover re-inserts the shard's
+    #: key set from this shadow — the same Python-side-with-charged-costs
+    #: substitution the directory and index layers use.  ``None`` when
+    #: replication is off (zero overhead on the common path).
+    _mirror: list[dict[int, int]] | None = field(default=None, repr=False)
+    _mirror_locks: list[threading.Lock] = field(
+        default_factory=list, repr=False
+    )
 
     @classmethod
     def create(
@@ -137,6 +155,60 @@ class DistributedHashTable:
         ctx.iput(self.heap.data_win, d.rank, d.offset, blob)
         ctx.flush(self.heap.data_win, d.rank)
 
+    # -- replication support ------------------------------------------------
+    def enable_mirror(self) -> None:
+        """Arm the per-shard key mirror (before any inserts happen)."""
+        if self._mirror is None:
+            self._mirror = [dict() for _ in range(self.nranks)]
+            self._mirror_locks = [
+                threading.Lock() for _ in range(self.nranks)
+            ]
+
+    def _mirror_set(self, shard: int, key: int, value: int) -> None:
+        if self._mirror is not None:
+            with self._mirror_locks[shard]:
+                self._mirror[shard][key] = value
+
+    def _mirror_drop(self, shard: int, key: int) -> None:
+        if self._mirror is not None:
+            with self._mirror_locks[shard]:
+                self._mirror[shard].pop(key, None)
+
+    def rebuild_shard(self, ctx: RankContext, shard: int) -> int:
+        """Reconstruct ``shard``'s table and heap segments after a crash.
+
+        Re-initializes the bucket array and the heap free list in place,
+        then re-inserts the shard's surviving ``{key: value}`` set from the
+        mirror.  Entries that spilled onto other ranks' heaps before the
+        crash become unreachable garbage (documented limitation: failover
+        assumes the heap was provisioned to avoid spill).  Returns the
+        number of re-inserted entries.
+        """
+        if self._mirror is None:
+            raise RuntimeError("DHT mirror not enabled; cannot rebuild")
+        null8 = DPTR_NULL.to_bytes(8, "little", signed=True)
+        ctx.put(self.table_win, shard, 0, null8 * self.buckets_per_rank)
+        n = self.heap.blocks_per_rank
+        usage = b"".join(
+            (i + 1).to_bytes(8, "little") for i in range(n - 1)
+        ) + TAG_NULL_INDEX.to_bytes(8, "little")
+        ctx.put(self.heap.usage_win, shard, 0, usage)
+        sys_img = (
+            pack_tagged(0, 0).to_bytes(8, "little", signed=True)
+            + (0).to_bytes(8, "little")
+            + b"\x00" * (8 * n)
+        )
+        ctx.put(self.heap.system_win, shard, 0, sys_img)
+        # Parked (unlinked but unreclaimed) entries of the rebuilt heap no
+        # longer exist; dropping them prevents a double free at quiesce.
+        with self._limbo_locks[shard]:
+            self._limbo[shard] = []
+        with self._mirror_locks[shard]:
+            entries = list(self._mirror[shard].items())
+        for key, value in entries:
+            self.insert(ctx, key, value)
+        return len(entries)
+
     # -- operations (paper Listing 4) -------------------------------------------
     def insert(self, ctx: RankContext, key: int, value: int) -> None:
         """Prepend a (key, value) entry to the key's bucket chain."""
@@ -147,6 +219,7 @@ class DistributedHashTable:
             self._write_entry(ctx, entry_ptr, key, value, head)
             found = ctx.cas(self.table_win, rank, boff, head, entry_ptr)
             if found == head:
+                self._mirror_set(rank, key, value)
                 return
             head = found  # concurrent insert/delete; retry with fresh head
 
@@ -244,6 +317,7 @@ class DistributedHashTable:
                     return None  # lost the race (or successor deleted)
                 self._unlink(ctx, rank, boff, ptr, nxt)
                 self._park(ptr)
+                self._mirror_drop(rank, key)
                 return True
             prev_is_bucket = False
             prev_ptr = ptr

@@ -30,9 +30,10 @@ whose DPtr points at an edge holder instead of a neighbor vertex.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
-from ..gdi.errors import GdiNoMemory, GdiStateError
+from ..gdi.errors import GdiChecksumError, GdiNoMemory, GdiStateError
 from ..rma.runtime import RankContext
 from .blocks import BlockManager
 from .entries import decode_entries, encode_entries, entries_nbytes
@@ -208,10 +209,19 @@ class HolderStorage:
 
     def __init__(self, blocks: BlockManager) -> None:
         self.blocks = blocks
+        #: optional :class:`~repro.gda.replication.ReplicationManager`; when
+        #: set, every block write-back is also staged to the owner's backup.
+        self.mirror = None
 
     # -- serialization helpers --------------------------------------------
     def _pack_header(
-        self, holder, flags: int, nindex: int, ndata: int, payload_len: int
+        self,
+        holder,
+        flags: int,
+        nindex: int,
+        ndata: int,
+        payload_len: int,
+        crc: int = 0,
     ) -> bytes:
         entries_len = entries_nbytes(holder.labels, holder.properties)
         edge_count = len(holder.edges) if holder.kind == KIND_VERTEX else 0
@@ -225,7 +235,7 @@ class HolderStorage:
             edge_count,
             entries_len,
             payload_len,
-            0,
+            crc,
         )
         return hdr + b"\x00" * (HEADER_BYTES - len(hdr))
 
@@ -310,6 +320,8 @@ class HolderStorage:
             self._resize(ctx, stored.index_blocks, nindex, home)
             items.extend(self._write_items(stored, payload, extra_flags))
         self.blocks.iwrite_blocks(ctx, items)
+        if self.mirror is not None:
+            self.mirror.stage(ctx, items)
         ctx.flush(self.blocks.data_win)
 
     def _resize(
@@ -333,7 +345,10 @@ class HolderStorage:
         flags = extra_flags | (FLAG_INDIRECT if stored.index_blocks else 0)
         nindex = len(stored.index_blocks)
         ndata = len(stored.data_blocks)
-        header = self._pack_header(holder, flags, nindex, ndata, len(payload))
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        header = self._pack_header(
+            holder, flags, nindex, ndata, len(payload), crc
+        )
         items: list[tuple[int, bytes]] = []
         if nindex:
             addr_area = b"".join(
@@ -375,6 +390,8 @@ class HolderStorage:
         # communication (Section 5.1).
         items = self._write_items(stored, payload, extra_flags)
         self.blocks.iwrite_blocks(ctx, items)
+        if self.mirror is not None:
+            self.mirror.stage(ctx, items)
         ctx.flush(self.blocks.data_win)
 
     # -- read -------------------------------------------------------------------
@@ -415,7 +432,7 @@ class HolderStorage:
                 edge_count,
                 _entries_len,
                 payload_len,
-                _,
+                crc,
             ) = _HEADER.unpack_from(blob, 0)
             if kind not in (KIND_VERTEX, KIND_EDGE):
                 if missing_ok:
@@ -446,6 +463,7 @@ class HolderStorage:
                     "app_id": app_id,
                     "edge_count": edge_count,
                     "payload_len": payload_len,
+                    "crc": crc,
                     "pos": pos,
                     "blob": blob,
                     "index_blocks": index_blocks,
@@ -501,6 +519,12 @@ class HolderStorage:
                 out.append(None)
                 continue
             payload = b"".join(info["parts"])
+            if zlib.crc32(payload) & 0xFFFFFFFF != info["crc"]:
+                ctx.rt.trace.record_corruption_detected(ctx.rank)
+                raise GdiChecksumError(
+                    f"holder at {info['primary']:#x} failed CRC32 "
+                    f"verification (payload of {len(payload)} B)"
+                )
             holder = self._parse_payload(
                 info["kind"], info["flags"], info["edge_count"], payload
             )

@@ -64,6 +64,19 @@ class VertexDirectory:
         ctx.compute(len(snap))
         return snap
 
+    def shard_vertices(self, ctx: RankContext, shard: int) -> list[int]:
+        """Snapshot of one shard's vertices (degraded-mode iteration).
+
+        After a failover the backup rank hosts both its own shard and the
+        dead rank's; collectives that walk "local vertices" walk every
+        *hosted* shard through this accessor instead.
+        """
+        _charge_shard_access(ctx, shard)
+        with self._locks[shard]:
+            snap = list(self._shards[shard])
+        ctx.compute(len(snap))
+        return snap
+
     def relocate(self, ctx: RankContext, old_vid: int, new_vid: int) -> None:
         """Move one vertex's directory entry to its new shard."""
         self.remove(ctx, old_vid)

@@ -28,13 +28,14 @@ Protocol (all via remote atomics, two network ops worst case per attempt):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..rma.faults import backoff_delay
 from ..rma.runtime import RankContext
 from ..rma.window import Window
 
-__all__ = ["RWLock", "LockTimeout", "WRITE_BIT"]
+__all__ = ["RWLock", "LockTimeout", "LockRegistry", "WRITE_BIT"]
 
 WRITE_BIT = 1 << 62
 
@@ -151,3 +152,51 @@ class RWLock:
         """(write bit set?, reader count) — diagnostics and tests only."""
         word = ctx.aget(self.window, self.rank, self.offset)
         return bool(word & WRITE_BIT), word & ~WRITE_BIT
+
+
+class LockRegistry:
+    """Per-owner bookkeeping of currently held lock words (failover aid).
+
+    The lock word itself carries no owner identity (a reader count and a
+    write bit), so when a rank crashes nobody can tell from the word alone
+    which +1s and write bits the dead rank will never release.  The
+    registry records, Python-side, which ``(rank, offset)`` words each
+    owner rank currently holds and in which mode; the failover healer uses
+    :meth:`purge` to FAA the dead rank's contributions back out, restoring
+    invariant 5 (all lock words zero at quiescence).
+
+    This is the repository's established substitution idiom for structures
+    the paper keeps in NIC-accessible memory but whose content is only
+    consulted on the control path (compare ``VertexDirectory``): the data
+    plane is untouched, only crash cleanup consults the registry.
+    """
+
+    #: lock modes mirrored from the transaction layer
+    READ = 1
+    WRITE = 2
+
+    def __init__(self) -> None:
+        self._held: dict[int, dict[tuple[int, int], int]] = {}
+        self._mu = threading.Lock()
+
+    def note_acquire(self, owner: int, rank: int, offset: int, mode: int) -> None:
+        with self._mu:
+            self._held.setdefault(owner, {})[(rank, offset)] = mode
+
+    def note_release(self, owner: int, rank: int, offset: int) -> None:
+        with self._mu:
+            locks = self._held.get(owner)
+            if locks is not None:
+                locks.pop((rank, offset), None)
+
+    def purge(self, owner: int) -> list[tuple[int, int, int]]:
+        """Remove and return ``(rank, offset, mode)`` for all locks held by
+        ``owner`` (used once when ``owner`` is declared dead)."""
+        with self._mu:
+            locks = self._held.pop(owner, {})
+        return [(r, o, m) for (r, o), m in locks.items()]
+
+    def held_by(self, owner: int) -> list[tuple[int, int, int]]:
+        with self._mu:
+            locks = self._held.get(owner, {})
+            return [(r, o, m) for (r, o), m in locks.items()]

@@ -59,6 +59,7 @@ __all__ = [
     "Checkpoint",
     "take_checkpoint",
     "recover",
+    "replay_entries_idempotent",
 ]
 
 
@@ -88,6 +89,21 @@ class CommitLog:
             seq = len(self._records)
             self._records.append(CommitRecord(seq=seq, rank=rank, entries=entries))
             return seq
+
+    def mark_aborted(self, seq: int) -> None:
+        """Tombstone a record whose commit failed after the log append.
+
+        The log-first commit protocol (replication) appends the record
+        *before* applying the writes; when the apply then fails (fenced
+        mid-commit by a failover, lock trouble, out of memory) the
+        transaction aborts and its record must not replay.  The record is
+        replaced by an empty tombstone so sequence numbers stay stable.
+        """
+        with self._lock:
+            old = self._records[seq]
+            self._records[seq] = CommitRecord(
+                seq=seq, rank=old.rank, entries=()
+            )
 
     def position(self) -> int:
         """Current log length; records with ``seq >= position`` come later."""
@@ -141,26 +157,112 @@ def recover(
     db: "GdaDatabase",
     checkpoint: Checkpoint,
     commit_log: CommitLog,
+    parallel: bool = False,
 ) -> dict[int, int]:
     """Collectively rebuild ``checkpoint`` + the log tail into empty ``db``.
 
     ``db`` is a fresh database in a fresh (post-crash) runtime;
     ``commit_log`` is the surviving log of the crashed instance.  The
-    checkpoint is restored first, then rank 0 replays the tail
-    sequentially, one ordinary write transaction per commit record (the
-    sequence order is a serialization order, so sequential replay
-    reproduces the committed state).  Returns the application-ID ->
-    internal-ID map of the restored vertices.
+    checkpoint is restored first, then the tail replays, one ordinary
+    write transaction per commit record (the sequence order is a
+    serialization order, so sequential replay reproduces the committed
+    state).  Returns the application-ID -> internal-ID map of the
+    restored vertices.
+
+    With ``parallel=True`` the tail is greedily grouped into batches of
+    records with pairwise-disjoint write sets (the application IDs each
+    record locks); records inside a batch replay concurrently across the
+    ranks, with a barrier between batches to preserve the serialization
+    order across conflicting records.  Vertex deletions lock their (only
+    dynamically known) neighbor set, so a record containing ``del_v``
+    forms a batch of its own.  The result is identical to sequential
+    replay: within a batch no record reads or writes another's vertices,
+    so any interleaving commutes.
     """
     from .checkpoint import restore
 
     vid_map = restore(ctx, db, checkpoint.snap)
-    tail = commit_log.tail(checkpoint.log_pos)
+    tail = [rec for rec in commit_log.tail(checkpoint.log_pos) if rec.entries]
+    if not parallel:
+        if ctx.rank == 0:
+            for rec in tail:
+                _replay_record(ctx, db, rec)
+        ctx.barrier()
+        return vid_map
+    # Pre-create every label the tail references (rank 0, before fanning
+    # out) so concurrent replayers never race label creation.
     if ctx.rank == 0:
-        for rec in tail:
-            _replay_record(ctx, db, rec)
+        replica = db.replica(ctx)
+        replica.sync()
+        known = {l.name for l in replica.labels}
+        for name in _tail_label_names(tail):
+            if name not in known:
+                db.create_label(ctx, name)
+                known.add(name)
     ctx.barrier()
+    for batch in _conflict_free_batches(tail):
+        for j, rec in enumerate(batch):
+            if j % ctx.nranks == ctx.rank:
+                _replay_record(ctx, db, rec)
+        ctx.barrier()
     return vid_map
+
+
+def _record_write_set(rec: CommitRecord) -> "set[int] | None":
+    """Application IDs a record's replay locks; None = unbounded (del_v)."""
+    apps: set[int] = set()
+    for e in rec.entries:
+        if e[0] == "del_v":
+            return None  # locks every (dynamically known) neighbor too
+        if e[0] in ("new_v", "upd_v"):
+            apps.add(e[1])
+        else:  # edge+/edge-/hedge+/hedge-/hedge*: locks both endpoints
+            apps.add(e[1])
+            apps.add(e[2])
+    return apps
+
+
+def _conflict_free_batches(
+    tail: "list[CommitRecord]",
+) -> "list[list[CommitRecord]]":
+    """Greedy in-order grouping into batches with disjoint write sets.
+
+    Pure function of the tail, so every rank computes the same batches.
+    """
+    batches: list[list[CommitRecord]] = []
+    current: list[CommitRecord] = []
+    busy: set[int] = set()
+    for rec in tail:
+        ws = _record_write_set(rec)
+        if ws is None:  # del_v: unbounded write set, isolate the record
+            if current:
+                batches.append(current)
+            batches.append([rec])
+            current, busy = [], set()
+            continue
+        if busy & ws:
+            batches.append(current)
+            current, busy = [], set()
+        current.append(rec)
+        busy |= ws
+    if current:
+        batches.append(current)
+    return batches
+
+
+def _tail_label_names(tail: "list[CommitRecord]") -> "set[str]":
+    names: set[str] = set()
+    for rec in tail:
+        for e in rec.entries:
+            kind = e[0]
+            if kind in ("new_v", "upd_v"):
+                names.update(e[2])
+            elif kind in ("edge+", "edge-"):
+                if e[4]:
+                    names.add(e[4])
+            elif kind in ("hedge+", "hedge*"):
+                names.update(e[4])
+    return names
 
 
 # -- replay ----------------------------------------------------------------
@@ -302,3 +404,173 @@ def _find_heavy(tx, a, b, directed: bool):
         ):
             return e
     return None
+
+
+# -- idempotent replay (failover roll-forward) ------------------------------
+def replay_entries_idempotent(
+    ctx: RankContext, db: "GdaDatabase", entries: tuple
+) -> None:
+    """Roll a possibly-torn commit's entries forward (failover redo).
+
+    A crashed rank may have applied any part of its in-flight commit
+    before dying: its own shard is rebuilt from the mirror (pre-commit
+    image) while healthy shards may already carry the commit's writes and
+    publications.  Each entry is therefore applied *tolerantly* — effects
+    already present are skipped, missing prerequisites are recreated from
+    the post-images the entries carry.  The redo transaction does not
+    re-log (the record is already in the commit log under the dead rank's
+    sequence number).
+
+    Exactness caveat: a ``edge+`` entry identical to an edge that already
+    exists is treated as already applied; graphs relying on identical
+    parallel lightweight edges within one torn commit may lose one copy.
+    """
+    replica = db.replica(ctx)
+    replica.sync()
+    label_by_name = {l.name: l for l in replica.labels}
+    ptype_by_name = {p.name: p for p in replica.ptypes}
+
+    def label_of(name: str):
+        if name not in label_by_name:
+            label_by_name[name] = db.create_label(ctx, name)
+        return label_by_name[name]
+
+    tx = db.start_transaction(ctx, write=True)
+    tx._no_log = True
+    try:
+        for entry in entries:
+            _apply_entry_idempotent(tx, entry, label_of, ptype_by_name)
+        tx.commit()
+    except BaseException:
+        if tx.open:
+            tx.abort()
+        raise
+
+
+def _apply_entry_idempotent(tx, entry: tuple, label_of, ptype_by_name) -> None:
+    kind = entry[0]
+    if kind == "del_v":
+        h = tx.find_vertex(entry[1])
+        if h is not None:
+            tx.delete_vertex(h)
+    elif kind in ("new_v", "upd_v"):
+        _, app, label_names, props = entry
+        h = tx.find_vertex(app)
+        if h is None:
+            h = tx.create_vertex(app)
+            holder = h._txv.holder
+        else:
+            holder = tx._mutate(h._txv)
+        # post-image splice: idempotent by construction
+        holder.labels = [label_of(n).int_id for n in label_names]
+        holder.properties = [
+            (ptype_by_name[n].int_id, blob) for n, blob in props
+        ]
+    elif kind == "edge+":
+        _, src, dst, directed, label_name = entry
+        pair = _endpoints_tolerant(tx, src, dst)
+        if pair is None:
+            return  # an endpoint is gone (later deleted); nothing to add
+        a, b = pair
+        want_lid = label_of(label_name).int_id if label_name else 0
+        want_dir = DIR_OUT if directed else DIR_UNDIR
+        for e in a.edges():
+            s = e._slot
+            if (
+                not s.heavy
+                and s.direction == want_dir
+                and s.dptr == b.vid
+                and s.label_id == want_lid
+            ):
+                return  # already applied before the crash
+        tx.create_edge(
+            a,
+            b,
+            directed=directed,
+            label=label_of(label_name) if label_name else None,
+        )
+    elif kind == "edge-":
+        _, src, dst, directed, label_name = entry
+        pair = _endpoints_tolerant(tx, src, dst)
+        if pair is None:
+            return
+        a, b = pair
+        want_lid = label_of(label_name).int_id if label_name else 0
+        want_dir = DIR_OUT if directed else DIR_UNDIR
+        for e in a.edges():
+            s = e._slot
+            if (
+                not s.heavy
+                and s.direction == want_dir
+                and s.dptr == b.vid
+                and s.label_id == want_lid
+            ):
+                tx.delete_edge(e)
+                return
+        # already removed before the crash
+    elif kind == "hedge+":
+        _, src, dst, directed, label_names, props = entry
+        pair = _endpoints_tolerant(tx, src, dst)
+        if pair is None:
+            return
+        a, b = pair
+        if _find_heavy(tx, a, b, directed) is not None:
+            return  # already applied
+        e = tx.create_edge(
+            a,
+            b,
+            directed=directed,
+            labels=[label_of(n) for n in label_names],
+            force_heavy=True,
+        )
+        holder = tx._load_edge_holder(e._slot.dptr).holder
+        holder.properties = [
+            (ptype_by_name[n].int_id, blob) for n, blob in props
+        ]
+    elif kind == "hedge-":
+        _, src, dst, directed = entry
+        pair = _endpoints_tolerant(tx, src, dst)
+        if pair is None:
+            return
+        a, b = pair
+        e = _find_heavy(tx, a, b, directed)
+        if e is not None:
+            tx.delete_edge(e)
+    elif kind == "hedge*":
+        _, src, dst, directed, label_names, props = entry
+        pair = _endpoints_tolerant(tx, src, dst)
+        if pair is None:
+            return
+        a, b = pair
+        e = _find_heavy(tx, a, b, directed)
+        if e is None:
+            # the holder vanished with the crash: recreate the post-image
+            e = tx.create_edge(
+                a,
+                b,
+                directed=directed,
+                labels=[label_of(n) for n in label_names],
+                force_heavy=True,
+            )
+            holder = tx._load_edge_holder(e._slot.dptr).holder
+            holder.properties = [
+                (ptype_by_name[n].int_id, blob) for n, blob in props
+            ]
+            return
+        tx._mutate(a._txv)  # take the source vertex's write lock
+        txe = tx._load_edge_holder(e._slot.dptr)
+        txe.holder.labels = [label_of(n).int_id for n in label_names]
+        txe.holder.properties = [
+            (ptype_by_name[n].int_id, blob) for n, blob in props
+        ]
+        txe.dirty = True
+    else:  # pragma: no cover - defensive
+        raise GdiStateError(f"unknown commit-log entry kind {kind!r}")
+
+
+def _endpoints_tolerant(tx, src_app: int, dst_app: int):
+    a = tx.find_vertex(src_app)
+    b = tx.find_vertex(dst_app) if dst_app != src_app else a
+    if a is None or b is None:
+        return None
+    return a, b

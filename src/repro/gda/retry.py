@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..gdi.errors import GdiTransactionCritical
-from ..rma.faults import RmaTransientError, backoff_delay
+from ..rma.faults import RmaStaleEpoch, RmaTransientError, backoff_delay
 from ..rma.runtime import RankContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -87,7 +87,18 @@ def run_transaction(
             if tx.open:
                 if isinstance(exc, RmaTransientError) and not tx.failed:
                     tx._fail("rma")
-                tx.abort()
+                try:
+                    tx.abort()
+                except RmaTransientError:
+                    # The abort itself raced a reconfiguration; the heal
+                    # below (or the failover repair) reclaims its state.
+                    tx.open = False
+            if isinstance(exc, RmaStaleEpoch):
+                # Fenced by a failover: repair the failed shard from its
+                # block mirrors before retrying against the new view.
+                heal = getattr(db, "heal", None)
+                if heal is not None:
+                    heal(ctx)
             if attempt + 1 >= policy.max_attempts:
                 raise
             stats.restarts += 1

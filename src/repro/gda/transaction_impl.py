@@ -43,6 +43,8 @@ from ..gdi.errors import (
     GdiStateError,
 )
 from ..gdi.types import Datatype, decode_value, encode_value, value_nbytes
+from ..rma.faults import RmaStaleEpoch
+from ..rma.membership import SHARD_FAILED, SHARD_REPAIRING
 from ..rma.runtime import RankContext
 from .dptr import pack_edge_uid, unpack_dptr, unpack_edge_uid
 from .holder import (
@@ -56,7 +58,7 @@ from .holder import (
     StoredHolder,
     VertexHolder,
 )
-from .locks import LockTimeout, RWLock
+from .locks import LockRegistry, LockTimeout, RWLock
 from .metadata import Label, PropertyType
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -86,6 +88,9 @@ class _TxVertex:
     vid: int
     stored: StoredHolder
     lock_mode: int = _LOCK_NONE
+    #: membership epoch at lock acquisition; a shard rehosted after this
+    #: epoch rebuilt its lock words, so the release must be skipped
+    lock_epoch: int = 0
     dirty: bool = False
     created: bool = False
     deleted: bool = False
@@ -142,6 +147,11 @@ class Transaction:
         self._created_app_ids: dict[int, int] = {}  # app_id -> vid
         self._volatile_ids: dict[int, int] = {}  # volatile token -> vid
         self._bulk_slot_apps: dict[int, int] = {}  # id(slot) -> other app ID
+        #: availability-layer state (all inert without a membership view)
+        self._mem = getattr(ctx.rt, "membership", None)
+        self._start_epoch = self._mem.epoch if self._mem is not None else 0
+        self._no_log = False  # failover redo replays without re-logging
+        self._logged_seq: int | None = None  # set between log append + apply
 
     # -- context manager: abort on error, commit must be explicit ----------
     def __enter__(self) -> "Transaction":
@@ -221,17 +231,64 @@ class Transaction:
             self._fail("lock")
             raise GdiLockFailed(str(exc)) from exc
         txv.lock_mode = want
+        if self._mem is not None:
+            txv.lock_epoch = self._mem.epoch
+        reg = self.db.lock_registry
+        if reg is not None:
+            lrank, loff = self.db.blocks.lock_location(txv.vid)
+            reg.note_acquire(
+                self.ctx.rank,
+                lrank,
+                loff,
+                LockRegistry.WRITE if want_write else LockRegistry.READ,
+            )
+
+    def _undo_lock(self, vid: int, mode: int, lock_epoch: int) -> None:
+        """Release one held lock word, failover-aware.
+
+        A shard rebuilt by a failover repair after this lock was acquired
+        had its lock words zeroed, so our contribution is already gone;
+        issuing the release anyway would corrupt the fresh word.
+        """
+        if mode == _LOCK_NONE:
+            return
+        lrank, loff = self.db.blocks.lock_location(vid)
+        reg = self.db.lock_registry
+        if reg is not None:
+            reg.note_release(self.ctx.rank, lrank, loff)
+        mem = self._mem
+
+        def rebuilt() -> bool:
+            return mem is not None and (
+                mem.shard_state(lrank) in (SHARD_FAILED, SHARD_REPAIRING)
+                or mem.rehosted_at[lrank] > lock_epoch
+            )
+
+        if rebuilt():
+            return
+        lock = self._lock_of(vid)
+        try:
+            if mode == _LOCK_READ:
+                lock.release_read(self.ctx)
+            else:
+                lock.release_write(self.ctx)
+        except RmaStaleEpoch:
+            # Fenced exactly once per reconfiguration (adopt-once); the
+            # epoch is adopted now.  Re-check whether the word survived
+            # the reconfiguration before re-issuing.
+            if rebuilt():
+                return
+            if mode == _LOCK_READ:
+                lock.release_read(self.ctx)
+            else:
+                lock.release_write(self.ctx)
 
     def _release_locks(self) -> None:
         for txv in self._vertices.values():
             if txv.created:
                 continue
-            lock = self._lock_of(txv.vid)
-            if txv.lock_mode == _LOCK_READ:
-                lock.release_read(self.ctx)
-            elif txv.lock_mode == _LOCK_WRITE:
-                lock.release_write(self.ctx)
-            txv.lock_mode = _LOCK_NONE
+            mode, txv.lock_mode = txv.lock_mode, _LOCK_NONE
+            self._undo_lock(txv.vid, mode, txv.lock_epoch)
 
     # -- vertex loading ------------------------------------------------------------
     def _load_vertex(
@@ -340,7 +397,10 @@ class Transaction:
                         )
                     continue
                 txv = _TxVertex(
-                    vid=vid, stored=stored, lock_mode=placeholder.lock_mode
+                    vid=vid,
+                    stored=stored,
+                    lock_mode=placeholder.lock_mode,
+                    lock_epoch=placeholder.lock_epoch,
                 )
                 if self.write:
                     # capture the slot identities for the commit-log diff
@@ -357,11 +417,9 @@ class Transaction:
     def _rollback_placeholder_lock(self, placeholder: _TxVertex) -> None:
         if self.collective:
             return
-        lock = self._lock_of(placeholder.vid)
-        if placeholder.lock_mode == _LOCK_READ:
-            lock.release_read(self.ctx)
-        elif placeholder.lock_mode == _LOCK_WRITE:
-            lock.release_write(self.ctx)
+        self._undo_lock(
+            placeholder.vid, placeholder.lock_mode, placeholder.lock_epoch
+        )
 
     def _index_matches(self, holder) -> dict[str, bool]:
         dtype_of = self.db.replica(self.ctx).dtype_of
@@ -828,6 +886,7 @@ class Transaction:
             if self.write:
                 self._commit_writes()
         except BaseException:
+            self._abort_logged_commit()
             self._release_locks()
             self.open = False
             stats.aborted += 1
@@ -855,8 +914,53 @@ class Transaction:
                     raise GdiNonUniqueId(
                         f"application ID {app_id} concurrently created"
                     )
-        # Heavy edge holders first so endpoint slots never dangle; all
-        # dirty edge holders write back in one batched flush.
+        replica = self.db.replica(ctx)
+        # Entry pass (no writes): partition the vertex cache and derive
+        # the replayable commit-log entries before anything is applied.
+        deletes: list[tuple] = []
+        upserts: list[tuple] = []
+        ordered = sorted(self._vertices.values(), key=lambda t: not t.deleted)
+        survivors: list[_TxVertex] = []
+        for txv in ordered:
+            if txv.deleted and txv.created:
+                continue
+            if txv.deleted:
+                deletes.append(("del_v", txv.holder.app_id))
+            elif txv.created or txv.dirty:
+                survivors.append(txv)
+                holder = txv.holder
+                upserts.append(
+                    (
+                        "new_v" if txv.created else "upd_v",
+                        holder.app_id,
+                        tuple(
+                            replica.label_by_id(l).name for l in holder.labels
+                        ),
+                        tuple(
+                            (replica.ptype_by_id(pid).name, bytes(blob))
+                            for pid, blob in holder.properties
+                        ),
+                    )
+                )
+        edge_rm, edge_add = self._edge_log_entries(replica, survivors)
+        log_entries = tuple(deletes + upserts + edge_rm + edge_add)
+        # Log-first commit: publish the commit intent, append the record,
+        # note its sequence.  No one-sided operation separates the three
+        # steps, so a crashed rank left its intent published exactly when
+        # its last record may be only partially applied — the failover
+        # healer rolls that record forward idempotently, which is what
+        # bounds backups to at most one commit behind.
+        repl = self.db.replication
+        seq: int | None = None
+        if log_entries and not self._no_log:
+            if repl is not None:
+                repl.begin_commit(ctx.rank, log_entries)
+            seq = self.db.log_commit(ctx.rank, log_entries)
+            self._logged_seq = seq
+            if repl is not None:
+                repl.note_logged(ctx.rank, seq)
+        # Apply phase.  Heavy edge holders first so endpoint slots never
+        # dangle; all dirty edge holders write back in one batched flush.
         edge_rewrites: list[StoredHolder] = []
         for txe in self._edges.values():
             if txe.deleted:
@@ -867,11 +971,6 @@ class Transaction:
             elif txe.dirty:
                 edge_rewrites.append(txe.stored)
         self.db.storage.rewrite_many(ctx, edge_rewrites)
-        replica = self.db.replica(ctx)
-        deletes: list[tuple] = []
-        upserts: list[tuple] = []
-        ordered = sorted(self._vertices.values(), key=lambda t: not t.deleted)
-        survivors: list[_TxVertex] = []
         for txv in ordered:
             if txv.deleted and txv.created:
                 self.db.blocks.release_block(ctx, txv.stored.primary)
@@ -885,9 +984,6 @@ class Transaction:
                 self.db.directory.remove(ctx, txv.vid)
                 self._apply_index_updates(txv, deleted=True)
                 self.db.storage.delete(ctx, txv.stored)
-                deletes.append(("del_v", txv.holder.app_id))
-            elif txv.created or txv.dirty:
-                survivors.append(txv)
         # One batched write-back for every created/dirty vertex holder:
         # block writes of all holders coalesce per home rank and complete
         # at a single flush (deletions above already freed their blocks,
@@ -897,27 +993,30 @@ class Transaction:
             ctx, [txv.stored for txv in survivors]
         )
         for txv in survivors:
-            holder = txv.holder
-            kind = "new_v" if txv.created else "upd_v"
             if txv.created:
-                self.db.dht.insert(ctx, holder.app_id, txv.vid)
+                self.db.dht.insert(ctx, txv.holder.app_id, txv.vid)
                 self.db.directory.add(ctx, txv.vid)
             self._apply_index_updates(txv)
-            upserts.append(
-                (
-                    kind,
-                    holder.app_id,
-                    tuple(replica.label_by_id(l).name for l in holder.labels),
-                    tuple(
-                        (replica.ptype_by_id(pid).name, bytes(blob))
-                        for pid, blob in holder.properties
-                    ),
-                )
-            )
-        edge_rm, edge_add = self._edge_log_entries(replica, survivors)
-        log_entries = deletes + upserts + edge_rm + edge_add
-        if log_entries:
-            self.db.log_commit(ctx.rank, tuple(log_entries))
+        if repl is not None:
+            repl.commit_mirrors(ctx, seq)
+        # Fully applied (and mirrored): the record is now permanent, a
+        # later failure (e.g. during lock release) must not tombstone it.
+        self._logged_seq = None
+
+    def _abort_logged_commit(self) -> None:
+        """Withdraw a commit that failed between log append and apply end.
+
+        The log-first protocol appends the record before applying the
+        writes; an apply failure (fenced mid-commit by a failover, lock
+        trouble, out of blocks) aborts the transaction, so its record is
+        tombstoned (entries cleared) to keep replay equal to the committed
+        state, and any staged mirror traffic is withdrawn.
+        """
+        if self._logged_seq is not None:
+            self.db.commit_log.mark_aborted(self._logged_seq)
+            self._logged_seq = None
+        if self.db.replication is not None and self.write:
+            self.db.replication.abort_commit(self.ctx)
 
     def _edge_log_entries(
         self, replica, survivors: "list[_TxVertex]"
@@ -1018,17 +1117,33 @@ class Transaction:
             eidx.update_on_commit(self.ctx, txv.vid, before, after)
 
     def _rollback_created(self) -> None:
-        for txv in self._vertices.values():
-            if txv.created:
-                self.db.blocks.release_block(self.ctx, txv.stored.primary)
-        for txe in self._edges.values():
-            if txe.created:
-                self.db.blocks.release_block(self.ctx, txe.stored.primary)
+        mem = self._mem
+        created = [
+            t.stored.primary for t in self._vertices.values() if t.created
+        ] + [t.stored.primary for t in self._edges.values() if t.created]
+        for primary in created:
+            if (
+                mem is not None
+                and mem.rehosted_at[unpack_dptr(primary).rank]
+                > self._start_epoch
+            ):
+                # The shard was rebuilt after this transaction allocated
+                # the block: the free-list reconstruction (complement of
+                # the mirrored live set) already reclaimed it, a release
+                # now would double-free.
+                continue
+            try:
+                self.db.blocks.release_block(self.ctx, primary)
+            except RmaStaleEpoch:
+                # Fenced: the shard reconfigured since the allocation, so
+                # the rebuild reclaimed the block (see above).
+                pass
 
     def abort(self) -> None:
         """``GDI_AbortTransaction``: discard all local changes."""
         if not self.open:
             raise GdiStateError("transaction already closed")
+        self._abort_logged_commit()
         self._rollback_created()
         self._release_locks()
         self.open = False

@@ -23,6 +23,7 @@ __all__ = [
     "GdiReadOnly",
     "GdiNonUniqueId",
     "GdiSizeLimit",
+    "GdiChecksumError",
 ]
 
 
@@ -107,3 +108,17 @@ class GdiSizeLimit(GdiError):
     """A property value violates its declared size type/limit."""
 
     code = ErrorCode.ERROR_SIZE_LIMIT
+
+
+class GdiChecksumError(GdiTransactionCritical):
+    """A holder payload failed its CRC32 verification.
+
+    Raised when the checksum stored in a holder header does not match the
+    payload read back from the block store (silent corruption), or when a
+    mirrored block fails verification during failover promotion.
+    Transaction-critical: retrying re-reads the same corrupt bytes, so the
+    transaction cannot complete; recovery requires restoring the affected
+    shard from its replica or a checkpoint.
+    """
+
+    code = ErrorCode.ERROR_STATE

@@ -20,8 +20,16 @@ from .faults import (
     FaultInjector,
     FaultPlan,
     RmaRankDead,
+    RmaStaleEpoch,
     RmaTransientError,
     backoff_delay,
+)
+from .membership import (
+    SHARD_FAILED,
+    SHARD_NORMAL,
+    SHARD_REHOSTED,
+    SHARD_REPAIRING,
+    ClusterMembership,
 )
 from .runtime import BatchRequest, RankContext, Request, RmaError, RmaRuntime
 from .trace import RankCounters, TraceRecorder
@@ -42,8 +50,14 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "RmaRankDead",
+    "RmaStaleEpoch",
     "RmaTransientError",
     "backoff_delay",
+    "ClusterMembership",
+    "SHARD_NORMAL",
+    "SHARD_FAILED",
+    "SHARD_REPAIRING",
+    "SHARD_REHOSTED",
     "RankContext",
     "RmaError",
     "RmaRuntime",

@@ -28,6 +28,18 @@ class CollectiveAbort(RuntimeError):
     """Raised in every waiting rank when a peer dies mid-collective."""
 
 
+class _Dead:
+    """Sentinel contribution of a crashed, excluded participant."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return "<dead contribution>"
+
+
+_DEAD = _Dead()
+
+
 def _sum(a, b):
     return a + b
 
@@ -108,6 +120,14 @@ class CollectiveEngine:
         self._slots: dict[int, list] = {}
         self._ready: set[int] = set()
         self._left: dict[int, int] = {}
+        #: participant count a published generation waits to release
+        self._readers: dict[int, int] = {}
+        #: generations deterministically aborted by a mid-collective crash
+        self._aborted: set[int] = set()
+        #: crashed ranks permanently excluded from the rendezvous (only
+        #: populated when the runtime has a membership view: collectives
+        #: then complete over the live view instead of aborting)
+        self._excluded: set[int] = set()
         self._poisoned: BaseException | None = None
 
     # -- failure handling -------------------------------------------------
@@ -127,9 +147,88 @@ class CollectiveEngine:
                 f"collective aborted: peer rank failed ({self._poisoned!r})"
             )
 
+    def reset_for_new_run(self) -> None:
+        """Drop the poison and half-entered rendezvous state of an
+        aborted SPMD phase.
+
+        Called by the executor when a runtime is reused for another
+        phase: no rank threads exist between phases, so the pending
+        generations can never be completed and would otherwise abort the
+        next phase's first collective.  Crashed ranks stay excluded (the
+        generation counter also keeps advancing, so a stale ``gen`` can
+        never collide with a live one).
+        """
+        with self._cond:
+            self._poisoned = None
+            self._arrived = 0
+            self._slots.clear()
+            self._ready.clear()
+            self._left.clear()
+            self._readers.clear()
+            self._aborted.clear()
+
     # -- core rendezvous ---------------------------------------------------
+    def _raise_dead(self, detail: str):
+        from .faults import RmaRankDead  # local: avoid an import cycle
+
+        raise RmaRankDead(detail)
+
+    def _try_publish(self, gen: int) -> bool:
+        """Publish ``gen`` if every non-excluded rank has arrived."""
+        expected = self._nranks - len(self._excluded)
+        if self._arrived < expected:
+            return False
+        self._arrived = 0
+        self._generation += 1
+        self._ready.add(gen)
+        self._readers[gen] = expected
+        self._cond.notify_all()
+        return True
+
+    def _scan_for_dead(self, gen: int) -> None:
+        """Detect participants that died before arriving in ``gen``.
+
+        Without a membership view the whole generation is aborted and
+        every participant deterministically observes ``RmaRankDead``
+        (satellite fix: a mid-collective crash used to hang waiters until
+        an external poison).  With a membership view the dead rank is
+        excluded, its shard fails over, and the collective completes over
+        the live view with a sentinel in the dead rank's slot.
+        """
+        faults = getattr(self._rt, "faults", None)
+        if faults is None or not faults.dead:
+            return
+        slots = self._slots.get(gen)
+        if slots is None:
+            return
+        missing = [
+            r
+            for r in range(self._nranks)
+            if r in faults.dead
+            and r not in self._excluded
+            and slots[r] is _DEAD
+        ]
+        if not missing:
+            return
+        mem = getattr(self._rt, "membership", None)
+        for r in missing:
+            if mem is None or not mem.note_failure(r):
+                # fatal: no live backup can take over -> abort this
+                # generation for everyone, deterministically
+                self._aborted.add(gen)
+                self._arrived = 0
+                self._cond.notify_all()
+                return
+            self._excluded.add(r)
+        self._try_publish(gen)
+
     def _exchange(self, rank: int, value: Any) -> list:
-        """Deposit ``value`` and return the list of all contributions."""
+        """Deposit ``value`` and return the list of all contributions.
+
+        Contributions of crashed, excluded ranks come back as the
+        module-level ``_DEAD`` sentinel; the per-collective wrappers skip
+        (or, for rooted collectives, reject) them.
+        """
         faults = getattr(self._rt, "faults", None)
         if faults is not None:
             # a crashed rank must not keep participating in collectives
@@ -137,23 +236,36 @@ class CollectiveEngine:
         with self._cond:
             self._check_poison()
             gen = self._generation
-            slots = self._slots.setdefault(gen, [None] * self._nranks)
+            if gen in self._aborted:
+                self._raise_dead(
+                    "collective aborted: a participant crashed mid-collective"
+                )
+            slots = self._slots.setdefault(gen, [_DEAD] * self._nranks)
             slots[rank] = value
             self._arrived += 1
-            if self._arrived == self._nranks:
-                self._arrived = 0
-                self._generation += 1
-                self._ready.add(gen)
-                self._cond.notify_all()
-            else:
+            if not self._try_publish(gen):
                 while gen not in self._ready:
                     self._check_poison()
-                    self._cond.wait(timeout=0.5)
+                    if gen in self._aborted:
+                        self._raise_dead(
+                            "collective aborted: a participant crashed "
+                            "mid-collective"
+                        )
+                    self._scan_for_dead(gen)
+                    if gen in self._ready or gen in self._aborted:
+                        continue
+                    self._cond.wait(timeout=0.05)
+                if gen in self._aborted:
+                    self._raise_dead(
+                        "collective aborted: a participant crashed "
+                        "mid-collective"
+                    )
             result = self._slots[gen]
             self._left[gen] = self._left.get(gen, 0) + 1
-            if self._left[gen] == self._nranks:
+            if self._left[gen] >= self._readers.get(gen, self._nranks):
                 del self._slots[gen]
                 del self._left[gen]
+                self._readers.pop(gen, None)
                 self._ready.discard(gen)
             return result
 
@@ -177,14 +289,22 @@ class CollectiveEngine:
             )
         self._rt.trace.record("collective", rank, rank, "-", 0, 0)
 
+    @staticmethod
+    def _live_pairs(contribs: list) -> list[tuple[int, Any]]:
+        """(rank, (clock, value)) pairs of the live contributions."""
+        return [(i, c) for i, c in enumerate(contribs) if c is not _DEAD]
+
     # -- collectives -------------------------------------------------------
     def barrier(self, rank: int) -> None:
         contribs = self._exchange(rank, self._entry_clock(rank))
-        self._sync_clocks(rank, self._rt.cost.barrier(self._nranks), contribs)
+        clocks = [c for c in contribs if c is not _DEAD]
+        self._sync_clocks(rank, self._rt.cost.barrier(self._nranks), clocks)
 
     def bcast(self, rank: int, value: Any, root: int = 0) -> Any:
         contribs = self._exchange(rank, (self._entry_clock(rank), value))
-        clocks = [c for c, _ in contribs]
+        if contribs[root] is _DEAD:
+            self._raise_dead(f"bcast root {root} crashed mid-collective")
+        clocks = [c for _, (c, _v) in self._live_pairs(contribs)]
         result = contribs[root][1]
         cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(result))
         self._sync_clocks(rank, cost, clocks)
@@ -193,42 +313,46 @@ class CollectiveEngine:
     def reduce(self, rank: int, value: Any, op="sum", root: int = 0) -> Any:
         fn = _resolve_op(op)
         contribs = self._exchange(rank, (self._entry_clock(rank), value))
-        clocks = [c for c, _ in contribs]
+        pairs = self._live_pairs(contribs)
+        clocks = [c for _, (c, _v) in pairs]
         cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(value))
         self._sync_clocks(rank, cost, clocks)
         if rank != root:
             return None
-        acc = contribs[0][1]
-        for _, v in contribs[1:]:
+        acc = pairs[0][1][1]
+        for _, (_, v) in pairs[1:]:
             acc = fn(acc, v)
         return acc
 
     def allreduce(self, rank: int, value: Any, op="sum") -> Any:
         fn = _resolve_op(op)
         contribs = self._exchange(rank, (self._entry_clock(rank), value))
-        clocks = [c for c, _ in contribs]
+        pairs = self._live_pairs(contribs)
+        clocks = [c for _, (c, _v) in pairs]
         cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(value))
         self._sync_clocks(rank, cost, clocks)
-        acc = contribs[0][1]
-        for _, v in contribs[1:]:
+        acc = pairs[0][1][1]
+        for _, (_, v) in pairs[1:]:
             acc = fn(acc, v)
         return acc
 
     def gather(self, rank: int, value: Any, root: int = 0) -> list | None:
         contribs = self._exchange(rank, (self._entry_clock(rank), value))
-        clocks = [c for c, _ in contribs]
+        pairs = self._live_pairs(contribs)
+        clocks = [c for _, (c, _v) in pairs]
         cost = self._rt.cost.gather(self._nranks, payload_nbytes(value))
         self._sync_clocks(rank, cost, clocks)
         if rank != root:
             return None
-        return [v for _, v in contribs]
+        return [v for _, (_, v) in pairs]
 
     def allgather(self, rank: int, value: Any) -> list:
         contribs = self._exchange(rank, (self._entry_clock(rank), value))
-        clocks = [c for c, _ in contribs]
+        pairs = self._live_pairs(contribs)
+        clocks = [c for _, (c, _v) in pairs]
         cost = self._rt.cost.gather(self._nranks, payload_nbytes(value))
         self._sync_clocks(rank, cost, clocks)
-        return [v for _, v in contribs]
+        return [v for _, (_, v) in pairs]
 
     def scatter(self, rank: int, values: Sequence | None, root: int = 0) -> Any:
         if rank == root:
@@ -237,7 +361,9 @@ class CollectiveEngine:
                     "scatter root must supply exactly one value per rank"
                 )
         contribs = self._exchange(rank, (self._entry_clock(rank), values))
-        clocks = [c for c, _ in contribs]
+        if contribs[root] is _DEAD:
+            self._raise_dead(f"scatter root {root} crashed mid-collective")
+        clocks = [c for _, (c, _v) in self._live_pairs(contribs)]
         root_values = contribs[root][1]
         cost = self._rt.cost.tree_collective(
             self._nranks, payload_nbytes(root_values[rank])
@@ -246,36 +372,48 @@ class CollectiveEngine:
         return root_values[rank]
 
     def alltoall(self, rank: int, values: Sequence) -> list:
-        """Personalized exchange: ``values[j]`` is sent to rank ``j``."""
+        """Personalized exchange: ``values[j]`` is sent to rank ``j``.
+
+        The returned list always has ``nranks`` entries; the slot of a
+        crashed, excluded source is ``None`` (degraded mode only).
+        """
         if len(values) != self._nranks:
             raise ValueError("alltoall requires exactly one value per peer")
         contribs = self._exchange(rank, (self._entry_clock(rank), list(values)))
-        clocks = [c for c, _ in contribs]
+        clocks = [c for _, (c, _v) in self._live_pairs(contribs)]
         per_pair = max(payload_nbytes(v) for v in values) if values else 0
         cost = self._rt.cost.alltoall(self._nranks, per_pair)
         self._sync_clocks(rank, cost, clocks)
-        return [contribs[src][1][rank] for src in range(self._nranks)]
+        return [
+            contribs[src][1][rank] if contribs[src] is not _DEAD else None
+            for src in range(self._nranks)
+        ]
 
     def scan(self, rank: int, value: Any, op="sum") -> Any:
-        """Inclusive prefix reduction over rank order."""
+        """Inclusive prefix reduction over live ranks in rank order."""
         fn = _resolve_op(op)
         contribs = self._exchange(rank, (self._entry_clock(rank), value))
-        clocks = [c for c, _ in contribs]
+        pairs = self._live_pairs(contribs)
+        clocks = [c for _, (c, _v) in pairs]
         cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(value))
         self._sync_clocks(rank, cost, clocks)
-        acc = contribs[0][1]
-        for _, v in contribs[1 : rank + 1]:
+        mine = [(i, v) for i, (_, v) in pairs if i <= rank]
+        acc = mine[0][1]
+        for _, v in mine[1:]:
             acc = fn(acc, v)
         return acc
 
     def exscan(self, rank: int, value: Any, op="sum", initial: Any = 0) -> Any:
-        """Exclusive prefix reduction; rank 0 receives ``initial``."""
+        """Exclusive prefix reduction; the first live rank receives ``initial``."""
         fn = _resolve_op(op)
         contribs = self._exchange(rank, (self._entry_clock(rank), value))
-        clocks = [c for c, _ in contribs]
+        pairs = self._live_pairs(contribs)
+        clocks = [c for _, (c, _v) in pairs]
         cost = self._rt.cost.tree_collective(self._nranks, payload_nbytes(value))
         self._sync_clocks(rank, cost, clocks)
         acc = initial
-        for _, v in contribs[:rank]:
+        for i, (_, v) in pairs:
+            if i >= rank:
+                break
             acc = fn(acc, v)
         return acc

@@ -96,6 +96,12 @@ class InterleavingScheduler:
             self._stopped = True
             self._cond.notify_all()
 
+    def restart(self) -> None:
+        """Re-arm a scheduler stopped by a failed phase (no waiters exist
+        between phases, so flipping the flag back is safe)."""
+        with self._cond:
+            self._stopped = False
+
 
 @dataclass
 class ThreadExecutor:
@@ -125,6 +131,19 @@ class ThreadExecutor:
             try:
                 results[rank] = fn(ctx, *args)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
+                from .faults import RmaRankDead
+
+                if (
+                    isinstance(exc, RmaRankDead)
+                    and getattr(runtime, "membership", None) is not None
+                    and runtime.faults is not None
+                    and rank in runtime.faults.dead
+                ):
+                    # degraded mode: the planned crash victim dies silently;
+                    # survivors keep serving through the failover instead of
+                    # the whole SPMD run aborting
+                    results[rank] = None
+                    return
                 with failures_lock:
                     failures.append((rank, exc))
                 runtime.collectives.poison(exc)
@@ -192,5 +211,11 @@ def run_spmd(
             )
         if faults is not None:
             runtime.faults = faults
+        # a previous phase may have ended in an abort: clear the stale
+        # poison / half-entered generations and revive the scheduler so
+        # the next phase starts from a clean rendezvous
+        runtime.collectives.reset_for_new_run()
+        if runtime.scheduler is not None:
+            runtime.scheduler.restart()
     results = ThreadExecutor().run(runtime, fn, args_per_rank)
     return runtime, results

@@ -16,9 +16,20 @@ every one-sided operation:
   issue is charged ``factor`` times its modeled cost.
 * **rank crashes** — once the global operation counter reaches
   ``crash_at_op``, ``crash_rank`` is marked dead; any subsequent
-  operation issued by it or targeting it raises :class:`RmaRankDead`
-  (fatal: the run aborts and recovery must rebuild from a checkpoint
-  plus the commit-log tail, see :mod:`repro.gda.recovery`).
+  operation issued by it raises :class:`RmaRankDead`.  What an op
+  *targeting* the dead rank sees depends on whether the runtime carries
+  a :class:`~repro.rma.membership.ClusterMembership`: without one the
+  crash is fatal (:class:`RmaRankDead`; the run aborts and recovery must
+  rebuild from a checkpoint plus the commit-log tail, see
+  :mod:`repro.gda.recovery`).  With one, the dead rank's shard fails
+  over to its backup, the membership epoch bumps, and stale operations
+  are **fenced** with :class:`RmaStaleEpoch` — a *retryable* error the
+  existing transaction retry machinery absorbs after the GDA layer heals
+  the shard from its block mirrors (:mod:`repro.gda.replication`).
+* **payload corruption** — once the counter reaches ``corrupt_at_op``,
+  bits are flipped in ``corrupt_rank``'s segment of a window, proving
+  that the per-block CRC32 checksums of the GDA layer detect silent
+  corruption on read and on failover promotion.
 
 Everything is a pure function of ``(FaultPlan.seed, global op number,
 origin rank)``, so a storm replays identically under the
@@ -31,10 +42,12 @@ import threading
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from .membership import SHARD_NORMAL
 from .runtime import RmaError
 
 __all__ = [
     "RmaTransientError",
+    "RmaStaleEpoch",
     "RmaRankDead",
     "FaultPlan",
     "FaultInjector",
@@ -50,11 +63,27 @@ class RmaTransientError(RmaError):
     """
 
 
+class RmaStaleEpoch(RmaTransientError):
+    """The operation carried a stale membership epoch and was fenced.
+
+    Raised when an op targets a shard that failed over or was rehosted
+    since the issuer last adopted an epoch, or a shard whose repair is
+    still in flight.  Subclasses :class:`RmaTransientError` so the
+    existing transaction retry machinery absorbs it: the aborted
+    transaction heals the shard (``GdaDatabase.heal``), adopts the new
+    epoch, and restarts against the reconfigured view.
+    """
+
+
 class RmaRankDead(RmaError):
     """A rank has crashed; the operation touched it and cannot complete.
 
     Fatal: no retry can succeed.  The surviving state must be recovered
     into a fresh runtime from the last checkpoint plus the commit log.
+    (With a membership view and a live backup, ops targeting the dead
+    rank's *shard* get the retryable :class:`RmaStaleEpoch` instead;
+    RmaRankDead remains for the dead issuer itself and for the
+    no-backup fallback.)
     """
 
 
@@ -119,6 +148,16 @@ class FaultPlan:
     crash_rank / crash_at_op:
         When the global operation counter reaches ``crash_at_op``,
         ``crash_rank`` dies; ``None`` disables crashing.
+    corrupt_rank / corrupt_at_op:
+        When the counter reaches ``corrupt_at_op``, a byte in
+        ``corrupt_rank``'s segment of a window is bit-flipped (once);
+        ``None`` disables corruption.
+    corrupt_window:
+        Substring selecting which window to corrupt (e.g. ``".blocks.data"``);
+        ``None`` picks the largest allocated window.
+    corrupt_offset:
+        Byte offset inside the chosen segment to flip; ``None`` draws a
+        seeded offset.
     """
 
     seed: int = 0
@@ -129,6 +168,10 @@ class FaultPlan:
     stragglers: Mapping[int, float] = field(default_factory=dict)
     crash_rank: int | None = None
     crash_at_op: int | None = None
+    corrupt_rank: int | None = None
+    corrupt_at_op: int | None = None
+    corrupt_window: str | None = None
+    corrupt_offset: int | None = None
 
 
 class FaultInjector:
@@ -143,6 +186,7 @@ class FaultInjector:
         self.plan = plan
         self.dead: set[int] = set()
         self._n_ops = 0
+        self._corrupt_done = False
         self._lock = threading.Lock()
 
     @property
@@ -151,9 +195,10 @@ class FaultInjector:
         return self._n_ops
 
     # -- internals ---------------------------------------------------------
-    def _tick(self) -> int:
-        """Advance the global op counter and trigger a scheduled crash."""
+    def _tick(self, rt) -> int:
+        """Advance the global op counter and trigger scheduled faults."""
         p = self.plan
+        corrupt_now = False
         with self._lock:
             self._n_ops += 1
             n = self._n_ops
@@ -163,7 +208,37 @@ class FaultInjector:
                 and n >= p.crash_at_op
             ):
                 self.dead.add(p.crash_rank)
-            return n
+            if (
+                p.corrupt_rank is not None
+                and p.corrupt_at_op is not None
+                and n >= p.corrupt_at_op
+                and not self._corrupt_done
+            ):
+                self._corrupt_done = True
+                corrupt_now = True
+        if corrupt_now:
+            self._apply_corruption(rt)
+        return n
+
+    def _apply_corruption(self, rt) -> None:
+        """Flip one byte in the victim rank's segment of a window."""
+        p = self.plan
+        with rt._windows_lock:
+            wins = [w for w in rt._windows.values() if not w.freed]
+        if p.corrupt_window is not None:
+            wins = [w for w in wins if p.corrupt_window in w.name]
+        if not wins:
+            return  # nothing allocated yet; corruption is lost, not deferred
+        win = max(wins, key=lambda w: w.size)
+        if p.corrupt_offset is not None:
+            off = p.corrupt_offset
+        else:
+            off = 1 + _mix64(p.seed, 0xC0FFEE, p.corrupt_rank) % max(
+                1, win.size - 1
+            )
+        raw = win.read(p.corrupt_rank, off, 1)
+        win.write(p.corrupt_rank, off, bytes([raw[0] ^ 0x5A]))
+        rt.trace.record_corruption(p.corrupt_rank)
 
     def check_alive(self, *ranks: int) -> None:
         """Raise :class:`RmaRankDead` if any of ``ranks`` has crashed."""
@@ -201,15 +276,89 @@ class FaultInjector:
             rt.trace.record_retry(origin)
             rt.trace.record_backoff(origin, delay)
 
+    # -- membership-aware liveness / fencing -------------------------------
+    def _guard(self, rt, origin: int, targets) -> None:
+        """Liveness + epoch-fence check for one op issue.
+
+        Without a membership view this is the legacy behavior: any dead
+        participant is fatal (:class:`RmaRankDead`).  With one, the
+        issuer's epoch is checked against each target shard's
+        reconfiguration history and a crash of the *target* becomes a
+        fenced, retryable :class:`RmaStaleEpoch` whenever a live backup
+        can take over.
+        """
+        if origin in self.dead:
+            raise RmaRankDead(f"rank {origin} crashed")
+        mem = getattr(rt, "membership", None)
+        if mem is None:
+            self.check_alive(*targets)
+            return
+        # every op heartbeats its issuer; stale heartbeats raise suspicion,
+        # confirmed against the injector's ground truth (no false positives)
+        mem.heartbeat(origin, rt.clocks[origin])
+        for s in mem.suspects(rt.clocks[origin]):
+            if s in self.dead:
+                mem.note_failure(s)
+        for t in targets:
+            if t == origin:
+                continue
+            state = mem.shard_state(t)
+            if state == SHARD_NORMAL:
+                if t in self.dead:
+                    # first op-failure evidence: initiate the failover
+                    if mem.note_failure(t):
+                        rt.trace.record_fence(origin)
+                        raise RmaStaleEpoch(
+                            f"shard {t} failed over to rank "
+                            f"{mem.host_of(t)} (epoch {mem.epoch}); "
+                            f"heal and retry"
+                        )
+                    raise RmaRankDead(
+                        f"rank {t} crashed and its backup "
+                        f"{mem.backup_of(t)} is dead too"
+                    )
+                continue
+            if not mem.serviceable(t, origin):
+                rt.trace.record_fence(origin)
+                raise RmaStaleEpoch(
+                    f"shard {t} is {state} (epoch {mem.epoch}); "
+                    f"heal and retry"
+                )
+            if not mem.check_epoch(origin, t):
+                rt.trace.record_fence(origin)
+                raise RmaStaleEpoch(
+                    f"op carried stale epoch for rehosted shard {t}; "
+                    f"adopted epoch {mem.epoch}, retry"
+                )
+
+    def pending_fate(self, rt, origin: int, target: int) -> str | None:
+        """Fate of a pending non-blocking op at completion time.
+
+        Returns ``None`` (completes normally), ``"stale"`` (shard
+        reconfigured under the op: fenced, retryable), or ``"dead"``
+        (unreachable, fatal).
+        """
+        if target not in self.dead:
+            return None
+        mem = getattr(rt, "membership", None)
+        if mem is None:
+            return "dead"
+        state = mem.shard_state(target)
+        if state == SHARD_NORMAL:
+            return "stale" if mem.note_failure(target) else "dead"
+        if mem.serviceable(target, origin) and mem.check_epoch(origin, target):
+            return None
+        return "stale"
+
     # -- runtime hooks ------------------------------------------------------
     def before_op(self, rt, origin: int, target: int, opcost: float) -> None:
         """Called by the runtime before a scalar one-sided op or flush."""
-        n = self._tick()
-        self.check_alive(origin, target)
+        n = self._tick(rt)
+        self._guard(rt, origin, (target,))
         self._inject(rt, n, origin, opcost)
 
     def before_batch(self, rt, origin: int, targets, opcost: float) -> None:
         """Called before a batched op: one doorbell, one fault draw."""
-        n = self._tick()
-        self.check_alive(origin, *targets)
+        n = self._tick(rt)
+        self._guard(rt, origin, targets)
         self._inject(rt, n, origin, opcost)

@@ -217,6 +217,10 @@ class RmaRuntime:
         self.clocks = [0.0] * nranks
         self.scheduler = scheduler
         self.faults = faults
+        #: optional :class:`~repro.rma.membership.ClusterMembership`; when
+        #: set, rank crashes fail over to backups (epoch fencing) instead
+        #: of being fatal, and collectives complete over the live view.
+        self.membership = None
         self._windows: dict[str, Window] = {}
         self._windows_lock = threading.Lock()
         self._pending: list[list[_PendingOp]] = [[] for _ in range(nranks)]
@@ -591,7 +595,11 @@ class RankContext:
         inj = rt.faults
         if inj is not None and inj.dead:
             inj.check_alive(self.rank)
-            bad = [op for op in chosen if op.target in inj.dead]
+            fates = {
+                id(op): inj.pending_fate(rt, self.rank, op.target)
+                for op in chosen
+            }
+            bad = [op for op in chosen if fates[id(op)] is not None]
             if bad:
                 # the message can never complete: fail the ops so waiters
                 # see a clear error instead of stale data
@@ -600,11 +608,16 @@ class RankContext:
                 rt._pending[self.rank] = [
                     op for op in pending if not (op.done or op.failed)
                 ]
-                from .faults import RmaRankDead
+                from .faults import RmaRankDead, RmaStaleEpoch
 
-                raise RmaRankDead(
-                    f"pending operation towards crashed rank "
-                    f"{bad[0].target} cannot complete"
+                if any(fates[id(op)] == "dead" for op in bad):
+                    raise RmaRankDead(
+                        f"pending operation towards crashed rank "
+                        f"{bad[0].target} cannot complete"
+                    )
+                raise RmaStaleEpoch(
+                    f"pending operation towards reconfigured shard "
+                    f"{bad[0].target} was fenced; heal and retry"
                 )
         p = rt.cost.profile
         any_remote = any(op.target != self.rank for op in chosen)

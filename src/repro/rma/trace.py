@@ -45,6 +45,18 @@ class RankCounters:
     op_retries: int = 0
     backoff_time: float = 0.0
     straggler_time: float = 0.0
+    #: availability-layer accounting (:mod:`repro.rma.membership`,
+    #: :mod:`repro.gda.replication`): ``mirrored_blocks``/``mirrored_bytes``
+    #: count primary-backup block replication traffic, ``epoch_fences`` the
+    #: stale-epoch rejections, ``corruptions_injected``/``corruptions_detected``
+    #: the bit-flip faults and their CRC32 detections, ``shard_repairs`` the
+    #: failover reconstructions this rank performed.
+    mirrored_blocks: int = 0
+    mirrored_bytes: int = 0
+    epoch_fences: int = 0
+    corruptions_injected: int = 0
+    corruptions_detected: int = 0
+    shard_repairs: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -69,6 +81,12 @@ class RankCounters:
             "op_retries": self.op_retries,
             "backoff_time": self.backoff_time,
             "straggler_time": self.straggler_time,
+            "mirrored_blocks": self.mirrored_blocks,
+            "mirrored_bytes": self.mirrored_bytes,
+            "epoch_fences": self.epoch_fences,
+            "corruptions_injected": self.corruptions_injected,
+            "corruptions_detected": self.corruptions_detected,
+            "shard_repairs": self.shard_repairs,
         }
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -151,6 +169,29 @@ class TraceRecorder:
     def record_straggler(self, origin: int, seconds: float) -> None:
         """Account ``seconds`` of straggler slowdown charged to ``origin``."""
         self.counters[origin].straggler_time += seconds
+
+    # -- availability-layer accounting -------------------------------------
+    def record_mirror(self, origin: int, nblocks: int, nbytes: int) -> None:
+        """Account ``nblocks`` blocks (``nbytes`` payload) mirrored to a backup."""
+        c = self.counters[origin]
+        c.mirrored_blocks += nblocks
+        c.mirrored_bytes += nbytes
+
+    def record_fence(self, origin: int) -> None:
+        """Account one stale-epoch fence rejection at ``origin``."""
+        self.counters[origin].epoch_fences += 1
+
+    def record_corruption(self, rank: int) -> None:
+        """Account one injected bit-flip in ``rank``'s memory."""
+        self.counters[rank].corruptions_injected += 1
+
+    def record_corruption_detected(self, origin: int) -> None:
+        """Account one CRC32 checksum mismatch detected by ``origin``."""
+        self.counters[origin].corruptions_detected += 1
+
+    def record_repair(self, origin: int) -> None:
+        """Account one failover shard reconstruction performed by ``origin``."""
+        self.counters[origin].shard_repairs += 1
 
     # -- aggregation ------------------------------------------------------
     def total(self, field_name: str) -> int:

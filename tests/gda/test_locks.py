@@ -140,6 +140,71 @@ def test_write_bit_value():
     assert WRITE_BIT == 1 << 62
 
 
+@pytest.mark.parametrize("seed", [2, 9, 17])
+def test_lock_storm_escalates_cleanly_under_contention(seed):
+    """Satellite: a seeded contention storm on one hot vertex must hit
+    the backoff caps and escalate as the transaction-critical
+    GdiLockFailed (never deadlock), and quiescence must leave zero
+    leaked lock words or blocks."""
+    from repro.gda import GdaConfig, GdaDatabase
+    from repro.gda.consistency import check_consistency
+    from repro.gdi import Datatype
+    from repro.gdi.errors import GdiLockFailed, GdiTransactionCritical
+
+    cfg = GdaConfig(blocks_per_rank=512, lock_max_retries=2)
+    rounds = 3
+
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, cfg)
+        if ctx.rank == 0:
+            db.create_property_type(ctx, "ts", dtype=Datatype.INT64)
+            tx = db.start_transaction(ctx, write=True)
+            tx.create_vertex(0)
+            tx.commit()
+        ctx.barrier()
+        db.replica(ctx).sync()
+        ts = db.property_type(ctx, "ts")
+        timeouts = commits = 0
+        for rnd in range(rounds):
+            holder = rnd % ctx.nranks
+            if ctx.rank == holder:
+                # take the hot vertex's write lock and sit on it while
+                # every other rank storms against its retry budget
+                tx = db.start_transaction(ctx, write=True)
+                tx.find_vertex(0).set_property(ts, rnd)
+                ctx.barrier()
+                ctx.barrier()  # contenders have all timed out by now
+                tx.commit()
+                commits += 1
+            else:
+                ctx.barrier()
+                tx = db.start_transaction(ctx, write=True)
+                try:
+                    tx.find_vertex(0).set_property(ts, -1)
+                    tx.commit()
+                    commits += 1
+                except GdiLockFailed as exc:
+                    # escalation is transaction-critical: the failed tx
+                    # must abort (and leave no lock word behind)
+                    assert isinstance(exc, GdiTransactionCritical)
+                    assert tx.failed
+                    tx.abort()
+                    timeouts += 1
+                ctx.barrier()
+            ctx.barrier()  # round quiesce
+        total_timeouts = ctx.allreduce(timeouts)
+        total_commits = ctx.allreduce(commits)
+        # every contender of every round hit the cap and escalated;
+        # every holder committed (progress: no deadlock, no livelock)
+        assert total_timeouts == rounds * (ctx.nranks - 1)
+        assert total_commits == rounds
+        report = check_consistency(ctx, db)  # incl. lock-word/block leaks
+        assert report.ok, report.problems[:5]
+        return timeouts, commits
+
+    run_spmd(4, prog, seed=seed)
+
+
 @settings(deadline=None, max_examples=10)
 @given(seed=st.integers(min_value=0, max_value=10_000))
 def test_mutual_exclusion_under_interleavings(seed):

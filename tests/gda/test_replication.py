@@ -1,0 +1,212 @@
+"""Availability-layer tests: block mirroring, commit lag, CRC32 integrity,
+and live failover of a crashed shard."""
+
+import zlib
+
+import pytest
+
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gda.consistency import check_consistency
+from repro.gda.dptr import unpack_dptr
+from repro.gda.retry import RetryPolicy, run_transaction
+from repro.gdi import Datatype
+from repro.gdi.errors import GdiChecksumError
+from repro.rma import run_spmd
+from repro.rma.faults import FaultPlan
+from repro.rma.membership import SHARD_REHOSTED
+
+CFG = GdaConfig(blocks_per_rank=1024, replication=True)
+
+
+def _make_graph(ctx, db, n=12):
+    """Small graph whose vertices spread over every shard."""
+    if ctx.rank == 0:
+        db.create_label(ctx, "knows")
+        db.create_property_type(ctx, "ts", dtype=Datatype.INT64)
+    ctx.barrier()
+    db.replica(ctx).sync()
+    knows = db.label(ctx, "knows")
+    ts = db.property_type(ctx, "ts")
+    if ctx.rank == 0:
+        tx = db.start_transaction(ctx, write=True)
+        vs = [tx.create_vertex(i, properties=[(ts, i)]) for i in range(n)]
+        for i in range(n - 1):
+            tx.create_edge(vs[i], vs[i + 1], label=knows)
+        tx.commit()
+    ctx.barrier()
+    return knows, ts
+
+
+# -- mirroring data path -----------------------------------------------------
+def test_commits_mirror_dirty_blocks_to_backups():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        _make_graph(ctx, db)
+        repl = db.replication
+        assert repl is not None
+        # every live block's mirror (on the owner's backup, at the
+        # block's own offset) is byte-identical and CRC-consistent
+        checked = 0
+        for shard in range(ctx.nranks):
+            backup = repl.membership.backup_of(shard)
+            for idx, (crc, nbytes) in sorted(repl.meta[shard].items()):
+                data = ctx.get(
+                    db.blocks.data_win, shard, idx * db.config.block_size, nbytes
+                )
+                mirror = ctx.get(
+                    repl.mirror_win, backup, idx * db.config.block_size, nbytes
+                )
+                assert mirror == data
+                assert zlib.crc32(mirror) & 0xFFFFFFFF == crc
+                checked += 1
+        assert checked > 0
+        return checked
+
+    rt, res = run_spmd(3, prog)
+    totals = [rt.trace.counters[r].snapshot() for r in range(3)]
+    assert sum(t["mirrored_blocks"] for t in totals) > 0
+    assert sum(t["mirrored_bytes"] for t in totals) > 0
+
+
+def test_replication_off_by_default_no_mirror_traffic():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=1024))
+        _make_graph(ctx, db)
+        assert db.replication is None
+        assert db.lock_registry is None
+
+    rt, _ = run_spmd(2, prog)
+    assert all(
+        rt.trace.counters[r].mirrored_blocks == 0 for r in range(2)
+    )
+
+
+def test_backups_at_most_one_commit_behind():
+    """The commit-intent protocol proves backups lag by at most one
+    commit; at quiescence the replication log has fully caught up."""
+
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        _, ts = _make_graph(ctx, db)
+        repl = db.replication
+        if ctx.rank == 0:
+            for i in range(6):
+                tx = db.start_transaction(ctx, write=True)
+                tx.find_vertex(i).set_property(ts, 1000 + i)
+                tx.commit()
+                # commit returned: its mirrors are flushed
+                assert repl.commit_lag(db, ctx.rank) == 0
+                assert repl.intent[ctx.rank] is None
+        ctx.barrier()
+        return [repl.commit_lag(db, r) for r in range(ctx.nranks)]
+
+    _, res = run_spmd(3, prog)
+    assert all(lag == 0 for lags in res for lag in lags)
+
+
+# -- CRC32 integrity ---------------------------------------------------------
+def test_injected_corruption_detected_on_read():
+    """The `corrupt` fault kind flips a byte in a live block's payload;
+    the per-block CRC32 catches it on the next read."""
+    state = {}
+
+    def build(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        _make_graph(ctx, db)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx)
+            prim = tx.find_vertex(0).vid
+            tx.commit()
+            d = unpack_dptr(prim)
+            # a byte inside the stored payload (past the 40 B header)
+            state.update(db=db, rank=d.rank, off=d.offset + 41)
+
+    rt, _ = run_spmd(3, build)
+
+    def read_back(ctx):
+        db = state["db"]
+        if ctx.rank == 0:
+            ctx.barrier()  # ops tick the injector past corrupt_at_op
+            tx = db.start_transaction(ctx)
+            with pytest.raises(GdiChecksumError):
+                tx.find_vertex(0)
+            tx.abort()
+        else:
+            ctx.barrier()
+
+    plan = FaultPlan(
+        corrupt_rank=state["rank"],
+        corrupt_at_op=1,
+        corrupt_window=".bgdl.data",
+        corrupt_offset=state["off"],
+    )
+    run_spmd(3, read_back, runtime=rt, faults=plan)
+    assert rt.trace.counters[state["rank"]].corruptions_injected == 1
+    assert rt.trace.counters[0].corruptions_detected == 1
+
+
+# -- live failover -----------------------------------------------------------
+def test_failover_repairs_crashed_shard_and_serves_degraded():
+    """Kill one rank; a survivor's fenced operation triggers the heal,
+    which rebuilds the dead shard from its mirrors; reads AND writes of
+    the dead rank's vertices keep working without a restart."""
+    state = {}
+    victim = 2
+
+    def build(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        _, ts = _make_graph(ctx, db, n=18)
+        if ctx.rank == 0:
+            state.update(db=db, ts=ts)
+
+    rt, _ = run_spmd(3, build)
+    mem = rt.membership
+    assert mem is not None
+
+    def degraded(ctx):
+        db, ts = state["db"], state["ts"]
+        # the victim dies on its first op; survivors' transactions are
+        # fenced once, heal the shard, and then run against the new view
+        mine = range(9) if ctx.rank == 0 else range(9, 18)
+
+        def bump_mine(tx):
+            for i in mine:
+                tx.find_vertex(i).set_property(ts, 5000 + i)
+
+        if ctx.rank != victim:
+            run_transaction(
+                ctx, db, bump_mine, policy=RetryPolicy(max_attempts=6)
+            )
+        ctx.barrier()  # writes quiesce before the full read pass
+
+        def read_all(tx):
+            return [tx.find_vertex(i).property(ts) for i in range(18)]
+
+        out = None
+        if ctx.rank != victim:
+            out = run_transaction(
+                ctx, db, read_all, write=False,
+                policy=RetryPolicy(max_attempts=6),
+            )
+        ctx.barrier()
+        if ctx.rank != victim:
+            report = check_consistency(ctx, db)
+            assert report.ok, report.problems[:5]
+        return out
+
+    _, res = run_spmd(
+        3,
+        degraded,
+        runtime=rt,
+        faults=FaultPlan(crash_rank=victim, crash_at_op=1),
+    )
+    assert res[victim] is None  # silent death in degraded mode
+    survivors = [r for r in range(3) if r != victim]
+    for r in survivors:
+        assert res[r] == [5000 + i for i in range(18)]
+    assert mem.shard_state(victim) == SHARD_REHOSTED
+    assert mem.host_of(victim) == mem.backup_of(victim)
+    assert mem.degraded() and mem.epoch >= 2  # failover + repair bumps
+    totals = [rt.trace.counters[r].snapshot() for r in range(3)]
+    assert sum(t["epoch_fences"] for t in totals) > 0
+    assert sum(t["shard_repairs"] for t in totals) == 1

@@ -142,6 +142,78 @@ def test_dead_target_fails_nonblocking_requests():
     run_spmd(2, prog, runtime=rt)
 
 
+def test_mid_collective_crash_aborts_all_participants_deterministically():
+    """Satellite regression: a rank dying before it reaches a collective
+    used to strand the waiters; now every participant deterministically
+    observes RmaRankDead (no membership view -> the generation aborts)."""
+
+    def prog(ctx):
+        win = ctx.rt.window("w")
+        try:
+            if ctx.rank == 0:
+                for _ in range(20):  # dies at global op 10, pre-barrier
+                    ctx.put(win, ctx.rank, 0, b"\x00" * 8)
+            ctx.barrier()
+        except RmaRankDead:
+            return "dead"
+        return "ok"
+
+    def once():
+        rt = _make_rt(3, FaultPlan(crash_rank=0, crash_at_op=10))
+        _, results = run_spmd(3, prog, runtime=rt, seed=5)
+        return results
+
+    results = once()
+    assert results == ["dead"] * 3  # all participants, incl. survivors
+    assert once() == results  # deterministic across replays
+
+
+def test_mid_collective_crash_excluded_with_membership():
+    """With a membership view the dead rank is excluded and the
+    collective completes over the live view instead of aborting."""
+    from repro.rma.membership import ClusterMembership
+
+    def prog(ctx):
+        win = ctx.rt.window("w")
+        if ctx.rank == 0:
+            for _ in range(20):
+                ctx.put(win, ctx.rank, 0, b"\x00" * 8)
+        gathered = ctx.allgather(ctx.rank)
+        ctx.barrier()
+        return gathered
+
+    rt = _make_rt(3, FaultPlan(crash_rank=0, crash_at_op=10))
+    rt.membership = ClusterMembership(3)
+    _, results = run_spmd(3, prog, runtime=rt, seed=5)
+    assert results[0] is None  # the victim died silently
+    assert results[1] == results[2] == [1, 2]  # live-view contributions
+    assert rt.membership.degraded()
+    assert 0 not in rt.membership.live
+
+
+# -- payload corruption ------------------------------------------------------
+def test_corruption_flips_one_byte_and_is_counted():
+    def prog(ctx):
+        win = ctx.rt.window("w")
+        if ctx.rank == 1:
+            ctx.put(win, 1, 0, bytes(range(64)))
+        ctx.barrier()
+        for _ in range(5):  # push the op counter past corrupt_at_op
+            ctx.get(win, ctx.rank, 0, 8)
+        ctx.barrier()
+        return ctx.get(win, 1, 0, 64)
+
+    plan = FaultPlan(
+        corrupt_rank=1, corrupt_at_op=8, corrupt_window="w", corrupt_offset=5
+    )
+    rt = _make_rt(2, plan)
+    _, results = run_spmd(2, prog, runtime=rt, seed=3)
+    expect = bytearray(range(64))
+    expect[5] ^= 0x5A
+    assert results[0] == bytes(expect)
+    assert rt.trace.counters[1].corruptions_injected == 1
+
+
 def test_injector_op_count_advances():
     inj = FaultInjector(FaultPlan())
     rt = RmaRuntime(2, faults=inj)
