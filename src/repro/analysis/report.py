@@ -24,6 +24,7 @@ SECTION_ORDER: list[tuple[str, str]] = [
     ("sec67_realworld", "Section 6.7 — real-world graphs"),
     ("sec68_extreme_scale", "Section 6.8 — extreme scales"),
     ("interactive_complex", "Extension — interactive complex queries"),
+    ("query_engine", "Extension — declarative query engine vs hand-coded"),
     ("micro_batch_coalescing", "Microbenchmark — RMA doorbell coalescing"),
     ("ablation_blocksize", "Ablation — BGDL block size"),
     ("ablation_features", "Ablations — batching & rebalancing"),

@@ -34,28 +34,83 @@ __all__ = ["VertexDirectory", "ExplicitIndex", "ExplicitEdgeIndex"]
 
 
 def _charge_shard_access(ctx: RankContext, shard_rank: int, nbytes: int = 8) -> None:
-    """Charge one one-sided message to reach a (possibly remote) shard."""
+    """Charge one one-sided message to reach a (possibly remote) shard.
+
+    Stat sweeps that pull more than one 8-byte counter from a shard (the
+    per-label histogram, multi-counter summaries) pass the *proportional*
+    payload via ``nbytes`` instead of the flat single-counter default.
+    """
     ctx.charge(ctx.rt.cost.onesided(ctx.rank, shard_rank, nbytes))
 
 
 class VertexDirectory:
-    """Sharded registry of all vertex primary DPtrs, one shard per rank."""
+    """Sharded registry of all vertex primary DPtrs, one shard per rank.
+
+    Alongside the raw vid sets, each shard maintains a per-label vertex
+    *histogram* (label id → number of shard vertices carrying it), updated
+    by transaction commits.  The histogram is the query planner's cheapest
+    cardinality source: reading it costs one proportional-size message per
+    shard instead of a data scan.
+    """
 
     def __init__(self, nranks: int) -> None:
         self._shards: list[set[int]] = [set() for _ in range(nranks)]
+        self._label_counts: list[dict[int, int]] = [
+            {} for _ in range(nranks)
+        ]
         self._locks = [threading.Lock() for _ in range(nranks)]
+        #: bumped on every mutation; planners cache stats against it
+        self.version = 0
 
-    def add(self, ctx: RankContext, vid: int) -> None:
+    def _count_labels(
+        self, rank: int, labels: Iterable[int], delta: int
+    ) -> None:
+        counts = self._label_counts[rank]
+        for lid in set(labels):
+            n = counts.get(lid, 0) + delta
+            if n > 0:
+                counts[lid] = n
+            else:
+                counts.pop(lid, None)
+
+    def add(
+        self, ctx: RankContext, vid: int, labels: Iterable[int] = ()
+    ) -> None:
         rank = unpack_dptr(vid).rank
         _charge_shard_access(ctx, rank)
         with self._locks[rank]:
             self._shards[rank].add(vid)
+            self._count_labels(rank, labels, +1)
+            self.version += 1
 
-    def remove(self, ctx: RankContext, vid: int) -> None:
+    def remove(
+        self, ctx: RankContext, vid: int, labels: Iterable[int] = ()
+    ) -> None:
         rank = unpack_dptr(vid).rank
         _charge_shard_access(ctx, rank)
         with self._locks[rank]:
             self._shards[rank].discard(vid)
+            self._count_labels(rank, labels, -1)
+            self.version += 1
+
+    def update_labels(
+        self,
+        ctx: RankContext,
+        vid: int,
+        before: Iterable[int],
+        after: Iterable[int],
+    ) -> None:
+        """Adjust the histogram after a commit changed a vertex's labels."""
+        before, after = set(before), set(after)
+        if before == after:
+            return
+        rank = unpack_dptr(vid).rank
+        changed = before ^ after
+        _charge_shard_access(ctx, rank, 8 * max(1, len(changed)))
+        with self._locks[rank]:
+            self._count_labels(rank, before - after, -1)
+            self._count_labels(rank, after - before, +1)
+            self.version += 1
 
     def local_vertices(self, ctx: RankContext) -> list[int]:
         """Snapshot of the vertices homed on the calling rank."""
@@ -77,10 +132,17 @@ class VertexDirectory:
         ctx.compute(len(snap))
         return snap
 
-    def relocate(self, ctx: RankContext, old_vid: int, new_vid: int) -> None:
-        """Move one vertex's directory entry to its new shard."""
-        self.remove(ctx, old_vid)
-        self.add(ctx, new_vid)
+    def relocate(
+        self,
+        ctx: RankContext,
+        old_vid: int,
+        new_vid: int,
+        labels: Iterable[int] = (),
+    ) -> None:
+        """Move one vertex's directory entry (and histogram) to its new shard."""
+        labels = list(labels)
+        self.remove(ctx, old_vid, labels=labels)
+        self.add(ctx, new_vid, labels=labels)
 
     def count(self, ctx: RankContext, rank: int | None = None) -> int:
         """Vertex count of one shard, or of the whole database."""
@@ -93,6 +155,30 @@ class VertexDirectory:
             _charge_shard_access(ctx, r)
             with self._locks[r]:
                 total += len(self._shards[r])
+        return total
+
+    def label_histogram(self, ctx: RankContext) -> dict[int, int]:
+        """Cluster-wide per-label vertex counts (label id → vertices).
+
+        One message per shard, charged proportionally to the number of
+        counters the shard returns — a stats sweep, not a data scan.
+        """
+        merged: dict[int, int] = {}
+        for r in range(len(self._shards)):
+            with self._locks[r]:
+                part = dict(self._label_counts[r])
+            _charge_shard_access(ctx, r, 8 * max(1, len(part)))
+            for lid, n in part.items():
+                merged[lid] = merged.get(lid, 0) + n
+        return merged
+
+    def label_count(self, ctx: RankContext, label_id: int) -> int:
+        """Cluster-wide count of vertices carrying ``label_id``."""
+        total = 0
+        for r in range(len(self._shards)):
+            _charge_shard_access(ctx, r)
+            with self._locks[r]:
+                total += self._label_counts[r].get(label_id, 0)
         return total
 
 
@@ -163,7 +249,21 @@ class ExplicitIndex:
         ctx.compute(len(snap))
         return snap
 
+    def shard_vertices(self, ctx: RankContext, shard: int) -> list[int]:
+        """One shard's posting list, fetched with a proportional message.
+
+        Single-process (non-collective) index scans sweep every shard
+        through this accessor; a remote posting list of *n* vids costs one
+        message of ``8 n`` bytes, not a data scan.
+        """
+        with self._locks[shard]:
+            snap = list(self._shards[shard])
+        _charge_shard_access(ctx, shard, 8 * max(1, len(snap)))
+        ctx.compute(len(snap))
+        return snap
+
     def count(self, ctx: RankContext) -> int:
+        """Cluster-wide posting count: the planner's index cardinality."""
         total = 0
         for r in range(self.nranks):
             _charge_shard_access(ctx, r)
@@ -246,6 +346,14 @@ class ExplicitEdgeIndex:
         ctx.compute(len(snap))
         return snap
 
+    def shard_source_vertices(self, ctx: RankContext, shard: int) -> list[int]:
+        """One shard's source-vertex postings (proportional message)."""
+        with self._locks[shard]:
+            snap = list(self._shards[shard])
+        _charge_shard_access(ctx, shard, 8 * max(1, len(snap)))
+        ctx.compute(len(snap))
+        return snap
+
     def local_edges(self, ctx: RankContext, tx) -> list:
         """Matching edge handles on this rank, resolved inside ``tx``."""
         out = []
@@ -255,6 +363,7 @@ class ExplicitEdgeIndex:
         return out
 
     def count_sources(self, ctx: RankContext) -> int:
+        """Cluster-wide source count: the planner's edge-index cardinality."""
         total = 0
         for r in range(self.nranks):
             _charge_shard_access(ctx, r)

@@ -101,7 +101,9 @@ def rebalance(
         db.dht.delete(ctx, app_id)
         db.dht.insert(ctx, app_id, primary)
         db.storage.delete(ctx, stored)
-        db.directory.relocate(ctx, old_vid, primary)
+        db.directory.relocate(
+            ctx, old_vid, primary, labels=stored.holder.labels
+        )
         for idx in db.indexes.values():
             idx.relocate(ctx, old_vid, primary)
         for eidx in db.edge_indexes.values():

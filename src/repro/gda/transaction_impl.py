@@ -99,6 +99,9 @@ class _TxVertex:
     #: edge-slot list as loaded (write txns only) — identity-diffed at
     #: commit to derive the replayable commit-log edge entries
     edge_preimage: "list[EdgeSlot] | None" = None
+    #: label ids as loaded (write txns only) — diffed at commit to keep
+    #: the directory's per-label histogram current
+    label_preimage: "list[int] | None" = None
 
     @property
     def holder(self) -> VertexHolder:
@@ -405,6 +408,7 @@ class Transaction:
                 if self.write:
                     # capture the slot identities for the commit-log diff
                     txv.edge_preimage = list(stored.holder.edges)
+                    txv.label_preimage = list(stored.holder.labels)
                 txv.index_preimage = self._index_matches(stored.holder)
                 self._vertices[vid] = txv
                 txv.edge_index_preimage = self._edge_index_matches(txv)
@@ -981,7 +985,15 @@ class Transaction:
                 # primary block and have its fresh directory entry removed
                 # by this very deletion.
                 self.db.dht.delete(ctx, txv.holder.app_id)
-                self.db.directory.remove(ctx, txv.vid)
+                self.db.directory.remove(
+                    ctx,
+                    txv.vid,
+                    labels=(
+                        txv.label_preimage
+                        if txv.label_preimage is not None
+                        else txv.holder.labels
+                    ),
+                )
                 self._apply_index_updates(txv, deleted=True)
                 self.db.storage.delete(ctx, txv.stored)
         # One batched write-back for every created/dirty vertex holder:
@@ -995,7 +1007,13 @@ class Transaction:
         for txv in survivors:
             if txv.created:
                 self.db.dht.insert(ctx, txv.holder.app_id, txv.vid)
-                self.db.directory.add(ctx, txv.vid)
+                self.db.directory.add(
+                    ctx, txv.vid, labels=txv.holder.labels
+                )
+            elif txv.label_preimage is not None:
+                self.db.directory.update_labels(
+                    ctx, txv.vid, txv.label_preimage, txv.holder.labels
+                )
             self._apply_index_updates(txv)
         if repl is not None:
             repl.commit_mirrors(ctx, seq)

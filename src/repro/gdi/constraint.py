@@ -136,15 +136,79 @@ class Constraint:
     def prop(cls, ptype_id: int, op: str = "exists", value: Any = None) -> "Constraint":
         return cls.of([PropertyCondition(ptype_id, op, value)])
 
+    # -- structural tests -------------------------------------------------
+    def is_true(self) -> bool:
+        """Trivially satisfied: some conjunction is empty."""
+        return any(len(c) == 0 for c in self.conjunctions)
+
+    def is_false(self) -> bool:
+        """Unsatisfiable by structure: the disjunction is empty."""
+        return not self.conjunctions
+
     # -- combinators (stay in DNF) ---------------------------------------
     def __or__(self, other: "Constraint") -> "Constraint":
-        return Constraint(self.conjunctions + other.conjunctions)
+        # Short-circuit the neutral/absorbing elements so planner-built
+        # chains (``acc = acc | c``) never accumulate redundant terms.
+        if self.is_true() or other.is_true():
+            return Constraint.true()
+        if self.is_false():
+            return other
+        if other.is_false():
+            return self
+        return Constraint(
+            _dedupe_conjunctions(self.conjunctions + other.conjunctions)
+        )
 
     def __and__(self, other: "Constraint") -> "Constraint":
+        if self.is_false() or other.is_false():
+            return Constraint.false()
+        if self.is_true():
+            return other
+        if other.is_true():
+            return self
+        # DNF distribution; dedupe repeated conditions inside each product
+        # conjunction and repeated conjunctions across the disjunction, so
+        # ``c & c`` stays at c.n_conditions instead of squaring it.
         combined = tuple(
-            a + b for a in self.conjunctions for b in other.conjunctions
+            _dedupe_conditions(a + b)
+            for a in self.conjunctions
+            for b in other.conjunctions
         )
-        return Constraint(combined)
+        return Constraint(_dedupe_conjunctions(combined))
+
+    def simplify(self) -> "Constraint":
+        """Cheap logical simplification, preserving DNF and semantics.
+
+        * drops duplicate conditions within each conjunction,
+        * drops conjunctions containing a contradiction (the same label
+          required present and absent, or the same property required both
+          ``exists`` and ``absent``),
+        * drops duplicate conjunctions and conjunctions *absorbed* by a
+          subset conjunction (``A or (A and B)`` = ``A``),
+        * collapses to :meth:`true`/:meth:`false` when the structure
+          allows it.
+        """
+        kept: list[tuple[Condition, ...]] = []
+        for conj in self.conjunctions:
+            conj = _dedupe_conditions(conj)
+            if _contradictory(conj):
+                continue
+            if not conj:
+                return Constraint.true()
+            kept.append(conj)
+        # absorption: a conjunction whose condition set contains another
+        # conjunction's set is redundant
+        sets = [frozenset(c) for c in kept]
+        out: list[tuple[Condition, ...]] = []
+        for i, conj in enumerate(kept):
+            absorbed = any(
+                (j != i and sets[j] < sets[i])
+                or (j < i and sets[j] == sets[i])
+                for j in range(len(kept))
+            )
+            if not absorbed:
+                out.append(conj)
+        return Constraint(tuple(out))
 
     # -- evaluation ---------------------------------------------------------
     def evaluate(
@@ -161,3 +225,50 @@ class Constraint:
     @property
     def n_conditions(self) -> int:
         return sum(len(c) for c in self.conjunctions)
+
+
+def _dedupe_conditions(conj: tuple[Condition, ...]) -> tuple[Condition, ...]:
+    """Drop repeated conditions, keeping first-occurrence order."""
+    seen: set[Condition] = set()
+    out: list[Condition] = []
+    for cond in conj:
+        if cond not in seen:
+            seen.add(cond)
+            out.append(cond)
+    return tuple(out)
+
+
+def _dedupe_conjunctions(
+    conjunctions: tuple[tuple[Condition, ...], ...]
+) -> tuple[tuple[Condition, ...], ...]:
+    """Drop repeated conjunctions (as condition *sets*), keeping order."""
+    seen: set[frozenset[Condition]] = set()
+    out: list[tuple[Condition, ...]] = []
+    for conj in conjunctions:
+        key = frozenset(conj)
+        if key not in seen:
+            seen.add(key)
+            out.append(conj)
+    return tuple(out)
+
+
+def _contradictory(conj: tuple[Condition, ...]) -> bool:
+    """Does the conjunction require a label/property both ways at once?"""
+    label_req: dict[int, bool] = {}
+    prop_req: dict[int, str] = {}
+    for cond in conj:
+        if isinstance(cond, LabelCondition):
+            prev = label_req.setdefault(cond.label_id, cond.present)
+            if prev != cond.present:
+                return True
+        elif isinstance(cond, PropertyCondition):
+            if cond.op in ("exists", "absent"):
+                prev = prop_req.setdefault(cond.ptype_id, cond.op)
+                if prev != cond.op:
+                    return True
+            elif cond.op in _OPS:
+                # a comparison implies existence
+                if prop_req.get(cond.ptype_id) == "absent":
+                    return True
+                prop_req.setdefault(cond.ptype_id, "exists")
+    return False

@@ -1,0 +1,262 @@
+"""Abstract syntax tree of the Cypher-lite language.
+
+All nodes are frozen dataclasses so that a parsed query (and every plan
+derived from it) is hashable and safely shareable across threads — the
+plan cache relies on this.
+
+The grammar (see docs/GDI_SPEC.md §11 for the full EBNF)::
+
+    query     := [EXPLAIN | PROFILE]
+                 [MATCH pattern ("," pattern)*] [WHERE expr]
+                 [CREATE pattern ("," pattern)*]
+                 [SET setitem ("," setitem)*]
+                 [DELETE var ("," var)*]
+                 [RETURN [DISTINCT] item ("," item)*
+                    [ORDER BY order ("," order)*] [SKIP n] [LIMIT n]]
+    pattern   := node (rel node)*
+    node      := "(" [var] (":" Label)* [props] ")"
+    rel       := "-" "[" [var] [":" Label] ["*" [min] ".." [max]] [props]
+                 "]" ("->" | "-") | "<-" "[" ... "]" "-"
+    props     := "{" key (op | ":") value ("," ...)* "}"
+
+Two deliberate deviations from Cypher, chosen to keep the engine and the
+full-scan reference oracle exactly equivalent:
+
+* property maps accept comparison operators (``{age > 30}``), not only
+  equality;
+* variable-length expansion ``*min..max`` uses **BFS distance
+  semantics** — it binds each distinct endpoint whose shortest-path
+  distance from the source lies in ``[min, max]`` exactly once — rather
+  than Cypher's trail semantics (one row per non-edge-repeating path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Param",
+    "PropPredicate",
+    "NodePattern",
+    "RelPattern",
+    "PathPattern",
+    "Expr",
+    "Literal",
+    "ParamRef",
+    "VarRef",
+    "PropRef",
+    "Cmp",
+    "HasLabel",
+    "IsNull",
+    "And",
+    "Or",
+    "Not",
+    "FuncCall",
+    "ReturnItem",
+    "OrderItem",
+    "SetProp",
+    "SetLabel",
+    "Query",
+    "AGGREGATE_FUNCS",
+]
+
+#: aggregate function names understood by RETURN
+AGGREGATE_FUNCS = ("count", "sum", "min", "max", "avg", "collect")
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``$name`` placeholder resolved from the params dict at run time."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PropPredicate:
+    """One ``key op value`` entry of a pattern property map."""
+
+    key: str
+    op: str  # one of = <> < <= > >=
+    value: Any  # literal or Param
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """``(var:Label {k op v, ...})``; ``var`` may be auto-generated."""
+
+    var: str
+    labels: tuple[str, ...] = ()
+    preds: tuple[PropPredicate, ...] = ()
+    #: parser-generated variable (not usable in RETURN)
+    anonymous: bool = False
+
+
+@dataclass(frozen=True)
+class RelPattern:
+    """``-[var:Label*min..max {k op v}]->`` between two nodes."""
+
+    var: str | None = None
+    label: str | None = None
+    direction: str = "any"  # "out" | "in" | "any", relative to left node
+    min_hops: int = 1
+    max_hops: int = 1
+    preds: tuple[PropPredicate, ...] = ()
+    #: a ``*`` was present — even ``*1..1`` keeps BFS-distance semantics
+    #: (one row per distinct endpoint, self-loops never reach the source)
+    starred: bool = False
+
+    @property
+    def var_length(self) -> bool:
+        return self.starred or (self.min_hops, self.max_hops) != (1, 1)
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A chain ``node (rel node)*``; ``len(rels) == len(nodes) - 1``."""
+
+    nodes: tuple[NodePattern, ...]
+    rels: tuple[RelPattern, ...] = ()
+
+
+# -- expressions (WHERE / RETURN / SET values) -----------------------------
+class Expr:
+    """Marker base class of expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A bare pattern variable (vertex or relationship)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PropRef(Expr):
+    """``var.key``; the reserved key ``id`` is the application ID."""
+
+    var: str
+    key: str
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    op: str  # = <> < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class HasLabel(Expr):
+    """``var:Label`` used as a boolean predicate."""
+
+    var: str
+    label: str
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """``fn(args)``; ``count(*)`` is ``FuncCall("count", (), star=True)``."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    distinct: bool = False
+    star: bool = False
+
+    @property
+    def aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCS
+
+
+# -- clauses ----------------------------------------------------------------
+@dataclass(frozen=True)
+class ReturnItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    desc: bool = False
+
+
+@dataclass(frozen=True)
+class SetProp:
+    """``SET var.key = value``."""
+
+    var: str
+    key: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SetLabel:
+    """``SET var:Label``."""
+
+    var: str
+    label: str
+
+
+@dataclass(frozen=True)
+class Query:
+    """One parsed Cypher-lite statement."""
+
+    matches: tuple[PathPattern, ...] = ()
+    where: Expr | None = None
+    creates: tuple[PathPattern, ...] = ()
+    sets: tuple[SetProp | SetLabel, ...] = ()
+    deletes: tuple[str, ...] = ()
+    returns: tuple[ReturnItem, ...] = ()
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    skip: Any = None  # int | Param | None
+    limit: Any = None  # int | Param | None
+    mode: str = "run"  # "run" | "explain" | "profile"
+
+    @property
+    def writes(self) -> bool:
+        return bool(self.creates or self.sets or self.deletes)
+
+    def match_vars(self) -> tuple[str, ...]:
+        """Pattern variables bound by MATCH, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for path in self.matches:
+            for i, node in enumerate(path.nodes):
+                seen.setdefault(node.var, None)
+                if i < len(path.rels) and path.rels[i].var:
+                    seen.setdefault(path.rels[i].var, None)
+        return tuple(seen)

@@ -1,0 +1,143 @@
+"""The :class:`QueryEngine` facade: plan cache, EXPLAIN/PROFILE, execution.
+
+``run()`` is the single entry point: parse → plan → execute inside one
+GDI transaction.  Parsed-and-planned queries are cached keyed on the
+whitespace-normalized query text plus a fingerprint of the database's
+index set, so re-executing a query skips both parse and plan entirely —
+cache hits/misses are recorded per rank in the RMA trace recorder
+(``plan_cache_hits`` / ``plan_cache_misses``), which is how benchmarks
+verify that the cache engages.
+
+The cache deliberately does **not** key on data versions: cardinality
+estimates inside a cached plan may go stale as the graph mutates, which
+affects only plan *quality*, never correctness (every operator
+re-validates fetched data against its constraints).  Creating or
+dropping an index changes the fingerprint and naturally re-plans.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from .errors import QueryPlanError
+from .logical import LogicalPlan
+from .parser import parse_query
+from .physical import ExecState, execute_plan
+from .planner import plan_query
+
+__all__ = ["QueryEngine", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query execution."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    stats: dict = field(default_factory=dict)
+    plan: LogicalPlan | None = None
+    #: EXPLAIN/PROFILE rendering (None for plain runs)
+    plan_text: str | None = None
+
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise QueryPlanError(
+                f"expected a 1x1 result, got {len(self.rows)} row(s)"
+            )
+        return self.rows[0][0]
+
+
+class QueryEngine:
+    """Cypher-lite query engine over one GDA database.
+
+    One engine may be shared by all ranks of a simulation (its plan
+    cache is guarded by a lock); per-execution state lives in the
+    transaction, never in the engine.
+    """
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self._cache: dict[tuple, LogicalPlan] = {}
+        self._lock = threading.Lock()
+
+    # -- plan cache --------------------------------------------------------
+    def _cache_key(self, text: str) -> tuple:
+        return (
+            " ".join(text.split()),
+            tuple(sorted(self.db.indexes)),
+            tuple(sorted(self.db.edge_indexes)),
+        )
+
+    def _get_plan(self, ctx, text: str) -> LogicalPlan:
+        key = self._cache_key(text)
+        with self._lock:
+            plan = self._cache.get(key)
+        ctx.rt.trace.record_plan_cache(ctx.rank, hit=plan is not None)
+        if plan is None:
+            plan = plan_query(self.db, ctx, parse_query(text))
+            with self._lock:
+                self._cache[key] = plan
+        return plan
+
+    def cache_info(self, ctx) -> dict[str, int]:
+        """This rank's plan-cache hit/miss counters plus the cache size."""
+        counters = ctx.rt.trace.counters[ctx.rank]
+        with self._lock:
+            size = len(self._cache)
+        return {
+            "hits": counters.plan_cache_hits,
+            "misses": counters.plan_cache_misses,
+            "entries": size,
+        }
+
+    # -- entry points ------------------------------------------------------
+    def explain(self, ctx, text: str) -> str:
+        """The EXPLAIN rendering of a query's plan (no execution)."""
+        return self._get_plan(ctx, text).explain()
+
+    def run(
+        self,
+        ctx,
+        text: str,
+        params: dict | None = None,
+        tx=None,
+    ) -> QueryResult:
+        """Parse, plan (cached), and execute one query.
+
+        Without ``tx`` the engine opens its own transaction (write iff
+        the query mutates) and commits it; with ``tx`` the query joins
+        the caller's open transaction, which the caller commits — that
+        is how :func:`repro.gda.retry.run_transaction` retry loops wrap
+        engine queries.
+        """
+        plan = self._get_plan(ctx, text)
+        query = plan.query
+        if query.mode == "explain":
+            return QueryResult(
+                columns=plan.columns,
+                rows=[],
+                plan=plan,
+                plan_text=plan.explain(),
+            )
+        profile = query.mode == "profile"
+        own_tx = tx is None
+        if own_tx:
+            tx = self.db.start_transaction(ctx, write=query.writes)
+        try:
+            ex = ExecState(self.db, ctx, tx, params)
+            rows, stats, prof = execute_plan(plan, ex, profile=profile)
+            if own_tx:
+                tx.commit()
+        except BaseException:
+            if own_tx and tx.open:
+                tx.abort()
+            raise
+        return QueryResult(
+            columns=plan.columns,
+            rows=rows,
+            stats=stats,
+            plan=plan,
+            plan_text=plan.explain(prof) if profile else None,
+        )

@@ -1,0 +1,31 @@
+"""Error taxonomy of the query layer."""
+
+from __future__ import annotations
+
+__all__ = ["QueryError", "QuerySyntaxError", "QueryPlanError"]
+
+
+class QueryError(Exception):
+    """Base class of all query-layer errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text does not parse.
+
+    Carries the character position of the offending token so callers can
+    point at it.
+    """
+
+    def __init__(self, message: str, pos: int = -1) -> None:
+        super().__init__(
+            message if pos < 0 else f"{message} (at position {pos})"
+        )
+        self.pos = pos
+
+
+class QueryPlanError(QueryError):
+    """The query parsed but cannot be planned or executed.
+
+    Examples: an unbound variable in RETURN, a CREATE node without the
+    mandatory ``id`` property, a parameter missing at execution time.
+    """

@@ -1,0 +1,130 @@
+"""Tokenizer of the Cypher-lite language.
+
+Produces a flat list of :class:`Token`; the recursive-descent parser in
+:mod:`repro.query.parser` consumes it.  Keywords are case-insensitive,
+identifiers are case-sensitive (they name labels, properties, and
+variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import QuerySyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "MATCH",
+        "WHERE",
+        "RETURN",
+        "CREATE",
+        "SET",
+        "DELETE",
+        "DETACH",
+        "ORDER",
+        "BY",
+        "SKIP",
+        "LIMIT",
+        "AND",
+        "OR",
+        "NOT",
+        "XOR",
+        "AS",
+        "DISTINCT",
+        "ASC",
+        "DESC",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "EXPLAIN",
+        "PROFILE",
+    }
+)
+
+#: multi-character punctuation, longest first so the scanner is greedy
+_PUNCT2 = ("<=", ">=", "<>", "!=", "->", "<-", "..")
+_PUNCT1 = "()[]{}:,.-<>=*$+"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: ``kind`` is KEYWORD/IDENT/INT/FLOAT/STRING/PUNCT/EOF."""
+
+    kind: str
+    value: str
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; raises :class:`QuerySyntaxError`."""
+    out: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("//", i):  # line comment
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                out.append(Token("KEYWORD", word.upper(), i))
+            else:
+                out.append(Token("IDENT", word, i))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            # a float needs digit '.' digit — but '..' is the range punct
+            if (
+                j + 1 < n
+                and text[j] == "."
+                and text[j + 1].isdigit()
+                and not text.startswith("..", j)
+            ):
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+                out.append(Token("FLOAT", text[i:j], i))
+            else:
+                out.append(Token("INT", text[i:j], i))
+            i = j
+            continue
+        if ch in ("'", '"'):
+            j = i + 1
+            buf: list[str] = []
+            while j < n and text[j] != ch:
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j + 1])
+                    j += 2
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                raise QuerySyntaxError("unterminated string literal", i)
+            out.append(Token("STRING", "".join(buf), i))
+            i = j + 1
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCT2:
+            out.append(Token("PUNCT", two, i))
+            i += 2
+            continue
+        if ch in _PUNCT1:
+            out.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", i)
+    out.append(Token("EOF", "", n))
+    return out

@@ -1,0 +1,467 @@
+"""Recursive-descent parser: Cypher-lite text → :class:`~repro.query.ast.Query`.
+
+One function per grammar production; every production consumes tokens
+from a shared cursor.  The parser is purely syntactic — name resolution
+(labels, property types, variables) happens in the planner, so a query
+mentioning an unknown label still parses and simply matches nothing.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    Cmp,
+    FuncCall,
+    HasLabel,
+    IsNull,
+    Literal,
+    Not,
+    NodePattern,
+    Or,
+    OrderItem,
+    Param,
+    ParamRef,
+    PathPattern,
+    PropPredicate,
+    PropRef,
+    Query,
+    RelPattern,
+    ReturnItem,
+    SetLabel,
+    SetProp,
+    VarRef,
+)
+from .errors import QuerySyntaxError
+from .lexer import Token, tokenize
+
+__all__ = ["parse_query"]
+
+_CMP_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.toks = tokenize(text)
+        self.i = 0
+        self._anon = 0
+
+    # -- cursor helpers ----------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.toks[self.i]
+
+    def advance(self) -> Token:
+        tok = self.toks[self.i]
+        if tok.kind != "EOF":
+            self.i += 1
+        return tok
+
+    def at_keyword(self, *words: str) -> bool:
+        return self.cur.kind == "KEYWORD" and self.cur.value in words
+
+    def at_punct(self, *vals: str) -> bool:
+        return self.cur.kind == "PUNCT" and self.cur.value in vals
+
+    def expect_punct(self, val: str) -> Token:
+        if not self.at_punct(val):
+            raise QuerySyntaxError(
+                f"expected {val!r}, found {self.cur.value or 'end of input'!r}",
+                self.cur.pos,
+            )
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            raise QuerySyntaxError(
+                f"expected {word}, found {self.cur.value or 'end of input'!r}",
+                self.cur.pos,
+            )
+        return self.advance()
+
+    def expect_ident(self, what: str) -> str:
+        if self.cur.kind != "IDENT":
+            raise QuerySyntaxError(
+                f"expected {what}, found {self.cur.value or 'end of input'!r}",
+                self.cur.pos,
+            )
+        return self.advance().value
+
+    def fresh_var(self) -> str:
+        self._anon += 1
+        return f"_anon{self._anon}"
+
+    # -- entry -------------------------------------------------------------
+    def parse(self) -> Query:
+        mode = "run"
+        if self.at_keyword("EXPLAIN"):
+            self.advance()
+            mode = "explain"
+        elif self.at_keyword("PROFILE"):
+            self.advance()
+            mode = "profile"
+        matches: list[PathPattern] = []
+        while self.at_keyword("MATCH"):
+            self.advance()
+            matches.append(self.parse_path())
+            while self.at_punct(","):
+                self.advance()
+                matches.append(self.parse_path())
+        where = None
+        if self.at_keyword("WHERE"):
+            self.advance()
+            where = self.parse_expr()
+        creates: list[PathPattern] = []
+        while self.at_keyword("CREATE"):
+            self.advance()
+            creates.append(self.parse_path())
+            while self.at_punct(","):
+                self.advance()
+                creates.append(self.parse_path())
+        sets: list[SetProp | SetLabel] = []
+        if self.at_keyword("SET"):
+            self.advance()
+            sets.append(self.parse_set_item())
+            while self.at_punct(","):
+                self.advance()
+                sets.append(self.parse_set_item())
+        deletes: list[str] = []
+        if self.at_keyword("DETACH"):
+            self.advance()
+            if not self.at_keyword("DELETE"):
+                raise QuerySyntaxError("DETACH must precede DELETE", self.cur.pos)
+        if self.at_keyword("DELETE"):
+            self.advance()
+            deletes.append(self.expect_ident("variable"))
+            while self.at_punct(","):
+                self.advance()
+                deletes.append(self.expect_ident("variable"))
+        returns: list[ReturnItem] = []
+        distinct = False
+        order_by: list[OrderItem] = []
+        skip = limit = None
+        if self.at_keyword("RETURN"):
+            self.advance()
+            if self.at_keyword("DISTINCT"):
+                self.advance()
+                distinct = True
+            returns.append(self.parse_return_item())
+            while self.at_punct(","):
+                self.advance()
+                returns.append(self.parse_return_item())
+            if self.at_keyword("ORDER"):
+                self.advance()
+                self.expect_keyword("BY")
+                order_by.append(self.parse_order_item())
+                while self.at_punct(","):
+                    self.advance()
+                    order_by.append(self.parse_order_item())
+            if self.at_keyword("SKIP"):
+                self.advance()
+                skip = self.parse_count_operand("SKIP")
+            if self.at_keyword("LIMIT"):
+                self.advance()
+                limit = self.parse_count_operand("LIMIT")
+        if self.cur.kind != "EOF":
+            raise QuerySyntaxError(
+                f"unexpected trailing input {self.cur.value!r}", self.cur.pos
+            )
+        if not (matches or creates):
+            raise QuerySyntaxError("query needs at least MATCH or CREATE", 0)
+        return Query(
+            matches=tuple(matches),
+            where=where,
+            creates=tuple(creates),
+            sets=tuple(sets),
+            deletes=tuple(deletes),
+            returns=tuple(returns),
+            distinct=distinct,
+            order_by=tuple(order_by),
+            skip=skip,
+            limit=limit,
+            mode=mode,
+        )
+
+    # -- patterns ----------------------------------------------------------
+    def parse_path(self) -> PathPattern:
+        nodes = [self.parse_node()]
+        rels: list[RelPattern] = []
+        while self.at_punct("-", "<-"):
+            rels.append(self.parse_rel())
+            nodes.append(self.parse_node())
+        return PathPattern(nodes=tuple(nodes), rels=tuple(rels))
+
+    def parse_node(self) -> NodePattern:
+        self.expect_punct("(")
+        var = None
+        if self.cur.kind == "IDENT":
+            var = self.advance().value
+        labels: list[str] = []
+        while self.at_punct(":"):
+            self.advance()
+            labels.append(self.expect_ident("label name"))
+        preds = self.parse_props() if self.at_punct("{") else ()
+        self.expect_punct(")")
+        anonymous = var is None
+        return NodePattern(
+            var=var or self.fresh_var(),
+            labels=tuple(labels),
+            preds=preds,
+            anonymous=anonymous,
+        )
+
+    def parse_rel(self) -> RelPattern:
+        # '<-[...]-' | '-[...]->' | '-[...]-' | bare '<--', '-->', '--'
+        if self.at_punct("<-"):
+            self.advance()
+            direction = "in"
+        else:
+            self.expect_punct("-")
+            direction = None  # decided by the closing arrow
+        var = label = None
+        min_hops = max_hops = 1
+        starred = False
+        preds: tuple[PropPredicate, ...] = ()
+        if self.at_punct("["):
+            self.advance()
+            if self.cur.kind == "IDENT":
+                var = self.advance().value
+            if self.at_punct(":"):
+                self.advance()
+                label = self.expect_ident("relationship label")
+            if self.at_punct("*"):
+                self.advance()
+                starred = True
+                min_hops, max_hops = 1, None
+                if self.cur.kind == "INT":
+                    min_hops = int(self.advance().value)
+                    max_hops = min_hops
+                if self.at_punct(".."):
+                    self.advance()
+                    max_hops = None
+                    if self.cur.kind == "INT":
+                        max_hops = int(self.advance().value)
+            if self.at_punct("{"):
+                preds = self.parse_props()
+            self.expect_punct("]")
+        if direction == "in":
+            self.expect_punct("-")
+        elif self.at_punct("->"):
+            self.advance()
+            direction = "out"
+        else:
+            self.expect_punct("-")
+            direction = "any"
+        if var is not None and starred:
+            raise QuerySyntaxError(
+                "variable-length relationships cannot bind a variable",
+                self.cur.pos,
+            )
+        if max_hops is not None and max_hops < min_hops:
+            raise QuerySyntaxError(
+                f"empty hop range *{min_hops}..{max_hops}", self.cur.pos
+            )
+        return RelPattern(
+            var=var,
+            label=label,
+            direction=direction,
+            min_hops=min_hops,
+            max_hops=max_hops,
+            preds=preds,
+            starred=starred,
+        )
+
+    def parse_props(self) -> tuple[PropPredicate, ...]:
+        self.expect_punct("{")
+        preds: list[PropPredicate] = []
+        while True:
+            key = self.expect_ident("property name")
+            if self.at_punct(":"):
+                self.advance()
+                op = "="
+            elif self.at_punct(*_CMP_OPS):
+                op = self.advance().value
+                if op == "!=":
+                    op = "<>"
+            else:
+                raise QuerySyntaxError(
+                    "expected ':' or a comparison operator in property map",
+                    self.cur.pos,
+                )
+            preds.append(PropPredicate(key=key, op=op, value=self.parse_value()))
+            if self.at_punct(","):
+                self.advance()
+                continue
+            break
+        self.expect_punct("}")
+        return tuple(preds)
+
+    def parse_value(self):
+        """A literal or ``$param`` (property maps, SKIP/LIMIT)."""
+        if self.at_punct("$"):
+            self.advance()
+            return Param(self.expect_ident("parameter name"))
+        tok = self.cur
+        if tok.kind == "INT":
+            self.advance()
+            return int(tok.value)
+        if tok.kind == "FLOAT":
+            self.advance()
+            return float(tok.value)
+        if tok.kind == "STRING":
+            self.advance()
+            return tok.value
+        if tok.kind == "KEYWORD" and tok.value in ("TRUE", "FALSE"):
+            self.advance()
+            return tok.value == "TRUE"
+        if tok.kind == "KEYWORD" and tok.value == "NULL":
+            self.advance()
+            return None
+        if self.at_punct("-"):
+            self.advance()
+            tok = self.cur
+            if tok.kind == "INT":
+                self.advance()
+                return -int(tok.value)
+            if tok.kind == "FLOAT":
+                self.advance()
+                return -float(tok.value)
+            raise QuerySyntaxError("expected a number after '-'", tok.pos)
+        raise QuerySyntaxError(
+            f"expected a literal value, found {tok.value!r}", tok.pos
+        )
+
+    def parse_count_operand(self, what: str):
+        if self.at_punct("$"):
+            self.advance()
+            return Param(self.expect_ident("parameter name"))
+        if self.cur.kind == "INT":
+            return int(self.advance().value)
+        raise QuerySyntaxError(
+            f"{what} expects a non-negative integer or parameter", self.cur.pos
+        )
+
+    # -- expressions -------------------------------------------------------
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        items = [self.parse_and()]
+        while self.at_keyword("OR"):
+            self.advance()
+            items.append(self.parse_and())
+        return items[0] if len(items) == 1 else Or(tuple(items))
+
+    def parse_and(self):
+        items = [self.parse_not()]
+        while self.at_keyword("AND"):
+            self.advance()
+            items.append(self.parse_not())
+        return items[0] if len(items) == 1 else And(tuple(items))
+
+    def parse_not(self):
+        if self.at_keyword("NOT"):
+            self.advance()
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self):
+        left = self.parse_primary()
+        if self.at_keyword("IS"):
+            self.advance()
+            negated = False
+            if self.at_keyword("NOT"):
+                self.advance()
+                negated = True
+            self.expect_keyword("NULL")
+            return IsNull(left, negated=negated)
+        if self.at_punct(*_CMP_OPS):
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            return Cmp(op=op, left=left, right=self.parse_primary())
+        return left
+
+    def parse_primary(self):
+        tok = self.cur
+        if self.at_punct("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        if self.at_punct("$"):
+            self.advance()
+            return ParamRef(self.expect_ident("parameter name"))
+        if tok.kind in ("INT", "FLOAT", "STRING") or (
+            tok.kind == "KEYWORD" and tok.value in ("TRUE", "FALSE", "NULL")
+        ) or self.at_punct("-"):
+            return Literal(self.parse_value())
+        if tok.kind == "IDENT":
+            name = self.advance().value
+            if self.at_punct("("):  # function call
+                self.advance()
+                star = distinct = False
+                args: list = []
+                if self.at_punct("*"):
+                    self.advance()
+                    star = True
+                else:
+                    if self.at_keyword("DISTINCT"):
+                        self.advance()
+                        distinct = True
+                    if not self.at_punct(")"):
+                        args.append(self.parse_expr())
+                        while self.at_punct(","):
+                            self.advance()
+                            args.append(self.parse_expr())
+                self.expect_punct(")")
+                return FuncCall(
+                    name=name.lower(),
+                    args=tuple(args),
+                    distinct=distinct,
+                    star=star,
+                )
+            if self.at_punct("."):
+                self.advance()
+                return PropRef(var=name, key=self.expect_ident("property name"))
+            if self.at_punct(":"):
+                self.advance()
+                return HasLabel(var=name, label=self.expect_ident("label name"))
+            return VarRef(name)
+        raise QuerySyntaxError(
+            f"unexpected token {tok.value or 'end of input'!r}", tok.pos
+        )
+
+    # -- RETURN / ORDER BY / SET ------------------------------------------
+    def parse_return_item(self) -> ReturnItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.at_keyword("AS"):
+            self.advance()
+            alias = self.expect_ident("alias")
+        return ReturnItem(expr=expr, alias=alias)
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        desc = False
+        if self.at_keyword("DESC"):
+            self.advance()
+            desc = True
+        elif self.at_keyword("ASC"):
+            self.advance()
+        return OrderItem(expr=expr, desc=desc)
+
+    def parse_set_item(self) -> SetProp | SetLabel:
+        var = self.expect_ident("variable")
+        if self.at_punct(":"):
+            self.advance()
+            return SetLabel(var=var, label=self.expect_ident("label name"))
+        self.expect_punct(".")
+        key = self.expect_ident("property name")
+        self.expect_punct("=")
+        return SetProp(var=var, key=key, value=self.parse_primary())
+
+
+def parse_query(text: str) -> Query:
+    """Parse one Cypher-lite statement into its AST."""
+    return _Parser(text).parse()

@@ -57,6 +57,10 @@ class RankCounters:
     corruptions_injected: int = 0
     corruptions_detected: int = 0
     shard_repairs: int = 0
+    #: query-layer accounting (:mod:`repro.query.engine`): a cache *hit*
+    #: re-executes a previously built physical plan, skipping parse+plan.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -87,6 +91,8 @@ class RankCounters:
             "corruptions_injected": self.corruptions_injected,
             "corruptions_detected": self.corruptions_detected,
             "shard_repairs": self.shard_repairs,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
         }
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -192,6 +198,15 @@ class TraceRecorder:
     def record_repair(self, origin: int) -> None:
         """Account one failover shard reconstruction performed by ``origin``."""
         self.counters[origin].shard_repairs += 1
+
+    # -- query-layer accounting --------------------------------------------
+    def record_plan_cache(self, origin: int, hit: bool) -> None:
+        """Account one plan-cache lookup by the query engine at ``origin``."""
+        c = self.counters[origin]
+        if hit:
+            c.plan_cache_hits += 1
+        else:
+            c.plan_cache_misses += 1
 
     # -- aggregation ------------------------------------------------------
     def total(self, field_name: str) -> int:

@@ -1,0 +1,186 @@
+"""Tests for planner cardinality statistics: histograms, counts, charging."""
+
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gdi import Constraint, Datatype
+from repro.rma import run_spmd
+
+NRANKS = 3
+
+
+def _with_db(fn):
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=4096))
+        if ctx.rank == 0:
+            db.create_label(ctx, "A")
+            db.create_label(ctx, "B")
+            db.create_property_type(ctx, "x", dtype=Datatype.INT64)
+        ctx.barrier()
+        db.replica(ctx).sync()
+        return fn(ctx, db)
+
+    _, res = run_spmd(NRANKS, prog)
+    return res
+
+
+def _populate(ctx, db, n_a=6, n_b=3, n_both=2):
+    """Rank 0 creates labelled vertices; returns after a barrier."""
+    a = db.label(ctx, "A")
+    b = db.label(ctx, "B")
+    if ctx.rank == 0:
+        tx = db.start_transaction(ctx, write=True)
+        app = 0
+        for _ in range(n_a):
+            tx.create_vertex(app, labels=[a])
+            app += 1
+        for _ in range(n_b):
+            tx.create_vertex(app, labels=[b])
+            app += 1
+        for _ in range(n_both):
+            tx.create_vertex(app, labels=[a, b])
+            app += 1
+        tx.commit()
+    ctx.barrier()
+    return a, b
+
+
+def test_label_histogram_counts_commits():
+    def body(ctx, db):
+        a, b = _populate(ctx, db)
+        if ctx.rank != 0:
+            ctx.barrier()
+            return None
+        hist = db.directory.label_histogram(ctx)
+        out = {
+            "a": hist.get(a.int_id, 0),
+            "b": hist.get(b.int_id, 0),
+            "count_a": db.directory.label_count(ctx, a.int_id),
+            "count_b": db.directory.label_count(ctx, b.int_id),
+            "total": db.directory.count(ctx),
+        }
+        ctx.barrier()
+        return out
+
+    out = _with_db(body)[0]
+    assert out["a"] == 8  # 6 pure + 2 dual-labelled
+    assert out["b"] == 5
+    assert out["count_a"] == 8
+    assert out["count_b"] == 5
+    assert out["total"] == 11
+
+
+def test_histogram_tracks_label_updates_and_deletes():
+    def body(ctx, db):
+        a, b = _populate(ctx, db, n_a=3, n_b=0, n_both=0)
+        if ctx.rank != 0:
+            ctx.barrier()
+            return None
+        # relabel one A vertex to B, delete another
+        tx = db.start_transaction(ctx, write=True)
+        v0 = tx.find_vertex(0)
+        v0.remove_label(a)
+        v0.add_label(b)
+        tx.find_vertex(1).delete()
+        tx.commit()
+        hist = db.directory.label_histogram(ctx)
+        out = {"a": hist.get(a.int_id, 0), "b": hist.get(b.int_id, 0)}
+        ctx.barrier()
+        return out
+
+    out = _with_db(body)[0]
+    assert out == {"a": 1, "b": 1}
+
+
+def test_directory_version_bumps_on_commit():
+    def body(ctx, db):
+        v0 = db.directory.version
+        _populate(ctx, db, n_a=2, n_b=0, n_both=0)
+        out = (v0, db.directory.version) if ctx.rank == 0 else None
+        ctx.barrier()
+        return out
+
+    before, after = _with_db(body)[0]
+    assert after > before
+
+
+def test_explicit_index_count():
+    def body(ctx, db):
+        a, b = _populate(ctx, db)
+        idx = db.create_index(ctx, "by_a", Constraint.has_label(a.int_id))
+        n = idx.count(ctx)
+        ctx.barrier()
+        return n
+
+    res = _with_db(body)
+    assert all(n == 8 for n in res)
+
+
+def test_edge_index_count_sources():
+    def body(ctx, db):
+        a, b = _populate(ctx, db, n_a=4, n_b=1, n_both=0)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            dst = tx.find_vertex(4)
+            for app in range(3):  # 3 distinct sources -> the B vertex
+                tx.create_edge(tx.find_vertex(app), dst, label=b)
+            tx.commit()
+        ctx.barrier()
+        eidx = db.create_edge_index(ctx, "by_b", Constraint.has_label(b.int_id))
+        n = eidx.count_sources(ctx)
+        ctx.barrier()
+        return n
+
+    res = _with_db(body)
+    # 3 sources plus the destination: its incoming slots match too, and
+    # the index posts any vertex carrying a matching slot
+    assert all(n == 4 for n in res)
+
+
+def test_index_shard_sweep_charged_proportionally():
+    """Fetching a large remote posting list costs more simulated time
+    than fetching an empty one (proportional 8n-byte messages)."""
+
+    def body(ctx, db):
+        a, b = _populate(ctx, db, n_a=40, n_b=0, n_both=0)
+        idx = db.create_index(ctx, "by_a", Constraint.has_label(a.int_id))
+        out = None
+        if ctx.rank == 1:
+            # every created vertex is homed round-robin; find a shard with
+            # many postings and one with none after filtering
+            sizes = [
+                (shard, len(idx._shards[shard])) for shard in range(NRANKS)
+            ]
+            big = max(sizes, key=lambda t: t[1])[0]
+            t0 = ctx.clock
+            idx.shard_vertices(ctx, big)
+            dt_big = ctx.clock - t0
+            t0 = ctx.clock
+            db.directory.count(ctx, rank=big)  # flat 8-byte stat read
+            dt_small = ctx.clock - t0
+            out = (dt_big, dt_small)
+        ctx.barrier()
+        return out
+
+    dt_big, dt_small = _with_db(body)[1]
+    assert dt_big > dt_small
+
+
+def test_histogram_charge_scales_with_label_count():
+    """label_histogram charges per returned counter, so its cost exceeds a
+    single label_count sweep on the same shards."""
+
+    def body(ctx, db):
+        a, b = _populate(ctx, db)
+        out = None
+        if ctx.rank == 0:
+            t0 = ctx.clock
+            db.directory.label_histogram(ctx)
+            dt_hist = ctx.clock - t0
+            t0 = ctx.clock
+            db.directory.label_count(ctx, a.int_id)
+            dt_one = ctx.clock - t0
+            out = (dt_hist, dt_one)
+        ctx.barrier()
+        return out
+
+    dt_hist, dt_one = _with_db(body)[0]
+    assert dt_hist >= dt_one

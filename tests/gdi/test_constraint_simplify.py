@@ -1,0 +1,121 @@
+"""Unit tests for constraint combinator short-circuits and simplify()."""
+
+import pytest
+
+from repro.gdi import Constraint
+from repro.gdi.constraint import LabelCondition, PropertyCondition
+from repro.gdi.errors import GdiInvalidArgument
+
+
+def test_structural_true_false():
+    assert Constraint.true().is_true()
+    assert not Constraint.true().is_false()
+    assert Constraint.false().is_false()
+    assert not Constraint.false().is_true()
+    c = Constraint.has_label(1)
+    assert not c.is_true() and not c.is_false()
+
+
+def test_or_short_circuits():
+    c = Constraint.has_label(1)
+    assert (Constraint.true() | c).is_true()
+    assert (c | Constraint.true()).is_true()
+    assert (Constraint.false() | c) == c
+    assert (c | Constraint.false()) == c
+
+
+def test_and_short_circuits():
+    c = Constraint.has_label(1)
+    assert (Constraint.false() & c).is_false()
+    assert (c & Constraint.false()).is_false()
+    assert (Constraint.true() & c) == c
+    assert (c & Constraint.true()) == c
+
+
+def test_or_dedupes_identical_conjunctions():
+    c = Constraint.has_label(1)
+    assert (c | c) == c
+    d = Constraint.of(
+        [LabelCondition(1), PropertyCondition(2, ">", 5)],
+        [LabelCondition(1), PropertyCondition(2, ">", 5)],
+    )
+    assert len((d | d).conjunctions) == 1
+
+
+def test_and_self_does_not_square():
+    c = Constraint.has_label(1) | Constraint.has_label(2)
+    sq = c & c
+    # naive distribution yields 4 conjunctions of up to 2 conditions; the
+    # combinator dedupes within and across conjunctions
+    assert all(len(conj) <= 2 for conj in sq.conjunctions)
+    assert (sq.simplify()) == c
+
+
+def test_and_distributes_in_dnf():
+    a = Constraint.has_label(1) | Constraint.has_label(2)
+    b = Constraint.prop(3, ">", 0)
+    prod = a & b
+    assert len(prod.conjunctions) == 2
+    for conj in prod.conjunctions:
+        assert PropertyCondition(3, ">", 0) in conj
+
+
+def test_simplify_drops_contradictions():
+    both_ways = Constraint.of(
+        [LabelCondition(1, present=True), LabelCondition(1, present=False)]
+    )
+    assert both_ways.simplify().is_false()
+    exists_absent = Constraint.of(
+        [PropertyCondition(2, "exists"), PropertyCondition(2, "absent")]
+    )
+    assert exists_absent.simplify().is_false()
+    # a comparison implies existence, so absent + comparison contradicts
+    cmp_absent = Constraint.of(
+        [PropertyCondition(2, "absent"), PropertyCondition(2, ">", 1)]
+    )
+    assert cmp_absent.simplify().is_false()
+
+
+def test_simplify_absorption():
+    # A or (A and B)  ==  A
+    c = Constraint.of(
+        [LabelCondition(1)],
+        [LabelCondition(1), PropertyCondition(2, ">", 5)],
+    )
+    s = c.simplify()
+    assert s == Constraint.has_label(1)
+
+
+def test_simplify_empty_conjunction_is_true():
+    c = Constraint.of([LabelCondition(1)], [])
+    assert c.simplify().is_true()
+
+
+def test_simplify_keeps_independent_conjunctions():
+    c = Constraint.has_label(1) | Constraint.has_label(2)
+    assert c.simplify() == c
+
+
+def test_simplify_preserves_semantics_on_evaluation():
+    dtype_of = lambda pid: None  # noqa: E731 - no property conditions used
+    c = (
+        Constraint.has_label(1) | Constraint.has_label(2)
+    ) & Constraint.has_label(1)
+    s = c.simplify()
+    for labels in ([], [1], [2], [1, 2]):
+        assert c.evaluate(labels, [], dtype_of) == s.evaluate(
+            labels, [], dtype_of
+        )
+
+
+def test_unknown_property_operator_rejected():
+    with pytest.raises(GdiInvalidArgument):
+        PropertyCondition(1, "~=", 3)
+
+
+def test_n_conditions():
+    c = Constraint.of(
+        [LabelCondition(1), PropertyCondition(2, ">", 5)],
+        [LabelCondition(3)],
+    )
+    assert c.n_conditions == 3

@@ -1,0 +1,73 @@
+"""Shared fixtures for query-engine tests: a small social graph."""
+
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gdi import Datatype
+from repro.rma import run_spmd
+
+NRANKS = 2
+
+#: (app_id, labels, name, age)
+PEOPLE = [
+    (100, ["Person"], "alice", 30),
+    (101, ["Person"], "bob", 25),
+    (102, ["Person"], "carol", 41),
+    (103, ["Person"], "dave", 25),
+    (104, ["Person", "Admin"], "erin", 38),
+]
+CITIES = [(200, "zurich"), (201, "tokyo")]
+#: (src_app, dst_app, label)
+EDGES = [
+    (100, 101, "KNOWS"),
+    (101, 102, "KNOWS"),
+    (102, 103, "KNOWS"),
+    (103, 100, "KNOWS"),
+    (104, 100, "KNOWS"),
+    (100, 200, "LIVES_IN"),
+    (101, 200, "LIVES_IN"),
+    (102, 201, "LIVES_IN"),
+]
+
+
+def build_social_db(ctx, config=None):
+    """Create the shared schema + data; returns the database."""
+    db = GdaDatabase.create(ctx, config or GdaConfig(blocks_per_rank=4096))
+    if ctx.rank == 0:
+        for label in ("Person", "Admin", "City", "KNOWS", "LIVES_IN"):
+            db.create_label(ctx, label)
+        db.create_property_type(ctx, "name", dtype=Datatype.STRING)
+        db.create_property_type(ctx, "age", dtype=Datatype.INT64)
+    ctx.barrier()
+    db.replica(ctx).sync()
+    if ctx.rank == 0:
+        name = db.property_type(ctx, "name")
+        age = db.property_type(ctx, "age")
+        tx = db.start_transaction(ctx, write=True)
+        handles = {}
+        for app, labels, nm, a in PEOPLE:
+            handles[app] = tx.create_vertex(
+                app,
+                labels=[db.label(ctx, l) for l in labels],
+                properties=[(name, nm), (age, a)],
+            )
+        for app, nm in CITIES:
+            handles[app] = tx.create_vertex(
+                app, labels=[db.label(ctx, "City")], properties=[(name, nm)]
+            )
+        for src, dst, lbl in EDGES:
+            tx.create_edge(handles[src], handles[dst], label=db.label(ctx, lbl))
+        tx.commit()
+    ctx.barrier()
+    return db
+
+
+def run_rank0(fn, nranks=NRANKS, faults=None):
+    """Build the social db and run ``fn(ctx, db)`` on rank 0."""
+
+    def prog(ctx):
+        db = build_social_db(ctx)
+        out = fn(ctx, db) if ctx.rank == 0 else None
+        ctx.barrier()
+        return out
+
+    _, res = run_spmd(nranks, prog, faults=faults)
+    return res[0]

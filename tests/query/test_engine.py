@@ -1,0 +1,321 @@
+"""End-to-end engine tests: reads, writes, plan cache, PROFILE, retries."""
+
+import pytest
+
+from repro.gda.retry import RetryPolicy, run_transaction
+from repro.query import QueryEngine, QueryPlanError, run_reference
+from repro.rma.faults import FaultPlan
+
+from .conftest import run_rank0
+
+
+def test_point_lookup_and_projection():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        r = eng.run(ctx, "MATCH (a {id = 100}) RETURN a.name, a.age")
+        return r.columns, r.rows
+
+    cols, rows = run_rank0(fn)
+    assert cols == ("a.name", "a.age")
+    assert rows == [("alice", 30)]
+
+
+def test_missing_vertex_returns_no_rows():
+    def fn(ctx, db):
+        return QueryEngine(db).run(ctx, "MATCH (a {id = 999}) RETURN a").rows
+
+    assert run_rank0(fn) == []
+
+
+def test_expand_with_label_filter():
+    def fn(ctx, db):
+        r = QueryEngine(db).run(
+            ctx,
+            "MATCH (a:Person {name = 'alice'})-[:KNOWS]->(b) RETURN b.name",
+        )
+        return r.rows
+
+    assert run_rank0(fn) == [("bob",)]
+
+
+def test_incoming_and_any_direction():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        inc = eng.run(
+            ctx, "MATCH (a {id = 100})<-[:KNOWS]-(b) RETURN b.name "
+            "ORDER BY b.name"
+        ).rows
+        both = eng.run(
+            ctx, "MATCH (a {id = 100})-[:KNOWS]-(b) RETURN b.name "
+            "ORDER BY b.name"
+        ).rows
+        return inc, both
+
+    inc, both = run_rank0(fn)
+    assert inc == [("dave",), ("erin",)]
+    assert both == [("bob",), ("dave",), ("erin",)]
+
+
+def test_var_length_bfs_distance_semantics():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        hops2 = eng.run(
+            ctx,
+            "MATCH (a {id = 100})-[:KNOWS*1..2]->(b) RETURN b.name "
+            "ORDER BY b.name",
+        ).rows
+        with_zero = eng.run(
+            ctx,
+            "MATCH (a {id = 100})-[:KNOWS*0..1]->(b) RETURN b.name "
+            "ORDER BY b.name",
+        ).rows
+        return hops2, with_zero
+
+    hops2, with_zero = run_rank0(fn)
+    assert hops2 == [("bob",), ("carol",)]
+    # *0.. includes the source itself
+    assert with_zero == [("alice",), ("bob",)]
+
+
+def test_aggregates_and_grouping():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        grouped = eng.run(
+            ctx,
+            "MATCH (p:Person) RETURN p.age AS age, count(*) AS n "
+            "ORDER BY age",
+        ).rows
+        summary = eng.run(
+            ctx,
+            "MATCH (p:Person) RETURN min(p.age), max(p.age), sum(p.age), "
+            "avg(p.age), collect(p.name)",
+        ).rows
+        return grouped, summary
+
+    grouped, summary = run_rank0(fn)
+    assert grouped == [(25, 2), (30, 1), (38, 1), (41, 1)]
+    mn, mx, total, avg, names = summary[0]
+    assert (mn, mx, total) == (25, 41, 159)
+    assert abs(avg - 159 / 5) < 1e-12
+    assert names == ["alice", "bob", "carol", "dave", "erin"]
+
+
+def test_distinct_skip_limit():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        ages = eng.run(
+            ctx,
+            "MATCH (p:Person) RETURN DISTINCT p.age ORDER BY p.age",
+        ).rows
+        page = eng.run(
+            ctx,
+            "MATCH (p:Person) RETURN p.name ORDER BY p.name "
+            "SKIP 1 LIMIT 2",
+        ).rows
+        return ages, page
+
+    ages, page = run_rank0(fn)
+    assert ages == [(25,), (30,), (38,), (41,)]
+    assert page == [("bob",), ("carol",)]
+
+
+def test_multi_label_and_haslabel_predicate():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        admins = eng.run(
+            ctx, "MATCH (p:Person) WHERE p:Admin RETURN p.name"
+        ).rows
+        return admins
+
+    assert run_rank0(fn) == [("erin",)]
+
+
+def test_null_semantics():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        # cities have no age: comparisons with NULL are false
+        cmp_null = eng.run(
+            ctx, "MATCH (c:City) WHERE c.age <> 1 RETURN c.name"
+        ).rows
+        is_null = eng.run(
+            ctx,
+            "MATCH (c:City) WHERE c.age IS NULL RETURN c.name "
+            "ORDER BY c.name",
+        ).rows
+        return cmp_null, is_null
+
+    cmp_null, is_null = run_rank0(fn)
+    assert cmp_null == []
+    assert is_null == [("tokyo",), ("zurich",)]
+
+
+def test_edge_variable_output():
+    def fn(ctx, db):
+        r = QueryEngine(db).run(
+            ctx,
+            "MATCH (a {id = 100})-[e:LIVES_IN]->(c) RETURN e",
+        )
+        return r.rows
+
+    assert run_rank0(fn) == [((100, 200, "LIVES_IN"),)]
+
+
+def test_create_set_delete_roundtrip():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        eng.run(
+            ctx,
+            "CREATE (x:Person {id = 300, name = 'zed', age = 1})"
+            "-[:KNOWS]->(y:Person {id = 301, name = 'yan', age = 2})",
+        )
+        created = eng.run(
+            ctx, "MATCH (x {id = 300})-[:KNOWS]->(y) RETURN y.name"
+        ).rows
+        eng.run(ctx, "MATCH (x {id = 300}) SET x.age = 99, x:Admin")
+        updated = eng.run(
+            ctx,
+            "MATCH (x {id = 300}) WHERE x:Admin RETURN x.age",
+        ).rows
+        eng.run(ctx, "MATCH (x {id = 300}) DETACH DELETE x")
+        eng.run(ctx, "MATCH (y {id = 301}) DELETE y")
+        gone = eng.run(
+            ctx, "MATCH (x) WHERE x.id >= 300 RETURN count(*)"
+        ).rows
+        return created, updated, gone
+
+    created, updated, gone = run_rank0(fn)
+    assert created == [("yan",)]
+    assert updated == [(99,)]
+    assert gone == [(0,)]
+
+
+def test_create_into_matched_pattern():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        eng.run(
+            ctx,
+            "MATCH (a {id = 103}), (b {id = 104}) "
+            "CREATE (a)-[:KNOWS]->(b)",
+        )
+        return eng.run(
+            ctx, "MATCH (a {id = 103})-[:KNOWS]->(b) RETURN b.name "
+            "ORDER BY b.name"
+        ).rows
+
+    assert run_rank0(fn) == [("alice",), ("erin",)]
+
+
+def test_set_null_removes_property():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        eng.run(ctx, "MATCH (p {id = 100}) SET p.age = null")
+        return eng.run(
+            ctx, "MATCH (p {id = 100}) WHERE p.age IS NULL RETURN p.name"
+        ).rows
+
+    assert run_rank0(fn) == [("alice",)]
+
+
+def test_plan_cache_hits_recorded_in_trace():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        q = "MATCH (a {id = $i}) RETURN a.name"
+        eng.run(ctx, q, params={"i": 100})
+        info0 = dict(eng.cache_info(ctx))
+        eng.run(ctx, q, params={"i": 101})  # same text, new params: hit
+        eng.run(ctx, q, params={"i": 102})
+        info1 = dict(eng.cache_info(ctx))
+        snap = ctx.rt.trace.counters[ctx.rank].snapshot()
+        return info0, info1, snap
+
+    info0, info1, snap = run_rank0(fn)
+    assert info0["misses"] == 1 and info0["hits"] == 0
+    assert info1["misses"] == 1 and info1["hits"] == 2
+    assert info1["entries"] == 1
+    assert snap["plan_cache_hits"] == 2
+    assert snap["plan_cache_misses"] == 1
+
+
+def test_explain_mode_skips_execution():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        r = eng.run(ctx, "EXPLAIN MATCH (p:Person) RETURN p.name")
+        return r.rows, r.plan_text
+
+    rows, text = run_rank0(fn)
+    assert rows == []
+    assert text is not None and "LabelScan" in text
+
+
+def test_profile_mode_reports_per_operator_rows():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        r = eng.run(
+            ctx, "PROFILE MATCH (p:Person)-[:KNOWS]->(q) RETURN count(*)"
+        )
+        return r.rows, r.plan_text
+
+    rows, text = run_rank0(fn)
+    assert rows == [(5,)]
+    assert "rows=" in text and "rma_bytes=" in text
+    # the scan really moved bytes over the simulated fabric
+    scan_line = next(l for l in text.splitlines() if "LabelScan" in l)
+    assert "rma_bytes=0" not in scan_line
+
+
+def test_scalar_helper():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        n = eng.run(ctx, "MATCH (p:Person) RETURN count(*)").scalar()
+        with pytest.raises(QueryPlanError):
+            eng.run(ctx, "MATCH (p:Person) RETURN p.name").scalar()
+        return n
+
+    assert run_rank0(fn) == 5
+
+
+def test_engine_joins_external_transaction():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+
+        def body(tx):
+            r = eng.run(
+                ctx, "MATCH (p {id = 100}) RETURN p.age", tx=tx
+            )
+            return r.scalar()
+
+        return run_transaction(ctx, db, body, write=False)
+
+    assert run_rank0(fn) == 30
+
+
+def test_engine_query_retries_under_faults():
+    plan = FaultPlan(seed=7, transient_rate=0.02)
+
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+
+        def body(tx):
+            return eng.run(
+                ctx, "MATCH (p:Person) RETURN count(*)", tx=tx
+            ).scalar()
+
+        n = run_transaction(
+            ctx, db, body, write=False,
+            policy=RetryPolicy(max_attempts=20),
+        )
+        ref = run_reference(ctx, db, "MATCH (p:Person) RETURN count(*)")
+        return n, ref.rows
+
+    n, ref_rows = run_rank0(fn, faults=plan)
+    assert n == 5
+    assert ref_rows == [(5,)]
+
+
+def test_reference_rejects_writes():
+    def fn(ctx, db):
+        with pytest.raises(QueryPlanError):
+            run_reference(ctx, db, "CREATE (x {id = 1})")
+        return True
+
+    assert run_rank0(fn)

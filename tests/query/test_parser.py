@@ -1,0 +1,200 @@
+"""Unit tests for the Cypher-lite lexer and recursive-descent parser."""
+
+import pytest
+
+from repro.query import QuerySyntaxError, parse_query
+from repro.query.ast import (
+    Cmp,
+    FuncCall,
+    HasLabel,
+    IsNull,
+    Literal,
+    Param,
+    ParamRef,
+    PropRef,
+    VarRef,
+)
+
+
+def test_simple_match_return():
+    q = parse_query("MATCH (a:Person) RETURN a.name")
+    assert len(q.matches) == 1
+    path = q.matches[0]
+    assert len(path.nodes) == 1 and not path.rels
+    assert path.nodes[0].var == "a"
+    assert path.nodes[0].labels == ("Person",)
+    assert len(q.returns) == 1
+    item = q.returns[0]
+    assert isinstance(item.expr, PropRef)
+    assert (item.expr.var, item.expr.key) == ("a", "name")
+
+
+def test_property_map_ops_and_params():
+    q = parse_query(
+        "MATCH (a {id = $src, age > 30, name : 'x'}) RETURN a"
+    )
+    preds = {p.key: p for p in q.matches[0].nodes[0].preds}
+    assert isinstance(preds["id"].value, Param)
+    assert preds["id"].value.name == "src"
+    assert preds["age"].op == ">"
+    assert preds["name"].op == "="  # ':' sugar for '='
+    assert preds["name"].value == "x"
+
+
+def test_relationship_directions():
+    out = parse_query("MATCH (a)-[:KNOWS]->(b) RETURN a")
+    inc = parse_query("MATCH (a)<-[:KNOWS]-(b) RETURN a")
+    any_ = parse_query("MATCH (a)-[:KNOWS]-(b) RETURN a")
+    bare = parse_query("MATCH (a)-->(b) RETURN a")
+    assert out.matches[0].rels[0].direction == "out"
+    assert inc.matches[0].rels[0].direction == "in"
+    assert any_.matches[0].rels[0].direction == "any"
+    assert bare.matches[0].rels[0].direction == "out"
+    assert bare.matches[0].rels[0].label is None
+
+
+def test_variable_length_forms():
+    star = parse_query("MATCH (a)-[*]->(b) RETURN a")
+    exact = parse_query("MATCH (a)-[*3]->(b) RETURN a")
+    rng = parse_query("MATCH (a)-[:K*1..4]-(b) RETURN a")
+    upper = parse_query("MATCH (a)-[*..2]->(b) RETURN a")
+    lower = parse_query("MATCH (a)-[*2..]->(b) RETURN a")
+    one = parse_query("MATCH (a)-[*1..1]->(b) RETURN a")
+    assert (star.matches[0].rels[0].min_hops, star.matches[0].rels[0].max_hops) == (1, None)
+    assert (exact.matches[0].rels[0].min_hops, exact.matches[0].rels[0].max_hops) == (3, 3)
+    assert (rng.matches[0].rels[0].min_hops, rng.matches[0].rels[0].max_hops) == (1, 4)
+    assert (upper.matches[0].rels[0].min_hops, upper.matches[0].rels[0].max_hops) == (1, 2)
+    assert (lower.matches[0].rels[0].min_hops, lower.matches[0].rels[0].max_hops) == (2, None)
+    # *1..1 keeps variable-length (BFS distance) semantics
+    assert one.matches[0].rels[0].var_length
+    assert not parse_query("MATCH (a)-[]->(b) RETURN a").matches[0].rels[0].var_length
+
+
+def test_var_length_cannot_bind_variable():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("MATCH (a)-[e*1..2]->(b) RETURN e")
+
+
+def test_empty_hop_range_rejected():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("MATCH (a)-[*3..1]->(b) RETURN a")
+
+
+def test_where_expression_tree():
+    q = parse_query(
+        "MATCH (a) WHERE a.age >= 21 AND (a:Person OR NOT a.x IS NULL) "
+        "RETURN a"
+    )
+    w = q.where
+    assert w is not None
+    # top level is AND
+    from repro.query.ast import And, Not, Or
+
+    assert isinstance(w, And)
+    cmp_, disj = w.items
+    assert isinstance(cmp_, Cmp) and cmp_.op == ">="
+    assert isinstance(disj, Or)
+    lbl, neg = disj.items
+    assert isinstance(lbl, HasLabel) and lbl.label == "Person"
+    assert isinstance(neg, Not) and isinstance(neg.operand, IsNull)
+
+
+def test_is_not_null():
+    q = parse_query("MATCH (a) WHERE a.x IS NOT NULL RETURN a")
+    assert isinstance(q.where, IsNull) and q.where.negated
+
+
+def test_return_shaping_clauses():
+    q = parse_query(
+        "MATCH (a) RETURN DISTINCT a.name AS n, count(*) AS c "
+        "ORDER BY c DESC, n SKIP 2 LIMIT $k"
+    )
+    assert q.distinct
+    assert [i.alias for i in q.returns] == ["n", "c"]
+    f = q.returns[1].expr
+    assert isinstance(f, FuncCall) and f.star and f.aggregate
+    assert [(o.desc) for o in q.order_by] == [True, False]
+    assert q.skip == 2
+    assert isinstance(q.limit, Param) and q.limit.name == "k"
+
+
+def test_aggregate_distinct_arg():
+    q = parse_query("MATCH (a)-[]->(b) RETURN count(DISTINCT b)")
+    f = q.returns[0].expr
+    assert isinstance(f, FuncCall) and f.distinct and not f.star
+    assert isinstance(f.args[0], VarRef)
+
+
+def test_create_set_delete():
+    q = parse_query(
+        "CREATE (a:Person {id = 7, name = 'x'})-[:KNOWS]->(b:Person {id = 8})"
+    )
+    assert q.writes and len(q.creates) == 1
+    q = parse_query("MATCH (a {id = 7}) SET a.age = 30, a:Admin")
+    assert q.writes and len(q.sets) == 2
+    q = parse_query("MATCH (a {id = 7}) DETACH DELETE a")
+    assert q.writes and q.deletes == ("a",)
+
+
+def test_explain_profile_prefix():
+    assert parse_query("EXPLAIN MATCH (a) RETURN a").mode == "explain"
+    assert parse_query("PROFILE MATCH (a) RETURN a").mode == "profile"
+    assert parse_query("MATCH (a) RETURN a").mode == "run"
+
+
+def test_comments_and_whitespace():
+    q = parse_query(
+        """
+        // leading comment
+        MATCH (a:Person)  // trailing comment
+        RETURN a.name
+        """
+    )
+    assert q.matches[0].nodes[0].labels == ("Person",)
+
+
+def test_multiple_match_clauses_and_comma_paths():
+    q = parse_query("MATCH (a)-[]->(b), (c) MATCH (d) RETURN a, c, d")
+    assert len(q.matches) == 3
+
+
+def test_anonymous_nodes_get_fresh_vars():
+    q = parse_query("MATCH ()-[:K]->() RETURN count(*)")
+    nodes = q.matches[0].nodes
+    assert nodes[0].anonymous and nodes[1].anonymous
+    assert nodes[0].var != nodes[1].var
+
+
+def test_literals():
+    q = parse_query(
+        "MATCH (a) WHERE a.s = 'it\\'s' AND a.f = -1.5 AND a.b = true "
+        "AND a.n = null RETURN a"
+    )
+    lits = []
+
+    def walk(e):
+        if isinstance(e, Literal):
+            lits.append(e.value)
+        for f in getattr(e, "items", ()) or ():
+            walk(f)
+        if isinstance(e, Cmp):
+            walk(e.left)
+            walk(e.right)
+
+    walk(q.where)
+    assert "it's" in lits and -1.5 in lits and True in lits and None in lits
+
+
+def test_syntax_errors_carry_position():
+    with pytest.raises(QuerySyntaxError) as e:
+        parse_query("MATCH (a RETURN a")
+    assert "position" in str(e.value)
+    with pytest.raises(QuerySyntaxError):
+        parse_query("RETURN 1")  # no MATCH or CREATE
+    with pytest.raises(QuerySyntaxError):
+        parse_query("MATCH (a) RETURN a extra")
+
+
+def test_param_ref_in_where():
+    q = parse_query("MATCH (a) WHERE a.x > $lo RETURN a")
+    assert isinstance(q.where.right, ParamRef)

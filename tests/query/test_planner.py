@@ -1,0 +1,143 @@
+"""Planner tests: access-path selection, pushdown, EXPLAIN rendering."""
+
+import pytest
+
+from repro.gdi import Constraint
+from repro.query import QueryEngine, QueryPlanError
+
+from .conftest import run_rank0
+
+
+def _explain(fn_or_text, **kwargs):
+    if isinstance(fn_or_text, str):
+        text = fn_or_text
+
+        def fn(ctx, db):
+            return QueryEngine(db).explain(ctx, text)
+
+        return run_rank0(fn)
+    return run_rank0(fn_or_text)
+
+
+def test_point_lookup_uses_dht_seek_not_scan():
+    plan = _explain("MATCH (a {id = 100}) RETURN a.name")
+    assert "NodeByIdSeek" in plan
+    assert "AllNodeScan" not in plan and "LabelScan" not in plan
+
+
+def test_label_anchor_uses_label_scan_without_index():
+    plan = _explain("MATCH (p:Person) RETURN count(*)")
+    assert "LabelScan" in plan
+    assert "AllNodeScan" not in plan
+
+
+def test_index_backed_scan_when_index_matches():
+    # index creation is collective: run on all ranks
+    from repro.rma import run_spmd
+
+    from .conftest import NRANKS, build_social_db
+
+    def full(ctx):
+        db = build_social_db(ctx)
+        person = db.label(ctx, "Person")
+        db.create_index(ctx, "people", Constraint.has_label(person.int_id))
+        out = None
+        if ctx.rank == 0:
+            out = QueryEngine(db).explain(
+                ctx, "MATCH (p:Person) RETURN count(*)"
+            )
+        ctx.barrier()
+        return out
+
+    _, res = run_spmd(NRANKS, full)
+    plan = res[0]
+    assert "IndexScan" in plan and "people" in plan
+    assert "LabelScan" not in plan
+
+
+def test_predicate_pushdown_into_scan():
+    plan = _explain(
+        "MATCH (p:Person) WHERE p.age > 30 AND p.name = 'carol' "
+        "RETURN p.name"
+    )
+    # both conjuncts are sargable single-entry property predicates: they
+    # move into the scan spec and no residual Filter remains
+    assert "Filter" not in plan
+    assert "age > 30" in plan and "name = 'carol'" in plan
+
+
+def test_non_pushable_predicate_stays_in_filter():
+    plan = _explain(
+        "MATCH (p:Person)-[:KNOWS]->(q) WHERE p.age > q.age RETURN p.name"
+    )
+    assert "Filter" in plan
+
+
+def test_anchor_prefers_point_lookup_over_label():
+    plan = _explain(
+        "MATCH (p:Person)-[:KNOWS]->(q {id = 100}) RETURN p.name"
+    )
+    first_op = plan.splitlines()[1].strip()
+    assert first_op.startswith("NodeByIdSeek")
+    # the expansion then runs right-to-left from the seek
+    assert "Expand" in plan
+
+
+def test_var_length_expand_in_plan():
+    plan = _explain("MATCH (a {id = 100})-[:KNOWS*1..2]->(b) RETURN b.id")
+    assert "VarLengthExpand" in plan
+    assert "*1..2" in plan
+
+
+def test_unknown_names_plan_to_empty_constraint():
+    # unknown labels/properties are not an error: they match nothing
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        return eng.run(ctx, "MATCH (p:Nonexistent) RETURN count(*)").rows
+
+    assert run_rank0(fn) == [(0,)]
+
+
+def test_unbound_variable_errors():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        try:
+            eng.run(ctx, "MATCH (a) RETURN b.name")
+        except QueryPlanError as exc:
+            return str(exc)
+        return None
+
+    msg = run_rank0(fn)
+    assert msg is not None and "b" in msg
+
+
+def test_order_by_must_reference_returned_column():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        try:
+            eng.run(ctx, "MATCH (a) RETURN a.name ORDER BY a.age")
+        except QueryPlanError as exc:
+            return str(exc)
+        return None
+
+    assert run_rank0(fn) is not None
+
+
+def test_duplicate_output_columns_rejected():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        with pytest.raises(QueryPlanError):
+            eng.run(ctx, "MATCH (a) RETURN a.name, a.name")
+        return True
+
+    assert run_rank0(fn)
+
+
+def test_aggregate_cannot_nest():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        with pytest.raises(QueryPlanError):
+            eng.run(ctx, "MATCH (a) RETURN count(count(a))")
+        return True
+
+    assert run_rank0(fn)
