@@ -21,6 +21,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -60,10 +61,30 @@ def report(results_dir, request):
     return _report
 
 
+@pytest.fixture()
+def metrics(results_dir):
+    """Callable writing a named machine-readable result to disk.
+
+    The payload must be JSON-serializable; it lands in
+    ``results/<name>.json`` and is folded into the committed
+    ``BENCH_*.json`` files by the ``test_zz_*`` report step, so the perf
+    trajectory stays diffable across PRs.
+    """
+
+    def _metrics(name: str, payload: dict) -> pathlib.Path:
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _metrics
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results():
     """Start each benchmark session with empty report files."""
     RESULTS_DIR.mkdir(exist_ok=True)
     for f in RESULTS_DIR.glob("*.txt"):
+        f.unlink()
+    for f in RESULTS_DIR.glob("*.json"):
         f.unlink()
     yield

@@ -138,7 +138,7 @@ KERNELS = [
 
 
 @pytest.mark.parametrize("mode", ["weak", "strong"])
-def test_fig6(mode, benchmark, report):
+def test_fig6(mode, benchmark, report, metrics):
     ranks = [r for r in bench_ranks() if r >= 2] or [2, 4]
 
     def run_all():
@@ -169,6 +169,22 @@ def test_fig6(mode, benchmark, report):
         + format_table(headers, rows)
         + "\nRMA doorbell coalescing (summed over ranks):\n"
         + coal_lines,
+    )
+    metrics(
+        f"fig6_olap_{mode}_scaling",
+        {
+            "mode": mode,
+            "ranks": ranks,
+            "edge_factor": EDGE_FACTOR,
+            "scales": {str(r): data[r][1].scale for r in ranks},
+            "times_ms": {
+                str(r): {
+                    k: round(v * 1e3, 6) for k, v in data[r][0].items()
+                }
+                for r in ranks
+            },
+            "coalescing": {str(r): data[r][2] for r in ranks},
+        },
     )
 
     # --- shape assertions from Section 6.5 ------------------------------

@@ -9,6 +9,8 @@ plan re-execution skips parse+plan (plan-cache hit counters) and that
 point-lookup queries are planned index-backed, never as full scans.
 """
 
+import json
+import pathlib
 import random
 
 from repro.analysis import summarize
@@ -26,7 +28,12 @@ PARAMS = KroneckerParams(scale=8, edge_factor=8, seed=67)
 NRANKS = 4
 
 
-def test_query_engine_vs_handcoded(benchmark, report):
+#: Committed perf-smoke baseline: engine FOF latency the CI gate holds
+#: the tree to (simulated time is deterministic, so a tight bound works).
+BASELINE_PATH = pathlib.Path(__file__).parent / "baselines" / "perf_smoke.json"
+
+
+def test_query_engine_vs_handcoded(benchmark, report, metrics):
     n_queries = max(10, bench_ops() // 8)
 
     def run_all():
@@ -90,11 +97,13 @@ def test_query_engine_vs_handcoded(benchmark, report):
     dt_bi_hand, dt_bi_eng, dt_gc_hand, dt_gc_eng = bi_times
 
     rows = []
-    for name, vals in (
-        ("hand-coded 2-hop FOF", hand_fof),
-        ("engine 2-hop FOF", eng_fof),
+    fof_us = {}
+    for name, key, vals in (
+        ("hand-coded 2-hop FOF", "hand_fof_us", hand_fof),
+        ("engine 2-hop FOF", "eng_fof_us", eng_fof),
     ):
         s = summarize([v * 1e6 for v in vals], warmup_fraction=0.0)
+        fof_us[key] = {"mean": round(s.mean, 3), "p95": round(s.p95, 3)}
         rows.append([name, s.n, f"{s.mean:.1f}", f"{s.p95:.1f}"])
     for name, dt in (
         ("hand-coded BI2 aggregate", dt_bi_hand),
@@ -111,6 +120,26 @@ def test_query_engine_vs_handcoded(benchmark, report):
         + f"\nplan cache: {cache['hits']} hits / {cache['misses']} misses "
         f"({cache['entries']} cached plans)",
     )
+    metrics(
+        "query_engine",
+        {
+            "nranks": NRANKS,
+            "scale": PARAMS.scale,
+            "edge_factor": PARAMS.edge_factor,
+            "n_queries": n_queries,
+            "hand_fof_us": fof_us["hand_fof_us"],
+            "eng_fof_us": fof_us["eng_fof_us"],
+            "bi2_us": {
+                "hand": round(dt_bi_hand * 1e6, 3),
+                "engine": round(dt_bi_eng * 1e6, 3),
+            },
+            "group_by_label_us": {
+                "hand": round(dt_gc_hand * 1e6, 3),
+                "engine": round(dt_gc_eng * 1e6, 3),
+            },
+            "plan_cache": cache,
+        },
+    )
 
     # cached-plan re-execution skips parse+plan entirely
     assert cache["misses"] == 1
@@ -123,3 +152,19 @@ def test_query_engine_vs_handcoded(benchmark, report):
     mean = lambda xs: sum(xs) / len(xs)
     assert mean(eng_fof) < 6 * mean(hand_fof)
     assert dt_bi_eng < 12 * NRANKS * dt_bi_hand
+
+    # perf-smoke gate: engine latencies must stay within tolerance of the
+    # committed baseline (simulated time, so fully reproducible in CI)
+    if BASELINE_PATH.exists():
+        base = json.loads(BASELINE_PATH.read_text())
+        tol = 1.0 + base.get("tolerance_pct", 25) / 100.0
+        eng_fof_us = mean(eng_fof) * 1e6
+        assert eng_fof_us <= base["eng_fof_us_mean"] * tol, (
+            f"engine FOF regressed: {eng_fof_us:.1f}us vs baseline "
+            f"{base['eng_fof_us_mean']:.1f}us (+{base.get('tolerance_pct', 25)}%)"
+        )
+        if "bi2_eng_us" in base:
+            assert dt_bi_eng * 1e6 <= base["bi2_eng_us"] * tol, (
+                f"engine BI2 regressed: {dt_bi_eng * 1e6:.1f}us vs baseline "
+                f"{base['bi2_eng_us']:.1f}us (+{base.get('tolerance_pct', 25)}%)"
+            )

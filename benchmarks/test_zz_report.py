@@ -4,9 +4,10 @@ Named ``test_zz_*`` so pytest's alphabetical collection runs it after
 every experiment has written its section.
 """
 
+import json
 import pathlib
 
-from repro.analysis.report import build_report, write_report
+from repro.analysis.report import build_report, write_bench_json, write_report
 
 
 def test_zz_build_report(benchmark, results_dir):
@@ -17,6 +18,12 @@ def test_zz_build_report(benchmark, results_dir):
     )
     text = pathlib.Path(out).read_text()
     assert text.startswith("# Regenerated evaluation")
+    # fold per-experiment metrics into the committed BENCH_*.json trackers
+    bench_files = write_bench_json(results_dir, results_dir.parent)
+    for path in bench_files:
+        payload = json.loads(path.read_text())
+        assert payload, f"{path.name} folded to an empty payload"
+        print(f"bench json: {path} ({', '.join(sorted(payload))})")
     # every experiment that wrote results is present
     for stem in (p.stem for p in results_dir.glob("*.txt")):
         assert stem in text or any(

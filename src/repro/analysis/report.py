@@ -8,9 +8,16 @@ regenerated evaluation.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
-__all__ = ["SECTION_ORDER", "build_report", "write_report"]
+__all__ = [
+    "SECTION_ORDER",
+    "BENCH_JSON_GROUPS",
+    "build_report",
+    "write_report",
+    "write_bench_json",
+]
 
 #: (results file stem, section heading) in the paper's presentation order.
 SECTION_ORDER: list[tuple[str, str]] = [
@@ -26,6 +33,7 @@ SECTION_ORDER: list[tuple[str, str]] = [
     ("interactive_complex", "Extension — interactive complex queries"),
     ("query_engine", "Extension — declarative query engine vs hand-coded"),
     ("micro_batch_coalescing", "Microbenchmark — RMA doorbell coalescing"),
+    ("micro_codec", "Microbenchmark — holder codec: struct vs numpy view"),
     ("ablation_blocksize", "Ablation — BGDL block size"),
     ("ablation_features", "Ablations — batching & rebalancing"),
     ("costmodel_validation", "Appendix — cost-model validation"),
@@ -75,3 +83,46 @@ def write_report(
     out_path = pathlib.Path(out_path)
     out_path.write_text(build_report(results_dir))
     return out_path
+
+
+#: Committed tracking file -> the per-experiment JSON stems folded into it.
+BENCH_JSON_GROUPS: dict[str, tuple[str, ...]] = {
+    "BENCH_fig6.json": (
+        "fig6_olap_weak_scaling",
+        "fig6_olap_strong_scaling",
+    ),
+    "BENCH_query.json": (
+        "query_engine",
+        "micro_codec",
+    ),
+}
+
+
+def write_bench_json(
+    results_dir: pathlib.Path | str, out_dir: pathlib.Path | str
+) -> list[pathlib.Path]:
+    """Fold per-experiment metrics JSON into the committed BENCH_* files.
+
+    Each group file maps experiment stem -> that experiment's metrics
+    payload.  Stems whose ``results/<stem>.json`` is absent (experiment
+    not run this session) are skipped, and a group with no present stems
+    writes nothing — a partial benchmark run never clobbers tracked
+    history with an empty file.
+    """
+    results_dir = pathlib.Path(results_dir)
+    out_dir = pathlib.Path(out_dir)
+    written: list[pathlib.Path] = []
+    for out_name, stems in BENCH_JSON_GROUPS.items():
+        merged = {}
+        for stem in stems:
+            path = results_dir / f"{stem}.json"
+            if path.exists():
+                merged[stem] = json.loads(path.read_text())
+        if not merged:
+            continue
+        out_path = out_dir / out_name
+        out_path.write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n"
+        )
+        written.append(out_path)
+    return written

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from ..rma.runtime import RankContext
 from ..rma.window import Window
 from .dptr import (
@@ -100,11 +102,12 @@ class BlockManager:
 
     def _init_local_segment(self, ctx: RankContext) -> None:
         me = ctx.rank
-        for i in range(self.blocks_per_rank - 1):
-            self.usage_win.write_i64(me, 8 * i, i + 1)
-        self.usage_win.write_i64(
-            me, 8 * (self.blocks_per_rank - 1), TAG_NULL_INDEX
-        )
+        # free-list chain 0 -> 1 -> ... -> NULL, materialized as one
+        # vectorized array and stored with a single bulk slice write
+        # instead of blocks_per_rank scalar stores
+        links = np.arange(1, self.blocks_per_rank + 1, dtype="<i8")
+        links[-1] = TAG_NULL_INDEX
+        self.usage_win.write(me, 0, links.tobytes())
         self.system_win.write_i64(me, SYS_HEAD_OFF, pack_tagged(0, 0))
         self.system_win.write_i64(me, SYS_COUNT_OFF, 0)
 

@@ -25,6 +25,30 @@ Payload layout:
 Edge slots pack ``(target DPtr, label integer ID, flags)`` where flags
 carry the direction (OUT/IN/UNDIRECTED) and a HEAVY bit marking slots
 whose DPtr points at an edge holder instead of a neighbor vertex.
+
+Zero-copy codec
+---------------
+
+The on-wire layouts are mirrored by numpy structured dtypes
+(:data:`SLOT_DTYPE`, :data:`HEADER_DTYPE`) so decoded holders keep the
+raw slot region as an opaque buffer instead of eagerly unpacking one
+:class:`EdgeSlot` per edge.  :meth:`VertexHolder.edges_as_arrays` views
+that buffer directly (no per-edge Python objects); the ``edges`` list is
+materialized lazily only when slot-granular mutation is needed, at which
+point the buffer is dropped so the two representations can never
+diverge.
+
+Projected reads
+---------------
+
+:meth:`HolderStorage.read_many` accepts a *needs mask* (NEED_IDENT /
+NEED_TOPO / NEED_ENTRIES) describing which holder parts the caller will
+touch.  Partial reads fetch the 40-byte header plus a small
+address-area hint first, then only the exact payload spans covering the
+requested parts — a 2-hop traversal that only follows edges never pays
+for property bytes.  The CRC covers the whole payload, so it is only
+verified on full-payload reads; partial reads trade that check for
+bandwidth (the block headers still catch stale/freed blocks).
 """
 
 from __future__ import annotations
@@ -32,6 +56,8 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..gdi.errors import GdiChecksumError, GdiNoMemory, GdiStateError
 from ..rma.runtime import RankContext
@@ -49,6 +75,12 @@ __all__ = [
     "SLOT_HEAVY",
     "KIND_VERTEX",
     "KIND_EDGE",
+    "NEED_IDENT",
+    "NEED_TOPO",
+    "NEED_ENTRIES",
+    "NEED_ALL",
+    "SLOT_DTYPE",
+    "HEADER_DTYPE",
     "EdgeSlot",
     "VertexHolder",
     "EdgeHolder",
@@ -74,9 +106,51 @@ DIR_UNDIR = 3
 DIR_MASK = 3
 SLOT_HEAVY = 4
 
+# holder-part needs mask (projected reads)
+NEED_IDENT = 1  # header only: kind, app_id, edge count
+NEED_TOPO = 2  # the edge-slot region
+NEED_ENTRIES = 4  # the label/property entry stream
+NEED_ALL = NEED_IDENT | NEED_TOPO | NEED_ENTRIES
+
 _HEADER = struct.Struct("<BBHIIqIIII")  # 36 bytes, padded to 40
 _SLOT = struct.Struct("<qii")
 _ENDPOINTS = struct.Struct("<qq")
+
+#: numpy mirror of the 16-byte edge slot (``<qii``).
+SLOT_DTYPE = np.dtype(
+    [("dptr", "<i8"), ("label", "<i4"), ("flags", "<i4")]
+)
+
+#: numpy mirror of the 36-byte packed header (``<BBHIIqIIII``).
+HEADER_DTYPE = np.dtype(
+    [
+        ("kind", "u1"),
+        ("flags", "u1"),
+        ("pad", "<u2"),
+        ("ndata", "<u4"),
+        ("nindex", "<u4"),
+        ("app_id", "<i8"),
+        ("edge_count", "<u4"),
+        ("entries_len", "<u4"),
+        ("payload_len", "<u4"),
+        ("crc", "<u4"),
+    ]
+)
+
+# The dtypes must mirror the struct layouts bit-for-bit, and the packed
+# header must pad to exactly the documented HEADER_BYTES — the writers
+# assume it, and a silent drift would corrupt every stored holder.
+assert SLOT_DTYPE.itemsize == _SLOT.size == SLOT_BYTES
+assert HEADER_DTYPE.itemsize == _HEADER.size == 36
+assert HEADER_BYTES - _HEADER.size == 4, "header pads 36 -> 40 bytes"
+
+#: bytes of address area fetched speculatively with every header read;
+#: covers holders with up to 8 continuation/index addresses in one round.
+_ADDR_HINT = 64
+
+#: NEED_ALL batches smaller than this use the classic full-primary-block
+#: read (one round fewer for small holders; CRC always verified).
+_HEADER_FIRST_MIN_BATCH = 8
 
 
 @dataclass
@@ -102,27 +176,168 @@ class EdgeSlot:
         return bool(self.flags & SLOT_HEAVY)
 
 
-@dataclass
 class VertexHolder:
-    """Decoded vertex: application ID, labels, properties, edge slots."""
+    """Decoded vertex: application ID, labels, properties, edge slots.
 
-    app_id: int
-    labels: list[int] = field(default_factory=list)
-    properties: list[tuple[int, bytes]] = field(default_factory=list)
-    edges: list[EdgeSlot] = field(default_factory=list)
+    The edge slots live in exactly one of two representations:
+
+    * ``_slot_buf`` — the raw 16-byte-per-slot region as read off the
+      wire (zero-copy; served to bulk consumers as numpy views);
+    * ``_edges`` — a materialized ``list[EdgeSlot]`` for slot-granular
+      mutation.
+
+    Reading :attr:`edges` materializes the list and *drops the buffer*,
+    so a mutated list can never coexist with a stale buffer.  Holders
+    from projected reads may carry neither (topology not fetched);
+    touching :attr:`edges` then raises :class:`GdiStateError` — the
+    transaction layer hydrates missing parts before handing out slots.
+    """
 
     kind = KIND_VERTEX
 
-    def payload(self) -> tuple[bytes, int]:
-        slots = b"".join(
-            _SLOT.pack(s.dptr, s.label_id, s.flags) for s in self.edges
+    __slots__ = ("app_id", "labels", "properties", "_edges", "_slot_buf")
+
+    def __init__(
+        self,
+        app_id: int,
+        labels: list[int] | None = None,
+        properties: list[tuple[int, bytes]] | None = None,
+        edges: list[EdgeSlot] | None = None,
+    ) -> None:
+        self.app_id = app_id
+        self.labels = [] if labels is None else labels
+        self.properties = [] if properties is None else properties
+        self._edges: list[EdgeSlot] | None = (
+            [] if edges is None else edges
         )
+        self._slot_buf: bytes | None = None
+
+    @classmethod
+    def _from_wire(
+        cls,
+        app_id: int,
+        labels: list[int] | None,
+        properties: list[tuple[int, bytes]] | None,
+        slot_buf: bytes | None,
+    ) -> "VertexHolder":
+        """Build a decoded holder, possibly with unfetched parts."""
+        h = cls(app_id)
+        h.labels = labels  # type: ignore[assignment]  # None = not fetched
+        h.properties = properties  # type: ignore[assignment]
+        h._edges = None
+        h._slot_buf = slot_buf
+        return h
+
+    # -- edge-slot access --------------------------------------------------
+    @property
+    def edges(self) -> list[EdgeSlot]:
+        if self._edges is None:
+            if self._slot_buf is None:
+                raise GdiStateError(
+                    "vertex holder topology not loaded (projected read)"
+                )
+            self._edges = [
+                EdgeSlot(dptr, label_id, flags)
+                for dptr, label_id, flags in _SLOT.iter_unpack(self._slot_buf)
+            ]
+            self._slot_buf = None  # single source of truth from here on
+        return self._edges
+
+    @edges.setter
+    def edges(self, value: list[EdgeSlot]) -> None:
+        self._edges = value
+        self._slot_buf = None
+
+    @property
+    def has_topology(self) -> bool:
+        return self._edges is not None or self._slot_buf is not None
+
+    @property
+    def edge_count(self) -> int:
+        if self._edges is not None:
+            return len(self._edges)
+        if self._slot_buf is not None:
+            return len(self._slot_buf) // SLOT_BYTES
+        raise GdiStateError(
+            "vertex holder topology not loaded (projected read)"
+        )
+
+    def edges_as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(dptr, label, flags)`` arrays over the edge slots, zero-copy.
+
+        When the holder still carries its wire buffer the arrays are
+        read-only views straight over it (no per-edge objects, no
+        copies); a materialized list is packed on the fly.
+        """
+        if self._slot_buf is not None:
+            view = np.frombuffer(self._slot_buf, dtype=SLOT_DTYPE)
+            return view["dptr"], view["label"], view["flags"]
+        edges = self.edges
+        n = len(edges)
+        arr = np.empty(n, dtype=SLOT_DTYPE)
+        if n:
+            arr["dptr"] = [s.dptr for s in edges]
+            arr["label"] = [s.label_id for s in edges]
+            arr["flags"] = [s.flags for s in edges]
+        return arr["dptr"], arr["label"], arr["flags"]
+
+    def targets(self, label_id: int | None = None) -> np.ndarray:
+        """DPtrs of lightweight neighbors, optionally for one edge label.
+
+        Heavy slots are excluded (their DPtr addresses an edge holder,
+        not a neighbor); bulk analytics consumers resolve those rarely
+        and separately.
+        """
+        dptr, label, flags = self.edges_as_arrays()
+        mask = (flags & SLOT_HEAVY) == 0
+        if label_id is not None:
+            mask &= label == label_id
+        return dptr[mask]
+
+    # -- serialization -----------------------------------------------------
+    def _slot_bytes(self) -> bytes:
+        if self._edges is None and self._slot_buf is not None:
+            return self._slot_buf
+        edges = self.edges
+        if len(edges) >= 64:
+            arr = np.empty(len(edges), dtype=SLOT_DTYPE)
+            arr["dptr"] = [s.dptr for s in edges]
+            arr["label"] = [s.label_id for s in edges]
+            arr["flags"] = [s.flags for s in edges]
+            return arr.tobytes()
+        return b"".join(
+            _SLOT.pack(s.dptr, s.label_id, s.flags) for s in edges
+        )
+
+    def payload(self) -> tuple[bytes, int]:
         stream = encode_entries(self.labels, self.properties)
-        return slots + stream, 0
+        return self._slot_bytes() + stream, 0
 
     def payload_nbytes(self) -> int:
-        return SLOT_BYTES * len(self.edges) + entries_nbytes(
+        return SLOT_BYTES * self.edge_count + entries_nbytes(
             self.labels, self.properties
+        )
+
+    # -- value semantics (kept from the dataclass era) ---------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VertexHolder):
+            return NotImplemented
+        return (
+            self.app_id == other.app_id
+            and self.labels == other.labels
+            and self.properties == other.properties
+            and self.edges == other.edges
+        )
+
+    def __repr__(self) -> str:
+        edges = (
+            f"<{len(self._slot_buf) // SLOT_BYTES} packed slots>"
+            if self._edges is None and self._slot_buf is not None
+            else self._edges
+        )
+        return (
+            f"VertexHolder(app_id={self.app_id!r}, labels={self.labels!r}, "
+            f"properties={self.properties!r}, edges={edges!r})"
         )
 
 
@@ -189,6 +404,9 @@ class StoredHolder:
     primary: int
     data_blocks: list[int] = field(default_factory=list)
     index_blocks: list[int] = field(default_factory=list)
+    #: which holder parts were actually fetched (projected reads); holders
+    #: built locally or read in full carry NEED_ALL.
+    parts: int = NEED_ALL
 
     @property
     def all_blocks(self) -> list[int]:
@@ -224,7 +442,9 @@ class HolderStorage:
         crc: int = 0,
     ) -> bytes:
         entries_len = entries_nbytes(holder.labels, holder.properties)
-        edge_count = len(holder.edges) if holder.kind == KIND_VERTEX else 0
+        edge_count = (
+            holder.edge_count if holder.kind == KIND_VERTEX else 0
+        )
         hdr = _HEADER.pack(
             holder.kind,
             flags,
@@ -237,21 +457,18 @@ class HolderStorage:
             payload_len,
             crc,
         )
+        assert HEADER_BYTES - len(hdr) == 4
         return hdr + b"\x00" * (HEADER_BYTES - len(hdr))
 
     @staticmethod
     def _parse_payload(kind: int, flags: int, edge_count: int, payload: bytes):
         if kind == KIND_VERTEX:
-            edges = []
-            for i in range(edge_count):
-                dptr, label_id, slot_flags = _SLOT.unpack_from(
-                    payload, SLOT_BYTES * i
-                )
-                edges.append(EdgeSlot(dptr, label_id, slot_flags))
-            labels, props = decode_entries(payload[SLOT_BYTES * edge_count :])
-            # app_id is filled in by the caller from the header
-            return VertexHolder(
-                app_id=0, labels=labels, properties=props, edges=edges
+            topo_len = SLOT_BYTES * edge_count
+            labels, props = decode_entries(payload[topo_len:])
+            # app_id is filled in by the caller from the header; the raw
+            # slot region is kept as-is (zero-copy decode).
+            return VertexHolder._from_wire(
+                0, labels, props, payload[:topo_len]
             )
         if kind == KIND_EDGE:
             src, dst = _ENDPOINTS.unpack_from(payload, 0)
@@ -395,81 +612,118 @@ class HolderStorage:
         ctx.flush(self.blocks.data_win)
 
     # -- read -------------------------------------------------------------------
-    def read(self, ctx: RankContext, primary: int) -> StoredHolder:
+    def read(
+        self, ctx: RankContext, primary: int, need: int = NEED_ALL
+    ) -> StoredHolder:
         """Fetch and decode the holder whose primary block is ``primary``."""
-        return self.read_many(ctx, [primary])[0]  # type: ignore[return-value]
+        return self.read_many(ctx, [primary], need=need)[0]  # type: ignore[return-value]
 
     def read_many(
         self,
         ctx: RankContext,
         primaries: list[int],
         missing_ok: bool = False,
+        need: int | list[int] = NEED_ALL,
     ) -> list[StoredHolder | None]:
         """Fetch and decode many holders with batched per-rank reads.
 
-        Three fetch rounds regardless of holder count — primaries, then
-        index blocks, then data blocks — each round one coalesced message
-        per distinct owner rank.  With ``missing_ok`` a primary block that
-        holds no holder yields ``None`` instead of raising
-        :class:`GdiStateError`.
+        ``need`` is a holder-parts mask (or one mask per primary):
+        callers that will only follow edges pass ``NEED_TOPO``, property
+        filters pass ``NEED_ENTRIES``, pure existence checks
+        ``NEED_IDENT``.  Partial reads fetch the header plus only the
+        exact payload spans covering the requested parts; full reads of
+        small batches keep the classic full-primary-block path (and its
+        CRC verification).  Edge holders are always read in full.
+
+        A constant number of fetch rounds regardless of holder count,
+        each round one coalesced message per distinct owner rank.  With
+        ``missing_ok`` a primary block that holds no holder yields
+        ``None`` instead of raising :class:`GdiStateError`.
         """
         if not primaries:
             return []
+        needs = (
+            list(need)
+            if isinstance(need, (list, tuple))
+            else [need] * len(primaries)
+        )
+        if len(needs) != len(primaries):
+            raise ValueError("needs mask list must match primaries")
+        if (
+            all(n == NEED_ALL for n in needs)
+            and len(primaries) < _HEADER_FIRST_MIN_BATCH
+        ):
+            return self._read_many_full(ctx, primaries, missing_ok)
+        return self._read_many_projected(ctx, primaries, needs, missing_ok)
+
+    def _decode_header(
+        self, primary: int, blob: bytes, missing_ok: bool
+    ) -> dict | None:
+        (
+            kind,
+            flags,
+            _,
+            ndata,
+            nindex,
+            app_id,
+            edge_count,
+            entries_len,
+            payload_len,
+            crc,
+        ) = _HEADER.unpack_from(blob, 0)
+        if kind not in (KIND_VERTEX, KIND_EDGE):
+            if missing_ok:
+                return None
+            raise GdiStateError(f"no holder at {primary:#x} (kind={kind})")
+        return {
+            "primary": primary,
+            "kind": kind,
+            "flags": flags,
+            "ndata": ndata,
+            "nindex": nindex,
+            "app_id": app_id,
+            "edge_count": edge_count,
+            "entries_len": entries_len,
+            "payload_len": payload_len,
+            "crc": crc,
+            "blob": blob,
+            "index_blocks": [],
+            "data_blocks": [],
+        }
+
+    def _read_many_full(
+        self,
+        ctx: RankContext,
+        primaries: list[int],
+        missing_ok: bool,
+    ) -> list[StoredHolder | None]:
+        """Classic path: full primary blocks, then index, then data."""
         bs = self.blocks.block_size
         # Round 1: every primary block, coalesced per owner rank.
-        blobs = self.blocks.read_blocks(
-            ctx, [(p, 0, bs) for p in primaries]
-        )
+        blobs = self.blocks.read_blocks(ctx, [(p, 0, bs) for p in primaries])
         infos: list[dict | None] = []
         for primary, blob in zip(primaries, blobs):
-            (
-                kind,
-                flags,
-                _,
-                ndata,
-                nindex,
-                app_id,
-                edge_count,
-                _entries_len,
-                payload_len,
-                crc,
-            ) = _HEADER.unpack_from(blob, 0)
-            if kind not in (KIND_VERTEX, KIND_EDGE):
-                if missing_ok:
-                    infos.append(None)
-                    continue
-                raise GdiStateError(f"no holder at {primary:#x} (kind={kind})")
+            info = self._decode_header(primary, blob, missing_ok)
+            if info is None:
+                infos.append(None)
+                continue
             pos = HEADER_BYTES
-            index_blocks: list[int] = []
-            data_blocks: list[int] = []
-            if flags & FLAG_INDIRECT:
-                for _ in range(nindex):
-                    index_blocks.append(
-                        int.from_bytes(blob[pos : pos + 8], "little", signed=True)
-                    )
-                    pos += 8
-            else:
-                for _ in range(ndata):
-                    data_blocks.append(
-                        int.from_bytes(blob[pos : pos + 8], "little", signed=True)
-                    )
-                    pos += 8
-            infos.append(
-                {
-                    "primary": primary,
-                    "kind": kind,
-                    "flags": flags,
-                    "ndata": ndata,
-                    "app_id": app_id,
-                    "edge_count": edge_count,
-                    "payload_len": payload_len,
-                    "crc": crc,
-                    "pos": pos,
-                    "blob": blob,
-                    "index_blocks": index_blocks,
-                    "data_blocks": data_blocks,
-                }
+            addrs = np.frombuffer(
+                blob,
+                dtype="<i8",
+                count=(
+                    info["nindex"]
+                    if info["flags"] & FLAG_INDIRECT
+                    else info["ndata"]
+                ),
+                offset=pos,
             )
+            if info["flags"] & FLAG_INDIRECT:
+                info["index_blocks"] = addrs.tolist()
+            else:
+                info["data_blocks"] = addrs.tolist()
+            info["pos"] = pos + 8 * len(addrs)
+            infos.append(info)
         # Round 2: index blocks of indirect holders, all in one batch.
         per_index = bs // 8
         index_specs: list[tuple[int, int, int]] = []
@@ -486,12 +740,9 @@ class HolderStorage:
         if index_specs:
             iblobs = self.blocks.read_blocks(ctx, index_specs)
             for (info, take), iblob in zip(index_owner, iblobs):
-                for k in range(take):
-                    info["data_blocks"].append(
-                        int.from_bytes(
-                            iblob[8 * k : 8 * k + 8], "little", signed=True
-                        )
-                    )
+                info["data_blocks"].extend(
+                    np.frombuffer(iblob, dtype="<i8", count=take).tolist()
+                )
         # Round 3: every continuation data block of every holder.
         data_specs: list[tuple[int, int, int]] = []
         data_owner: list[dict] = []
@@ -502,7 +753,7 @@ class HolderStorage:
                 info["pos"] : info["pos"]
                 + min(info["payload_len"], bs - info["pos"])
             ]
-            info["parts"] = [head]
+            info["pieces"] = [head]
             got = len(head)
             for dptr in info["data_blocks"]:
                 take = min(bs, info["payload_len"] - got)
@@ -512,19 +763,14 @@ class HolderStorage:
         if data_specs:
             dblobs = self.blocks.read_blocks(ctx, data_specs)
             for info, dblob in zip(data_owner, dblobs):
-                info["parts"].append(dblob)
+                info["pieces"].append(dblob)
         out: list[StoredHolder | None] = []
         for info in infos:
             if info is None:
                 out.append(None)
                 continue
-            payload = b"".join(info["parts"])
-            if zlib.crc32(payload) & 0xFFFFFFFF != info["crc"]:
-                ctx.rt.trace.record_corruption_detected(ctx.rank)
-                raise GdiChecksumError(
-                    f"holder at {info['primary']:#x} failed CRC32 "
-                    f"verification (payload of {len(payload)} B)"
-                )
+            payload = b"".join(info["pieces"])
+            self._check_crc(ctx, info, payload)
             holder = self._parse_payload(
                 info["kind"], info["flags"], info["edge_count"], payload
             )
@@ -539,15 +785,215 @@ class HolderStorage:
             )
         return out
 
+    def _check_crc(self, ctx: RankContext, info: dict, payload: bytes) -> None:
+        if zlib.crc32(payload) & 0xFFFFFFFF != info["crc"]:
+            ctx.rt.trace.record_corruption_detected(ctx.rank)
+            raise GdiChecksumError(
+                f"holder at {info['primary']:#x} failed CRC32 "
+                f"verification (payload of {len(payload)} B)"
+            )
+
+    def _read_many_projected(
+        self,
+        ctx: RankContext,
+        primaries: list[int],
+        needs: list[int],
+        missing_ok: bool,
+    ) -> list[StoredHolder | None]:
+        """Header-first path: exact payload spans for the needed parts.
+
+        Rounds: (1) header + address hint, (2) address-area overflow +
+        index blocks already addressable, (3) index blocks behind an
+        overflow, (4) payload spans.  Rounds 2 and 3 are usually empty.
+        """
+        bs = self.blocks.block_size
+        hint_len = min(bs, HEADER_BYTES + _ADDR_HINT)
+        blobs = self.blocks.read_blocks(
+            ctx, [(p, 0, hint_len) for p in primaries]
+        )
+        infos: list[dict | None] = []
+        # Round 2: complete the address areas.
+        over_specs: list[tuple[int, int, int]] = []
+        over_owner: list[dict] = []
+        for primary, blob, n in zip(primaries, blobs, needs):
+            info = self._decode_header(primary, blob, missing_ok)
+            infos.append(info)
+            if info is None:
+                continue
+            if info["kind"] == KIND_EDGE:
+                n = NEED_ALL  # endpoints and entries interleave: read all
+            info["need"] = n
+            indirect = bool(info["flags"] & FLAG_INDIRECT)
+            naddr = info["nindex"] if indirect else info["ndata"]
+            info["pos"] = HEADER_BYTES + 8 * naddr
+            avail = min(naddr, (hint_len - HEADER_BYTES) // 8)
+            addrs = np.frombuffer(
+                blob, dtype="<i8", count=avail, offset=HEADER_BYTES
+            ).tolist()
+            if indirect:
+                info["index_blocks"] = addrs
+            else:
+                info["data_blocks"] = addrs
+            if avail < naddr:
+                over_specs.append(
+                    (primary, HEADER_BYTES + 8 * avail, 8 * (naddr - avail))
+                )
+                over_owner.append(info)
+        late_index: list[dict] = []
+        if over_specs:
+            oblobs = self.blocks.read_blocks(ctx, over_specs)
+            for info, oblob in zip(over_owner, oblobs):
+                addrs = np.frombuffer(oblob, dtype="<i8").tolist()
+                if info["flags"] & FLAG_INDIRECT:
+                    info["index_blocks"].extend(addrs)
+                    late_index.append(info)
+                else:
+                    info["data_blocks"].extend(addrs)
+        # Rounds 2b/3: index blocks (early for hint-resolved holders).
+        per_index = bs // 8
+        late_ids = {id(i) for i in late_index}
+        for batch in (
+            [
+                i
+                for i in infos
+                if i and i["index_blocks"] and id(i) not in late_ids
+            ],
+            late_index,
+        ):
+            index_specs = []
+            index_owner = []
+            for info in batch:
+                remaining = info["ndata"]
+                for iptr in info["index_blocks"]:
+                    take = min(per_index, remaining)
+                    index_specs.append((iptr, 0, 8 * take))
+                    index_owner.append((info, take))
+                    remaining -= take
+            if index_specs:
+                iblobs = self.blocks.read_blocks(ctx, index_specs)
+                for (info, take), iblob in zip(index_owner, iblobs):
+                    info["data_blocks"].extend(
+                        np.frombuffer(iblob, dtype="<i8", count=take).tolist()
+                    )
+        # Round 4: exact payload spans.
+        span_specs: list[tuple[int, int, int]] = []
+        span_owner: list[dict] = []
+        for info in infos:
+            if info is None:
+                continue
+            start, end = self._need_span(info)
+            info["span"] = (start, end)
+            info["pieces"] = []
+            if end <= start:
+                continue
+            head_len = max(0, min(info["payload_len"], bs - info["pos"]))
+            if start < head_len:
+                take = min(end, head_len) - start
+                span_specs.append((info["primary"], info["pos"] + start, take))
+                span_owner.append(info)
+            if end > head_len:
+                lo = max(start, head_len) - head_len
+                hi = end - head_len
+                first = lo // bs
+                last = (hi - 1) // bs
+                for j in range(first, last + 1):
+                    boff = max(lo - j * bs, 0)
+                    bend = min(hi - j * bs, bs)
+                    span_specs.append(
+                        (info["data_blocks"][j], boff, bend - boff)
+                    )
+                    span_owner.append(info)
+        if span_specs:
+            sblobs = self.blocks.read_blocks(ctx, span_specs)
+            for info, sblob in zip(span_owner, sblobs):
+                info["pieces"].append(sblob)
+        out: list[StoredHolder | None] = []
+        for info in infos:
+            if info is None:
+                out.append(None)
+                continue
+            out.append(self._assemble_projected(ctx, info))
+        return out
+
+    @staticmethod
+    def _need_span(info: dict) -> tuple[int, int]:
+        """Payload byte range [start, end) covering the needed parts."""
+        n = info["need"]
+        if info["kind"] == KIND_EDGE:
+            return 0, info["payload_len"]
+        topo_len = SLOT_BYTES * info["edge_count"]
+        want_topo = bool(n & NEED_TOPO)
+        want_entries = bool(n & NEED_ENTRIES)
+        if want_topo and want_entries:
+            return 0, info["payload_len"]
+        if want_topo:
+            return 0, topo_len
+        if want_entries:
+            return topo_len, info["payload_len"]
+        return 0, 0
+
+    def _assemble_projected(
+        self, ctx: RankContext, info: dict
+    ) -> StoredHolder:
+        start, end = info["span"]
+        span = b"".join(info["pieces"])
+        full = start == 0 and end == info["payload_len"]
+        if full:
+            # the CRC covers the whole payload; only verifiable here
+            self._check_crc(ctx, info, span)
+        if info["kind"] == KIND_EDGE:
+            holder = self._parse_payload(
+                info["kind"], info["flags"], info["edge_count"], span
+            )
+            holder.app_id = info["app_id"]
+            parts = NEED_ALL
+        else:
+            topo_len = SLOT_BYTES * info["edge_count"]
+            n = info["need"]
+            slot_buf = span[: topo_len - start] if n & NEED_TOPO else None
+            if n & NEED_ENTRIES:
+                labels, props = decode_entries(span[topo_len - start :])
+            else:
+                labels = props = None
+            holder = VertexHolder._from_wire(
+                info["app_id"], labels, props, slot_buf
+            )
+            parts = NEED_IDENT | (n & (NEED_TOPO | NEED_ENTRIES))
+        return StoredHolder(
+            holder=holder,
+            primary=info["primary"],
+            data_blocks=info["data_blocks"],
+            index_blocks=info["index_blocks"],
+            parts=parts,
+        )
+
     # -- delete --------------------------------------------------------------------
     def delete(self, ctx: RankContext, stored: StoredHolder) -> None:
         """Release every block of the holder (primary last)."""
-        for dptr in stored.data_blocks:
-            self.blocks.release_block(ctx, dptr)
-        for dptr in stored.index_blocks:
-            self.blocks.release_block(ctx, dptr)
-        # Clear the header so stale reads fail loudly, then free.
-        self.blocks.write_block(ctx, stored.primary, b"\x00" * HEADER_BYTES)
-        self.blocks.release_block(ctx, stored.primary)
-        stored.data_blocks = []
-        stored.index_blocks = []
+        self.delete_many(ctx, [stored])
+
+    def delete_many(
+        self, ctx: RankContext, stored_list: list[StoredHolder]
+    ) -> None:
+        """Release the blocks of many holders with one batched header clear.
+
+        The header clears (which make stale reads fail loudly) coalesce
+        into one non-blocking write batch completed by a single flush;
+        the free-list releases stay scalar because each is a CAS chain on
+        the owner's allocator head.
+        """
+        if not stored_list:
+            return
+        self.blocks.iwrite_blocks(
+            ctx,
+            [(s.primary, b"\x00" * HEADER_BYTES) for s in stored_list],
+        )
+        ctx.flush(self.blocks.data_win)
+        for stored in stored_list:
+            for dptr in stored.data_blocks:
+                self.blocks.release_block(ctx, dptr)
+            for dptr in stored.index_blocks:
+                self.blocks.release_block(ctx, dptr)
+            self.blocks.release_block(ctx, stored.primary)
+            stored.data_blocks = []
+            stored.index_blocks = []

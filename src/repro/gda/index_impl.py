@@ -58,20 +58,34 @@ class VertexDirectory:
         self._label_counts: list[dict[int, int]] = [
             {} for _ in range(nranks)
         ]
+        #: per-label member vid sets, shard-local (label id -> vids); the
+        #: query engine's LabelScan sweeps these instead of the full shard
+        self._label_members: list[dict[int, set[int]]] = [
+            {} for _ in range(nranks)
+        ]
         self._locks = [threading.Lock() for _ in range(nranks)]
         #: bumped on every mutation; planners cache stats against it
         self.version = 0
 
     def _count_labels(
-        self, rank: int, labels: Iterable[int], delta: int
+        self, rank: int, vid: int, labels: Iterable[int], delta: int
     ) -> None:
         counts = self._label_counts[rank]
+        members = self._label_members[rank]
         for lid in set(labels):
             n = counts.get(lid, 0) + delta
             if n > 0:
                 counts[lid] = n
             else:
                 counts.pop(lid, None)
+            if delta > 0:
+                members.setdefault(lid, set()).add(vid)
+            else:
+                vids = members.get(lid)
+                if vids is not None:
+                    vids.discard(vid)
+                    if not vids:
+                        del members[lid]
 
     def add(
         self, ctx: RankContext, vid: int, labels: Iterable[int] = ()
@@ -80,7 +94,7 @@ class VertexDirectory:
         _charge_shard_access(ctx, rank)
         with self._locks[rank]:
             self._shards[rank].add(vid)
-            self._count_labels(rank, labels, +1)
+            self._count_labels(rank, vid, labels, +1)
             self.version += 1
 
     def remove(
@@ -90,7 +104,7 @@ class VertexDirectory:
         _charge_shard_access(ctx, rank)
         with self._locks[rank]:
             self._shards[rank].discard(vid)
-            self._count_labels(rank, labels, -1)
+            self._count_labels(rank, vid, labels, -1)
             self.version += 1
 
     def update_labels(
@@ -108,8 +122,8 @@ class VertexDirectory:
         changed = before ^ after
         _charge_shard_access(ctx, rank, 8 * max(1, len(changed)))
         with self._locks[rank]:
-            self._count_labels(rank, before - after, -1)
-            self._count_labels(rank, after - before, +1)
+            self._count_labels(rank, vid, before - after, -1)
+            self._count_labels(rank, vid, after - before, +1)
             self.version += 1
 
     def local_vertices(self, ctx: RankContext) -> list[int]:
@@ -119,13 +133,28 @@ class VertexDirectory:
         ctx.compute(len(snap))
         return snap
 
-    def shard_vertices(self, ctx: RankContext, shard: int) -> list[int]:
+    def shard_vertices(
+        self, ctx: RankContext, shard: int, label_id: int | None = None
+    ) -> list[int]:
         """Snapshot of one shard's vertices (degraded-mode iteration).
 
         After a failover the backup rank hosts both its own shard and the
         dead rank's; collectives that walk "local vertices" walk every
         *hosted* shard through this accessor instead.
+
+        With ``label_id`` only the shard's vertices carrying that label
+        are returned (the LabelScan access path), fetched with one
+        message proportional to the member list instead of the full
+        shard sweep.  Membership reflects committed label sets — like
+        the histogram and explicit indexes it is eventually consistent,
+        so callers re-validate against the holders they fetch.
         """
+        if label_id is not None:
+            with self._locks[shard]:
+                snap = list(self._label_members[shard].get(label_id, ()))
+            _charge_shard_access(ctx, shard, 8 * max(1, len(snap)))
+            ctx.compute(len(snap))
+            return snap
         _charge_shard_access(ctx, shard)
         with self._locks[shard]:
             snap = list(self._shards[shard])

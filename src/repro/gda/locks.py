@@ -35,7 +35,16 @@ from ..rma.faults import backoff_delay
 from ..rma.runtime import RankContext
 from ..rma.window import Window
 
-__all__ = ["RWLock", "LockTimeout", "LockRegistry", "WRITE_BIT"]
+__all__ = [
+    "RWLock",
+    "LockTimeout",
+    "LockRegistry",
+    "WRITE_BIT",
+    "acquire_read_batch",
+    "acquire_write_batch",
+    "upgrade_batch",
+    "release_batch",
+]
 
 WRITE_BIT = 1 << 62
 
@@ -152,6 +161,159 @@ class RWLock:
         """(write bit set?, reader count) — diagnostics and tests only."""
         word = ctx.aget(self.window, self.rank, self.offset)
         return bool(word & WRITE_BIT), word & ~WRITE_BIT
+
+
+def acquire_read_batch(ctx: RankContext, locks: list[RWLock]) -> None:
+    """Acquire read locks on all ``locks`` with batched FAAs.
+
+    The optimistic +1 FAAs for the whole vector ride one doorbell batch
+    (one full atomic round per distinct target NIC); words found with the
+    write bit set are backed out in a second batch, then retried through
+    the scalar bounded-retry path.  On :class:`LockTimeout` every lock
+    acquired by this call has been released; locks the caller already
+    held are untouched.
+    """
+    if not locks:
+        return
+    if len(locks) == 1:
+        locks[0].acquire_read(ctx)
+        return
+    wins = {id(lk.window) for lk in locks}
+    if len(wins) != 1:
+        for lk in locks:
+            lk.acquire_read(ctx)
+        return
+    win = locks[0].window
+    olds = ctx.faa_batch(
+        win, [(lk.rank, lk.offset, 1) for lk in locks]
+    )
+    contended = [lk for lk, old in zip(locks, olds) if old & WRITE_BIT]
+    if not contended:
+        return
+    # back the failed increments out in one batch, then retry each
+    # contended word through the scalar path (per-lock backoff budget).
+    ctx.faa_batch(win, [(lk.rank, lk.offset, -1) for lk in contended])
+    held = [lk for lk, old in zip(locks, olds) if not old & WRITE_BIT]
+    try:
+        for lk in contended:
+            lk.acquire_read(ctx)
+            held.append(lk)
+    except LockTimeout:
+        if held:
+            ctx.faa_batch(win, [(lk.rank, lk.offset, -1) for lk in held])
+        raise
+
+
+def acquire_write_batch(ctx: RankContext, locks: list[RWLock]) -> None:
+    """Acquire write locks on all ``locks`` with batched CASes.
+
+    Mirrors :func:`acquire_read_batch`: one optimistic CAS(0→WRITE_BIT)
+    batch, scalar retries for contended words, all-or-nothing cleanup on
+    timeout.
+    """
+    if not locks:
+        return
+    if len(locks) == 1:
+        locks[0].acquire_write(ctx)
+        return
+    wins = {id(lk.window) for lk in locks}
+    if len(wins) != 1:
+        for lk in locks:
+            lk.acquire_write(ctx)
+        return
+    win = locks[0].window
+    olds = ctx.cas_batch(
+        win, [(lk.rank, lk.offset, 0, WRITE_BIT) for lk in locks]
+    )
+    held = [lk for lk, old in zip(locks, olds) if old == 0]
+    contended = [lk for lk, old in zip(locks, olds) if old != 0]
+    try:
+        for lk in contended:
+            lk.acquire_write(ctx)
+            held.append(lk)
+    except LockTimeout:
+        if held:
+            ctx.faa_batch(
+                win, [(lk.rank, lk.offset, -WRITE_BIT) for lk in held]
+            )
+        raise
+
+
+def upgrade_batch(ctx: RankContext, locks: list[RWLock]) -> None:
+    """Upgrade held read locks to write locks with batched CASes.
+
+    One optimistic CAS(1→WRITE_BIT) batch, scalar bounded retries for
+    contended words.  All-or-nothing: on :class:`LockTimeout` every lock
+    this call upgraded is downgraded back to a read lock (gap-free FAA)
+    before re-raising, so the caller still holds exactly its read locks.
+    """
+    if not locks:
+        return
+    if len(locks) == 1:
+        locks[0].upgrade(ctx)
+        return
+    wins = {id(lk.window) for lk in locks}
+    if len(wins) != 1:
+        for lk in locks:
+            lk.upgrade(ctx)
+        return
+    win = locks[0].window
+    olds = ctx.cas_batch(
+        win, [(lk.rank, lk.offset, 1, WRITE_BIT) for lk in locks]
+    )
+    upgraded = [lk for lk, old in zip(locks, olds) if old == 1]
+    contended = [lk for lk, old in zip(locks, olds) if old != 1]
+    try:
+        for lk in contended:
+            lk.upgrade(ctx)
+            upgraded.append(lk)
+    except LockTimeout:
+        if upgraded:
+            ctx.faa_batch(
+                win,
+                [(lk.rank, lk.offset, 1 - WRITE_BIT) for lk in upgraded],
+            )
+        raise
+
+
+def release_batch(
+    ctx: RankContext, locks: list[tuple[RWLock, bool]]
+) -> None:
+    """Release a mixed vector of ``(lock, is_write)`` in one FAA batch.
+
+    Both release directions are FAAs (see :meth:`RWLock.release_write`
+    for why the write release is not a CAS), so the whole vector rides
+    one batched atomic round.  The scalar paths' held-lock sanity checks
+    are preserved per element.
+    """
+    if not locks:
+        return
+    if len(locks) == 1:
+        lk, is_write = locks[0]
+        (lk.release_write if is_write else lk.release_read)(ctx)
+        return
+    wins = {id(lk.window) for lk, _ in locks}
+    if len(wins) != 1:
+        for lk, is_write in locks:
+            (lk.release_write if is_write else lk.release_read)(ctx)
+        return
+    win = locks[0][0].window
+    olds = ctx.faa_batch(
+        win,
+        [
+            (lk.rank, lk.offset, -WRITE_BIT if is_write else -1)
+            for lk, is_write in locks
+        ],
+    )
+    for (lk, is_write), old in zip(locks, olds):
+        if is_write:
+            if not old & WRITE_BIT:
+                ctx.faa(win, lk.rank, lk.offset, WRITE_BIT)  # undo
+                raise RuntimeError(
+                    "release_write without the write lock held"
+                )
+        elif old & WRITE_BIT or (old & ~WRITE_BIT) <= 0:
+            raise RuntimeError("release_read without a held read lock")
 
 
 class LockRegistry:

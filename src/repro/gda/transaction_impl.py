@@ -30,8 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
+import numpy as np
+
 from ..gdi.constants import EdgeOrientation, Multiplicity, SizeType
-from ..gdi.constraint import Constraint
+from ..gdi.constraint import Constraint, LabelCondition
 from ..gdi.errors import (
     GdiInvalidArgument,
     GdiLockFailed,
@@ -52,13 +54,25 @@ from .holder import (
     DIR_MASK,
     DIR_OUT,
     DIR_UNDIR,
+    NEED_ALL,
+    NEED_ENTRIES,
+    NEED_IDENT,
+    NEED_TOPO,
     SLOT_HEAVY,
     EdgeHolder,
     EdgeSlot,
     StoredHolder,
     VertexHolder,
 )
-from .locks import LockRegistry, LockTimeout, RWLock
+from .locks import (
+    LockRegistry,
+    LockTimeout,
+    RWLock,
+    acquire_read_batch,
+    acquire_write_batch,
+    release_batch,
+    upgrade_batch,
+)
 from .metadata import Label, PropertyType
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -246,6 +260,63 @@ class Transaction:
                 LockRegistry.WRITE if want_write else LockRegistry.READ,
             )
 
+    def _note_locked(self, txvs: "list[_TxVertex]", want: int) -> None:
+        reg = self.db.lock_registry
+        for txv in txvs:
+            txv.lock_mode = want
+            if reg is not None:
+                lrank, loff = self.db.blocks.lock_location(txv.vid)
+                reg.note_acquire(
+                    self.ctx.rank,
+                    lrank,
+                    loff,
+                    LockRegistry.WRITE
+                    if want == _LOCK_WRITE
+                    else LockRegistry.READ,
+                )
+
+    def _ensure_locks(self, txvs: "list[_TxVertex]", want_write: bool) -> None:
+        """Batched :meth:`_ensure_lock` over already-cached vertices.
+
+        Splits the vector into fresh acquisitions (one batched-atomic
+        round via ``acquire_*_batch``) and read->write upgrades (one
+        batched CAS round via ``upgrade_batch``).  Falls back to the
+        scalar path when a membership view is armed (failover epochs
+        must be captured per lock) or the vector degenerates.
+        """
+        if self.collective:
+            return
+        want = _LOCK_WRITE if want_write else _LOCK_READ
+        todo: list[_TxVertex] = []
+        seen: set[int] = set()
+        for txv in txvs:
+            if txv.created or txv.lock_mode >= want or txv.vid in seen:
+                continue
+            seen.add(txv.vid)
+            todo.append(txv)
+        if not todo:
+            return
+        if self._mem is not None or len(todo) == 1:
+            for txv in todo:
+                self._ensure_lock(txv, want_write)
+            return
+        fresh = [t for t in todo if t.lock_mode == _LOCK_NONE]
+        upg = [t for t in todo if t.lock_mode == _LOCK_READ]
+        try:
+            if fresh:
+                locks = [self._lock_of(t.vid) for t in fresh]
+                if want_write:
+                    acquire_write_batch(self.ctx, locks)
+                else:
+                    acquire_read_batch(self.ctx, locks)
+                self._note_locked(fresh, want)
+            if upg:
+                upgrade_batch(self.ctx, [self._lock_of(t.vid) for t in upg])
+                self._note_locked(upg, want)
+        except LockTimeout as exc:
+            self._fail("lock")
+            raise GdiLockFailed(str(exc)) from exc
+
     def _undo_lock(self, vid: int, mode: int, lock_epoch: int) -> None:
         """Release one held lock word, failover-aware.
 
@@ -287,6 +358,26 @@ class Transaction:
                 lock.release_write(self.ctx)
 
     def _release_locks(self) -> None:
+        # With no membership view armed the failover-aware release checks
+        # are no-ops, and every release direction is an FAA — the whole
+        # vector rides one batched atomic round per distinct lock shard.
+        if self._mem is None and not self.collective:
+            reg = self.db.lock_registry
+            pending: list[tuple[RWLock, bool]] = []
+            for txv in self._vertices.values():
+                if txv.created:
+                    continue
+                mode, txv.lock_mode = txv.lock_mode, _LOCK_NONE
+                if mode == _LOCK_NONE:
+                    continue
+                if reg is not None:
+                    lrank, loff = self.db.blocks.lock_location(txv.vid)
+                    reg.note_release(self.ctx.rank, lrank, loff)
+                pending.append(
+                    (self._lock_of(txv.vid), mode == _LOCK_WRITE)
+                )
+            release_batch(self.ctx, pending)
+            return
         for txv in self._vertices.values():
             if txv.created:
                 continue
@@ -295,10 +386,17 @@ class Transaction:
 
     # -- vertex loading ------------------------------------------------------------
     def _load_vertex(
-        self, vid: int, for_write: bool, expected_app_id: int | None = None
+        self,
+        vid: int,
+        for_write: bool,
+        expected_app_id: int | None = None,
+        need: int = NEED_ALL,
     ) -> _TxVertex:
         return self.load_vertices(
-            [vid], for_write=for_write, expected_app_ids=[expected_app_id]
+            [vid],
+            for_write=for_write,
+            expected_app_ids=[expected_app_id],
+            need=need,
         )[0]  # type: ignore[return-value]
 
     def load_vertices(
@@ -307,6 +405,7 @@ class Transaction:
         for_write: bool = False,
         expected_app_ids: list[int | None] | None = None,
         missing_ok: bool = False,
+        need: int = NEED_ALL,
     ) -> "list[_TxVertex | None]":
         """Read-pipeline many vertices into the transaction cache at once.
 
@@ -319,18 +418,34 @@ class Transaction:
         the block was recycled between translate and associate — counts as
         a read miss.  Locks are taken *before* the batched read (2PL) and
         rolled back for any element that fails validation.
+
+        ``need`` is a holder-parts projection mask (see
+        :mod:`repro.gda.holder`): read-only callers that will only follow
+        edges pass ``NEED_TOPO`` and skip the property bytes entirely.
+        Write transactions always load full holders (preimages and
+        rewrites need the complete payload); cached entries missing a
+        requested part are hydrated in place with one batched re-read.
         """
         self._check_open()
         if for_write:
             self._check_write()
+        if self.write:
+            # preimage capture and commit rewrites need whole holders
+            need = NEED_ALL
+        need |= NEED_IDENT
         if expected_app_ids is None:
             expected_app_ids = [None] * len(vids)
         results: list[_TxVertex | None] = [None] * len(vids)
         fetch_idx: list[int] = []
         placeholders: dict[int, _TxVertex] = {}
         expected_by_vid: dict[int, int] = {}
+        hydrate: list[_TxVertex] = []
+        hydrate_ids: set[int] = set()
         # Pass 1: serve cache hits (and fail fast on in-txn deletions)
-        # before taking any new locks.
+        # before taking any new locks.  Lock ensures for the hits are
+        # themselves batched (fresh acquisitions and read->write
+        # upgrades each ride one atomic round).
+        cached: list[_TxVertex] = []
         for i, vid in enumerate(vids):
             txv = self._vertices.get(vid)
             if txv is not None:
@@ -340,32 +455,73 @@ class Transaction:
                     raise GdiNotFound(
                         f"vertex {vid:#x} deleted in this transaction"
                     )
-                self._ensure_lock(txv, for_write)
+                cached.append(txv)
+                if (
+                    txv.stored.parts & need
+                ) != need and vid not in hydrate_ids:
+                    hydrate.append(txv)
+                    hydrate_ids.add(vid)
                 results[i] = txv
             else:
                 fetch_idx.append(i)
                 if expected_app_ids[i] is not None:
                     expected_by_vid.setdefault(vid, expected_app_ids[i])
+        if cached:
+            self._ensure_locks(cached, for_write)
+        if hydrate:
+            self._hydrate_parts(hydrate, need)
         # Pass 2: lock *before* reading so the fetched holders are stable
         # (2PL); a lock failure mid-batch rolls back the locks already
         # taken for this batch (they are not yet owned by the cache).
         for i in fetch_idx:
             vid = vids[i]
-            if vid in placeholders:
-                continue  # duplicate in this batch: one lock, one fetch
-            placeholder = _TxVertex(vid=vid, stored=None)  # type: ignore[arg-type]
+            if vid not in placeholders:
+                # duplicates in this batch: one lock, one fetch
+                placeholders[vid] = _TxVertex(vid=vid, stored=None)  # type: ignore[arg-type]
+        if (
+            not self.collective
+            and self._mem is None
+            and len(placeholders) > 1
+        ):
+            # Fast path: no failover bookkeeping armed, so the optimistic
+            # acquisitions for the whole batch ride one doorbell batch of
+            # atomics (all-or-nothing; the helper rolls back on timeout).
+            locks = [self._lock_of(v) for v in placeholders]
             try:
-                self._ensure_lock(placeholder, for_write)
-            except BaseException:
-                for p in placeholders.values():
-                    self._rollback_placeholder_lock(p)
-                raise
-            placeholders[vid] = placeholder
+                if for_write:
+                    acquire_write_batch(self.ctx, locks)
+                else:
+                    acquire_read_batch(self.ctx, locks)
+            except LockTimeout as exc:
+                self._fail("lock")
+                raise GdiLockFailed(str(exc)) from exc
+            want = _LOCK_WRITE if for_write else _LOCK_READ
+            reg = self.db.lock_registry
+            for vid, placeholder in placeholders.items():
+                placeholder.lock_mode = want
+                if reg is not None:
+                    lrank, loff = self.db.blocks.lock_location(vid)
+                    reg.note_acquire(
+                        self.ctx.rank,
+                        lrank,
+                        loff,
+                        LockRegistry.WRITE if for_write else LockRegistry.READ,
+                    )
+        else:
+            acquired: list[_TxVertex] = []
+            for placeholder in placeholders.values():
+                try:
+                    self._ensure_lock(placeholder, for_write)
+                except BaseException:
+                    for p in acquired:
+                        self._rollback_placeholder_lock(p)
+                    raise
+                acquired.append(placeholder)
         fetch_vids = list(placeholders)
         if fetch_vids:
             try:
                 stored_list = self.db.storage.read_many(
-                    self.ctx, fetch_vids, missing_ok=True
+                    self.ctx, fetch_vids, missing_ok=True, need=need
                 )
             except BaseException:
                 for p in placeholders.values():
@@ -405,13 +561,16 @@ class Transaction:
                     lock_mode=placeholder.lock_mode,
                     lock_epoch=placeholder.lock_epoch,
                 )
+                self._vertices[vid] = txv
                 if self.write:
                     # capture the slot identities for the commit-log diff
                     txv.edge_preimage = list(stored.holder.edges)
                     txv.label_preimage = list(stored.holder.labels)
-                txv.index_preimage = self._index_matches(stored.holder)
-                self._vertices[vid] = txv
-                txv.edge_index_preimage = self._edge_index_matches(txv)
+                    # index preimages are only consulted by the commit
+                    # apply phase, so read transactions skip them (their
+                    # holders may be projections without entries anyway)
+                    txv.index_preimage = self._index_matches(stored.holder)
+                    txv.edge_index_preimage = self._edge_index_matches(txv)
             if error is not None:
                 raise error
             for i in fetch_idx:
@@ -424,6 +583,57 @@ class Transaction:
         self._undo_lock(
             placeholder.vid, placeholder.lock_mode, placeholder.lock_epoch
         )
+
+    # -- part hydration (projected reads) ---------------------------------
+    def _ensure_parts(self, txv: _TxVertex, need: int) -> None:
+        """Hydrate one cached vertex so the requested parts are present."""
+        if txv.created or txv.deleted:
+            return
+        if (txv.stored.parts & need) == need:
+            return
+        self._hydrate_parts([txv], need)
+
+    def _hydrate_parts(self, txvs: "list[_TxVertex]", need: int) -> None:
+        """Batched in-place hydration of cached projection holders.
+
+        Re-reads only the missing payload parts (the holders are stable:
+        this transaction holds their locks, or runs collectively under
+        the no-concurrent-writer contract) and merges them into the
+        *existing* holder objects, so handles and edge-slot identities
+        held by the caller stay valid.
+        """
+        want = [
+            t
+            for t in txvs
+            if not t.created and (t.stored.parts & need) != need
+        ]
+        if not want:
+            return
+        masks = [
+            ((need & ~t.stored.parts) | NEED_IDENT) for t in want
+        ]
+        fresh_list = self.db.storage.read_many(
+            self.ctx, [t.vid for t in want], missing_ok=False, need=masks
+        )
+        for txv, fresh in zip(want, fresh_list):
+            holder = txv.stored.holder
+            fholder = fresh.holder
+            got = fresh.parts
+            if got & NEED_ENTRIES and not txv.stored.parts & NEED_ENTRIES:
+                holder.labels = fholder.labels
+                holder.properties = fholder.properties
+            if (
+                got & NEED_TOPO
+                and not txv.stored.parts & NEED_TOPO
+                and holder._edges is None
+            ):
+                if fholder._edges is not None:
+                    holder._edges = fholder._edges
+                else:
+                    holder._slot_buf = fholder._slot_buf
+            txv.stored.data_blocks = fresh.data_blocks
+            txv.stored.index_blocks = fresh.index_blocks
+            txv.stored.parts |= got
 
     def _index_matches(self, holder) -> dict[str, bool]:
         dtype_of = self.db.replica(self.ctx).dtype_of
@@ -497,13 +707,15 @@ class Transaction:
         return self.find_vertices([app_id])[0]
 
     def find_vertices(
-        self, app_ids: list[int]
+        self, app_ids: list[int], need: int = NEED_ALL
     ) -> "list[VertexHandle | None]":
         """Batched :meth:`find_vertex`: one handle (or ``None``) per ID.
 
         Translations resolve through one batched DHT lookup and the
         holders through one pipelined storage read, so the network rounds
         are bounded by chain/indirection depth rather than the ID count.
+        ``need`` projects the read onto the holder parts the caller will
+        touch (see :meth:`load_vertices`).
         """
         self._check_open()
         app_ids = [int(a) for a in app_ids]
@@ -526,6 +738,7 @@ class Transaction:
             for_write=False,
             expected_app_ids=[app_ids[i] for i in present],
             missing_ok=True,
+            need=need,
         )
         out: list[VertexHandle | None] = [None] * len(app_ids)
         for i, txv in zip(present, loaded):
@@ -553,6 +766,48 @@ class Transaction:
         if existing is not None and not self._deleted_in_txn(existing):
             self._fail("nonunique")
             raise GdiNonUniqueId(f"application ID {app_id} already in use")
+        return self._create_checked(app_id, labels, properties)
+
+    def create_vertices(
+        self,
+        specs: "list[tuple[int, Iterable[Label], Iterable[tuple[PropertyType, Any]]]]",
+    ) -> "list[VertexHandle]":
+        """Batched ``GDI_CreateVertex``: one DHT probe for all new IDs.
+
+        ``specs`` is ``(app_id, labels, properties)`` triples.  The
+        uniqueness prechecks for the whole batch resolve through a single
+        batched DHT lookup instead of one round trip per vertex; a
+        non-unique ID fails the transaction exactly like the scalar path.
+        """
+        self._check_open()
+        self._check_write()
+        app_ids = [int(a) for a, _, _ in specs]
+        found = self.db.dht.lookup_many(self.ctx, app_ids)
+        handles: list[VertexHandle] = []
+        for (app_id, labels, properties), existing in zip(specs, found):
+            app_id = int(app_id)
+            if app_id in self._created_app_ids and not self._deleted_in_txn(
+                self._created_app_ids[app_id]
+            ):
+                self._fail("nonunique")
+                raise GdiNonUniqueId(
+                    f"application ID {app_id} created twice"
+                )
+            if existing is not None and not self._deleted_in_txn(existing):
+                self._fail("nonunique")
+                raise GdiNonUniqueId(
+                    f"application ID {app_id} already in use"
+                )
+            handles.append(self._create_checked(app_id, labels, properties))
+        return handles
+
+    def _create_checked(
+        self,
+        app_id: int,
+        labels: Iterable[Label] = (),
+        properties: Iterable[tuple[PropertyType, Any]] = (),
+    ) -> "VertexHandle":
+        """Create a vertex whose uniqueness precheck already passed."""
         home = self.db.home_rank(app_id)
         primary = self._acquire_or_fail(home)
         holder = VertexHolder(app_id=app_id)
@@ -574,17 +829,20 @@ class Transaction:
             handle.set_property(ptype, value)
         return handle
 
-    def associate_vertex(self, vid) -> "VertexHandle":
+    def associate_vertex(self, vid, need: int = NEED_ALL) -> "VertexHandle":
         """``GDI_AssociateVertex``: make a handle for an existing vertex.
 
         Accepts both permanent (raw DPtr) and volatile internal IDs.
         """
         return VertexHandle(
-            self, self._load_vertex(self._resolve_vid(vid), for_write=False)
+            self,
+            self._load_vertex(
+                self._resolve_vid(vid), for_write=False, need=need
+            ),
         )
 
     def associate_vertices(
-        self, vids, missing_ok: bool = False
+        self, vids, missing_ok: bool = False, need: int = NEED_ALL
     ) -> "list[VertexHandle | None]":
         """Batched ``GDI_AssociateVertex``: one pipelined read for all IDs.
 
@@ -593,10 +851,12 @@ class Transaction:
         per-rank messages instead of one round trip per vertex.  With
         ``missing_ok`` deleted/recycled vertices yield ``None`` instead of
         raising, matching the scalar try/except-``GdiNotFound`` idiom.
+        ``need`` projects the fetch onto the holder parts the caller will
+        touch (see :meth:`load_vertices`).
         """
         resolved = [self._resolve_vid(v) for v in vids]
         loaded = self.load_vertices(
-            resolved, for_write=False, missing_ok=missing_ok
+            resolved, for_write=False, missing_ok=missing_ok, need=need
         )
         return [
             VertexHandle(self, txv) if txv is not None else None
@@ -609,17 +869,28 @@ class Transaction:
         Expensive by design: every incident edge's counterpart slot on the
         neighboring vertex must be removed, which write-locks each
         neighbor (Figure 5 shows vertex deletion as the slowest OLTP op).
+        All neighbors are write-locked and fetched in one batched load
+        instead of one round trip per incident edge.
         """
         self._check_open()
         self._check_write()
         txv = handle._txv
         self._ensure_lock(txv, want_write=True)
-        for slot in list(txv.holder.edges):
+        slots = list(txv.holder.edges)
+        # resolve the far endpoints first (heavy slots read their edge
+        # holder), then pull every distinct neighbor in one batched load
+        others: list[int] = []
+        for slot in slots:
             other_vid = self._slot_other_endpoint(txv.vid, slot)
+            others.append(other_vid)
             if slot.heavy:
                 self._mark_edge_holder_deleted(slot.dptr)
+        distinct = sorted({o for o in others if o != txv.vid})
+        if distinct:
+            self.load_vertices(distinct, for_write=True)
+        for slot, other_vid in zip(slots, others):
             if other_vid != txv.vid:
-                other = self._load_vertex(other_vid, for_write=True)
+                other = self._vertices[other_vid]
                 self._remove_reciprocal_slot(other, txv.vid, slot)
                 self._mark_dirty(other)
         txv.holder.edges.clear()
@@ -633,6 +904,7 @@ class Transaction:
         if txv.deleted:
             raise GdiNotFound("vertex deleted in this transaction")
         self._ensure_lock(txv, want_write=True)
+        self._ensure_parts(txv, NEED_ALL)
         self._mark_dirty(txv)
         return txv.holder
 
@@ -964,17 +1236,21 @@ class Transaction:
             if repl is not None:
                 repl.note_logged(ctx.rank, seq)
         # Apply phase.  Heavy edge holders first so endpoint slots never
-        # dangle; all dirty edge holders write back in one batched flush.
+        # dangle; all dirty edge holders write back in one batched flush,
+        # and all deleted ones clear their headers in another.
         edge_rewrites: list[StoredHolder] = []
+        edge_deletes: list[StoredHolder] = []
         for txe in self._edges.values():
             if txe.deleted:
                 if txe.created:
                     self.db.blocks.release_block(ctx, txe.stored.primary)
                 else:
-                    self.db.storage.delete(ctx, txe.stored)
+                    edge_deletes.append(txe.stored)
             elif txe.dirty:
                 edge_rewrites.append(txe.stored)
+        self.db.storage.delete_many(ctx, edge_deletes)
         self.db.storage.rewrite_many(ctx, edge_rewrites)
+        vertex_deletes: list[StoredHolder] = []
         for txv in ordered:
             if txv.deleted and txv.created:
                 self.db.blocks.release_block(ctx, txv.stored.primary)
@@ -995,7 +1271,8 @@ class Transaction:
                     ),
                 )
                 self._apply_index_updates(txv, deleted=True)
-                self.db.storage.delete(ctx, txv.stored)
+                vertex_deletes.append(txv.stored)
+        self.db.storage.delete_many(ctx, vertex_deletes)
         # One batched write-back for every created/dirty vertex holder:
         # block writes of all holders coalesce per home rank and complete
         # at a single flush (deletions above already freed their blocks,
@@ -1215,21 +1492,30 @@ class VertexHandle:
     def app_id(self) -> int:
         return self._holder().app_id
 
-    def _holder(self) -> VertexHolder:
-        """Read access guard: transaction open, vertex not deleted."""
+    def _holder(self, need: int = 0) -> VertexHolder:
+        """Read access guard: transaction open, vertex not deleted.
+
+        ``need`` names the holder parts this accessor is about to touch;
+        vertices loaded through a projected read are hydrated on demand.
+        """
         self._tx._check_open()
         if self._txv.deleted:
             raise GdiNotFound("vertex deleted in this transaction")
+        if need:
+            self._tx._ensure_parts(self._txv, need)
         return self._txv.holder
 
     # -- labels ------------------------------------------------------------
     def labels(self) -> list[Label]:
         """``GDI_GetAllLabelsOfVertex``."""
         replica = self._tx.db.replica(self._tx.ctx)
-        return [replica.label_by_id(i) for i in self._holder().labels]
+        return [
+            replica.label_by_id(i)
+            for i in self._holder(NEED_ENTRIES).labels
+        ]
 
     def has_label(self, label: Label) -> bool:
-        return label.int_id in self._holder().labels
+        return label.int_id in self._holder(NEED_ENTRIES).labels
 
     def add_label(self, label: Label) -> None:
         """``GDI_AddLabelToVertex`` (idempotent)."""
@@ -1251,7 +1537,7 @@ class VertexHandle:
         """``GDI_GetPropertiesOfVertex``: all entries of one p-type."""
         return [
             decode_value(ptype.dtype, blob)
-            for pid, blob in self._holder().properties
+            for pid, blob in self._holder(NEED_ENTRIES).properties
             if pid == ptype.int_id
         ]
 
@@ -1263,7 +1549,7 @@ class VertexHandle:
     def all_properties(self) -> list[tuple[PropertyType, Any]]:
         replica = self._tx.db.replica(self._tx.ctx)
         out = []
-        for pid, blob in self._holder().properties:
+        for pid, blob in self._holder(NEED_ENTRIES).properties:
             pt = replica.ptype_by_id(pid)
             out.append((pt, decode_value(pt.dtype, blob)))
         return out
@@ -1305,7 +1591,7 @@ class VertexHandle:
     ) -> list["EdgeHandle"]:
         """``GDI_GetEdgesOfVertex`` with an optional constraint filter."""
         out = []
-        for slot in self._holder().edges:
+        for slot in self._holder(NEED_TOPO).edges:
             if not _orientation_matches(slot.direction, orientation):
                 continue
             handle = EdgeHandle(self._tx, self._txv, slot)
@@ -1319,15 +1605,47 @@ class VertexHandle:
         orientation: EdgeOrientation = EdgeOrientation.ANY,
         constraint: Constraint | None = None,
     ) -> list[int]:
-        """``GDI_GetNeighborVerticesOfVertex``: neighbor internal IDs."""
-        return [
-            e.other_endpoint() for e in self.edges(orientation, constraint)
-        ]
+        """``GDI_GetNeighborVerticesOfVertex``: neighbor internal IDs.
+
+        Holders still in wire form take a vectorized path over the raw
+        slot array (one numpy pass instead of per-slot ``EdgeHandle``
+        objects); heavy slots or constraints beyond a single has-label
+        fall back to the handle loop, which matches semantics exactly.
+        """
+        holder = self._holder(NEED_TOPO)
+        lid: int | None = None
+        if constraint is not None and not constraint.is_true():
+            lid = _constraint_label_id(constraint)
+            if lid is None:
+                return [
+                    e.other_endpoint()
+                    for e in self.edges(orientation, constraint)
+                ]
+        if holder._edges is not None:
+            # already materialized as slot objects: the scalar loop wins
+            return [
+                e.other_endpoint()
+                for e in self.edges(orientation, constraint)
+            ]
+        dptr, label, flags = holder.edges_as_arrays()
+        if np.any(flags & SLOT_HEAVY):
+            return [
+                e.other_endpoint()
+                for e in self.edges(orientation, constraint)
+            ]
+        mask = _orientation_mask(flags, orientation)
+        if lid is not None:
+            mask = mask & (label == lid)
+        return dptr[mask].tolist()
 
     def degree(self, orientation: EdgeOrientation = EdgeOrientation.ANY) -> int:
+        holder = self._holder(NEED_TOPO)
+        if holder._edges is None:
+            _, _, flags = holder.edges_as_arrays()
+            return int(np.count_nonzero(_orientation_mask(flags, orientation)))
         return sum(
             1
-            for slot in self._holder().edges
+            for slot in holder.edges
             if _orientation_matches(slot.direction, orientation)
         )
 
@@ -1348,6 +1666,41 @@ def _orientation_matches(direction: int, wanted: EdgeOrientation) -> bool:
             | EdgeOrientation.INCOMING
         )
     )
+
+
+def _orientation_mask(flags: np.ndarray, wanted: EdgeOrientation) -> np.ndarray:
+    """Vectorized :func:`_orientation_matches` over a slot flags array."""
+    d = flags & DIR_MASK
+    want_out = bool(wanted & EdgeOrientation.OUTGOING)
+    want_in = bool(wanted & EdgeOrientation.INCOMING)
+    want_any = want_out or want_in or bool(wanted & EdgeOrientation.UNDIRECTED)
+    return (
+        ((d == DIR_OUT) & want_out)
+        | ((d == DIR_IN) & want_in)
+        | ((d == DIR_UNDIR) & want_any)
+    )
+
+
+def _constraint_label_id(constraint: Constraint) -> int | None:
+    """The label ID of a plain has-label constraint, else ``None``.
+
+    Only the exact shape produced by :meth:`Constraint.has_label` (one
+    conjunction, one present-label condition) is vectorizable against the
+    slot label column; anything else goes through full DNF evaluation.
+    """
+    if len(constraint.conjunctions) != 1:
+        return None
+    conj = constraint.conjunctions[0]
+    if len(conj) != 1:
+        return None
+    cond = conj[0]
+    if (
+        isinstance(cond, LabelCondition)
+        and cond.present
+        and cond.label_id > 0
+    ):
+        return cond.label_id
+    return None
 
 
 class EdgeHandle:

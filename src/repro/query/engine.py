@@ -8,11 +8,16 @@ cache hits/misses are recorded per rank in the RMA trace recorder
 (``plan_cache_hits`` / ``plan_cache_misses``), which is how benchmarks
 verify that the cache engages.
 
-The cache deliberately does **not** key on data versions: cardinality
-estimates inside a cached plan may go stale as the graph mutates, which
-affects only plan *quality*, never correctness (every operator
-re-validates fetched data against its constraints).  Creating or
-dropping an index changes the fingerprint and naturally re-plans.
+Cache entries carry the vertex-directory version they were planned
+against.  Staleness never affects correctness (every operator
+re-validates fetched data against its constraints), but when the
+version has moved the entry is *revalidated* with
+:func:`~repro.query.planner.plan_is_current`: if current statistics
+would still choose the same scan access paths the entry is refreshed in
+place (a hit); if an access path flipped — an index overtaking a label
+sweep, a label histogram inversion — the query is re-planned (a miss).
+Creating or dropping an index changes the fingerprint and naturally
+re-plans.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from .errors import QueryPlanError
 from .logical import LogicalPlan
 from .parser import parse_query
 from .physical import ExecState, execute_plan
-from .planner import plan_query
+from .planner import plan_is_current, plan_query
 
 __all__ = ["QueryEngine", "QueryResult"]
 
@@ -59,7 +64,8 @@ class QueryEngine:
 
     def __init__(self, db) -> None:
         self.db = db
-        self._cache: dict[tuple, LogicalPlan] = {}
+        #: cache key -> (plan, directory version it was validated against)
+        self._cache: dict[tuple, tuple[LogicalPlan, int]] = {}
         self._lock = threading.Lock()
 
     # -- plan cache --------------------------------------------------------
@@ -72,13 +78,25 @@ class QueryEngine:
 
     def _get_plan(self, ctx, text: str) -> LogicalPlan:
         key = self._cache_key(text)
+        version = self.db.directory.version
         with self._lock:
-            plan = self._cache.get(key)
+            entry = self._cache.get(key)
+        plan: LogicalPlan | None = None
+        if entry is not None:
+            plan, seen_version = entry
+            if seen_version != version:
+                # data moved underneath the plan: keep it only if current
+                # statistics would still pick the same scan access paths
+                if plan_is_current(self.db, ctx, plan):
+                    with self._lock:
+                        self._cache[key] = (plan, version)
+                else:
+                    plan = None
         ctx.rt.trace.record_plan_cache(ctx.rank, hit=plan is not None)
         if plan is None:
             plan = plan_query(self.db, ctx, parse_query(text))
             with self._lock:
-                self._cache[key] = plan
+                self._cache[key] = (plan, version)
         return plan
 
     def cache_info(self, ctx) -> dict[str, int]:

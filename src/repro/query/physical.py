@@ -15,6 +15,31 @@ calls —
   prefetches it with one ``associate_vertices`` batch per hop level —
   the PR-1 read-pipelining path — instead of one round trip per row.
 
+Three raw-speed mechanisms layer on top of the batching:
+
+* **Needs-projected reads** — :func:`_plan_needs` walks the whole plan
+  once and computes, per node variable, which holder parts any operator
+  will ever touch (identity / topology / label+property entries).  Every
+  batched fetch passes that mask down to the storage layer, so e.g. a
+  ``RETURN b.id`` BFS frontier moves only 40-byte headers instead of
+  full holder payloads.
+* **Operator fusion** — a scan or expand followed by ``Filter`` (and
+  optionally ``Project``) runs as one pass: the filter prunes candidates
+  *before* the expensive second-stage topology hydration and before the
+  cross-join materializes rows.  Fusion is disabled under ``PROFILE`` so
+  per-operator deltas stay aligned with the rendered plan.
+* **Adaptive re-planning** — at MATCH-path boundaries
+  (:attr:`~repro.query.logical.LogicalPlan.match_spans`) the executor
+  compares observed vs. estimated cardinality; on >=4x divergence the
+  remaining paths are re-planned with the true row count
+  (:func:`~repro.query.planner.replan_tail`), which can flip join
+  anchors a stale estimate got wrong.
+
+Write operators batch too: ``CREATE`` funnels all fresh vertices of all
+rows through one :meth:`Transaction.create_vertices` call (one DHT probe
+round), and ``SET``/``DELETE`` prefetch their distinct target vertices
+with a single write-locking :meth:`Transaction.load_vertices` batch.
+
 Symbolic plan state (label/property names, ``$params``) is materialized
 per execution into GDI :class:`~repro.gdi.constraint.Constraint` objects
 by :class:`ExecState`, which is also where write operators create
@@ -25,11 +50,24 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..gda.holder import NEED_ALL, NEED_ENTRIES, NEED_IDENT, NEED_TOPO
 from ..gdi.constants import EdgeOrientation, EntityType
 from ..gdi.constraint import Constraint
 from ..gdi.errors import GdiNotFound
 from ..gdi.types import Datatype
-from .ast import PropPredicate, SetLabel
+from .ast import (
+    And,
+    Cmp,
+    FuncCall,
+    HasLabel,
+    IsNull,
+    Not,
+    Or,
+    PropPredicate,
+    PropRef,
+    SetLabel,
+    VarRef,
+)
 from .errors import QueryPlanError
 from .evalexpr import (
     Binding,
@@ -56,6 +94,7 @@ from .logical import (
     SetOp,
     SkipLimitOp,
 )
+from .planner import _free_vars, replan_tail
 
 __all__ = ["ExecState", "execute_plan", "VertexVal", "EdgeVal"]
 
@@ -172,7 +211,8 @@ class ExecState:
         return self.replica.ptypes.by_name(key)
 
     def app_of(self, vid: int) -> int:
-        return self.tx.associate_vertex(vid).app_id
+        # identity lives in the holder header: never pull the payload
+        return self.tx.associate_vertex(vid, need=NEED_IDENT).app_id
 
     def resolve(self, value: Any) -> Any:
         return resolve_value(value, self.params)
@@ -237,7 +277,11 @@ class ExecState:
                 if not _compare_id(pred.op, binding.app_id, self.resolve(pred.value)):
                     return False
         constraint = self.node_constraint(spec)
-        holder = binding.h._txv.holder
+        if constraint.is_true():
+            return True  # id-only spec: never touch the payload
+        if constraint.is_false():
+            return False
+        holder = binding.h._holder(NEED_ENTRIES)
         return constraint.evaluate(
             holder.labels, holder.properties, self.replica.dtype_of
         )
@@ -258,6 +302,90 @@ def _compare_id(op: str, app_id: int, value: Any) -> bool:
     }[op]
 
 
+# -- plan-wide read projection -----------------------------------------------
+def _plan_needs(ops) -> dict[str, int]:
+    """Per node variable, the union of holder parts any operator touches.
+
+    Walked once per execution over the whole pipeline, so the *first*
+    fetch of a variable already requests everything later operators will
+    read — no second round trip, and nothing the plan never touches.
+    Unknown variables default to full holders at the use sites.
+    """
+    needs: dict[str, int] = {}
+
+    def add(var: str, mask: int) -> None:
+        needs[var] = needs.get(var, NEED_IDENT) | mask
+
+    def spec_mask(spec: NodeSpec) -> int:
+        if spec.labels or any(p.key != "id" for p in spec.preds):
+            return NEED_ENTRIES
+        return NEED_IDENT
+
+    def walk(expr) -> None:
+        if isinstance(expr, PropRef):
+            add(expr.var, NEED_IDENT if expr.key == "id" else NEED_ENTRIES)
+        elif isinstance(expr, HasLabel):
+            add(expr.var, NEED_ENTRIES)
+        elif isinstance(expr, VarRef):
+            add(expr.name, NEED_IDENT)
+        elif isinstance(expr, Cmp):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, (And, Or)):
+            for item in expr.items:
+                walk(item)
+        elif isinstance(expr, (Not, IsNull)):
+            walk(expr.operand)
+        elif isinstance(expr, FuncCall):
+            for arg in expr.args:
+                walk(arg)
+
+    for op in ops:
+        if isinstance(op, ScanOp):
+            add(op.spec.var, spec_mask(op.spec))
+        elif isinstance(op, ExpandOp):
+            add(op.src_var, NEED_TOPO)
+            add(op.dst.var, spec_mask(op.dst))
+        elif isinstance(op, FilterOp):
+            walk(op.expr)
+        elif isinstance(op, ProjectOp):
+            for item in op.items:
+                walk(item.expr)
+        elif isinstance(op, AggregateOp):
+            for item in op.keys:
+                walk(item.expr)
+            for item in op.aggs:
+                walk(item.expr)
+    return needs
+
+
+def _bound_vars(ops) -> set[str]:
+    """Variables bound by an already-executed operator prefix."""
+    bound: set[str] = set()
+    for op in ops:
+        if isinstance(op, ScanOp):
+            bound.add(op.spec.var)
+        elif isinstance(op, ExpandOp):
+            bound.add(op.dst.var)
+            if op.rel.var is not None:
+                bound.add(op.rel.var)
+    return bound
+
+
+def _diverged(observed: int, est: float) -> bool:
+    ratio = max(float(observed), 1.0) / max(float(est), 1.0)
+    return ratio >= 4.0 or ratio <= 0.25
+
+
+def _emit(rows, ex: ExecState, filt, project):
+    """Finish one fused operator: residual filter, then projection."""
+    if filt is not None:
+        rows = [r for r in rows if truthy(eval_expr(filt.expr, r, ex.params))]
+    if project is not None:
+        return run_project(project, rows, ex.params), True
+    return rows, False
+
+
 # -- execution ---------------------------------------------------------------
 def execute_plan(
     plan: LogicalPlan, ex: ExecState, profile: bool = False
@@ -266,13 +394,73 @@ def execute_plan(
     rows: list = [{}]
     prof: dict[int, dict] = {}
     projected = False
-    for i, op in enumerate(plan.ops):
+    ops = list(plan.ops)
+    spans = list(plan.match_spans)
+    needs = _plan_needs(ops)
+    fuse = not profile  # PROFILE keeps op deltas aligned with plan.ops
+    span_i = 0
+    i = 0
+    while i < len(ops):
+        # adaptive re-planning: at each MATCH-path boundary compare the
+        # observed cardinality against the planner's estimate for the
+        # path just finished; on >=4x divergence re-plan the remaining
+        # paths with the true row count (at most once per boundary).
+        while fuse and span_i < len(spans) - 1 and i >= spans[span_i][1]:
+            start, end = spans[span_i]
+            span_i += 1
+            if end <= start or not rows:
+                continue  # empty span (fully-bound path) or dead pipeline
+            est = getattr(ops[end - 1], "est", None)
+            if est is None or not _diverged(len(rows), est):
+                continue
+            tail_end = spans[-1][1]
+            new_ops, rel_spans = replan_tail(
+                ex.db,
+                ex.ctx,
+                plan.query,
+                span_i,
+                float(len(rows)),
+                _bound_vars(ops[:i]),
+            )
+            ops = ops[:i] + new_ops + list(ops[tail_end:])
+            spans = spans[:span_i] + [
+                (i + s, i + e) for s, e in rel_spans
+            ]
+            needs = _plan_needs(ops)
+            ex.bump("replans")
+            ex.ctx.rt.trace.record_replan(ex.ctx.rank)
+        op = ops[i]
         before = (
             ex.ctx.rt.trace.counters[ex.ctx.rank].snapshot()
             if profile
             else None
         )
-        rows, projected = _run_op(op, rows, ex, projected)
+        consumed = 1
+        if fuse and isinstance(op, (ScanOp, ExpandOp)):
+            # operator fusion: pull an adjacent Filter (and Project) into
+            # the scan/expand so filtering happens before row
+            # materialization (and, for two-stage scans, before the
+            # topology hydration of pruned candidates).
+            filt = project = None
+            j = i + 1
+            if j < len(ops) and isinstance(ops[j], FilterOp):
+                filt = ops[j]
+                j += 1
+            if j < len(ops) and isinstance(ops[j], ProjectOp):
+                project = ops[j]
+                j += 1
+            consumed = j - i
+            if isinstance(op, ScanOp):
+                rows, did_project = _run_scan(
+                    op, rows, ex, needs, filt, project
+                )
+            else:
+                rows, did_project = _run_expand(
+                    op, rows, ex, needs, filt, project
+                )
+            projected = projected or did_project
+        else:
+            rows, projected = _run_op(op, rows, ex, projected, needs)
         if before is not None:
             delta = ex.ctx.rt.trace.counters[ex.ctx.rank].diff(before)
             prof[i] = {
@@ -282,16 +470,17 @@ def execute_plan(
                 + delta["bytes_got"]
                 + delta["bytes_batched"],
             }
+        i += consumed
     if not projected:
         rows = []  # write-only query: no result rows
     return rows, ex.stats, prof
 
 
-def _run_op(op, rows, ex: ExecState, projected: bool):
+def _run_op(op, rows, ex: ExecState, projected: bool, needs=None):
     if isinstance(op, ScanOp):
-        return _run_scan(op, rows, ex), projected
+        return _run_scan(op, rows, ex, needs)[0], projected
     if isinstance(op, ExpandOp):
-        return _run_expand(op, rows, ex), projected
+        return _run_expand(op, rows, ex, needs)[0], projected
     if isinstance(op, FilterOp):
         return (
             [r for r in rows if truthy(eval_expr(op.expr, r, ex.params))],
@@ -317,15 +506,33 @@ def _run_op(op, rows, ex: ExecState, projected: bool):
 
 
 # -- scans -------------------------------------------------------------------
-def _run_scan(op: ScanOp, rows: list, ex: ExecState) -> list:
+#: below this candidate count a two-stage (entries-then-topology) scan
+#: costs more in extra round trips than the pruned payload saves
+_TWO_STAGE_MIN = 16
+
+
+def _run_scan(
+    op: ScanOp, rows: list, ex: ExecState, needs=None, filt=None, project=None
+):
     spec = op.spec
     if op.source == "bound":
-        return [
-            row for row in rows if ex.spec_match(spec, row[spec.var])
-        ]
+        out = [row for row in rows if ex.spec_match(spec, row[spec.var])]
+        return _emit(out, ex, filt, project)
+    need = needs.get(spec.var, NEED_ALL) if needs is not None else NEED_ALL
+    # a fused filter over just this variable prunes candidates before the
+    # cross-join (and before stage-two hydration)
+    pre = None
+    if filt is not None:
+        free: set[str] = set()
+        _free_vars(filt.expr, free)
+        if free <= {spec.var}:
+            pre, filt = filt, None
     if op.source == "dht":
-        handle = ex.tx.find_vertices([int(ex.resolve(op.detail))])[0]
+        handle = ex.tx.find_vertices(
+            [int(ex.resolve(op.detail))], need=need
+        )[0]
         candidates = [] if handle is None else [VertexVal(handle, ex)]
+        candidates = [v for v in candidates if ex.spec_match(spec, v)]
     else:
         if op.source == "index":
             idx = ex.db.indexes.get(op.detail)
@@ -338,47 +545,109 @@ def _run_scan(op: ScanOp, rows: list, ex: ExecState) -> list:
                 for shard in range(ex.db.nranks)
                 for vid in idx.shard_vertices(ex.ctx, shard)
             ]
-        else:  # "label" and "all" both sweep the directory shards
+        elif op.source == "label" and not ex.tx.write:
+            # the directory's per-label member sets narrow the sweep to
+            # the labelled vertices; spec_match still re-validates every
+            # candidate (the directory is maintained at commit time).
+            # Write transactions keep the full sweep: their own
+            # uncommitted SET :Label changes are invisible to the
+            # directory but must be visible to the scan.
+            label = ex.label(op.detail)
+            vids = (
+                []
+                if label is None
+                else [
+                    vid
+                    for shard in range(ex.db.nranks)
+                    for vid in ex.db.directory.shard_vertices(
+                        ex.ctx, shard, label_id=label.int_id
+                    )
+                ]
+            )
+        else:  # "all" (and in-write-txn "label") sweep the whole directory
             vids = [
                 vid
                 for shard in range(ex.db.nranks)
                 for vid in ex.db.directory.shard_vertices(ex.ctx, shard)
             ]
-        handles = ex.tx.associate_vertices(vids, missing_ok=True)
+        # two-stage scan: when the spec filters on labels/properties and
+        # the plan also needs topology, first fetch entries only, prune,
+        # then hydrate the survivors' adjacency with a second batch
+        two_stage = (
+            (need & NEED_TOPO)
+            and (spec.labels or spec.preds or pre is not None)
+            and len(vids) >= _TWO_STAGE_MIN
+        )
+        first = (need & ~NEED_TOPO) | NEED_IDENT if two_stage else need
+        handles = ex.tx.associate_vertices(vids, missing_ok=True, need=first)
+        candidates = [VertexVal(h, ex) for h in handles if h is not None]
+        candidates = [v for v in candidates if ex.spec_match(spec, v)]
+        if pre is not None:
+            candidates = [
+                v
+                for v in candidates
+                if truthy(eval_expr(pre.expr, {spec.var: v}, ex.params))
+            ]
+            pre = None
+        if two_stage and candidates:
+            ex.tx.associate_vertices(
+                [v.vid for v in candidates], missing_ok=True, need=need
+            )
+    if pre is not None:
         candidates = [
-            VertexVal(h, ex) for h in handles if h is not None
+            v
+            for v in candidates
+            if truthy(eval_expr(pre.expr, {spec.var: v}, ex.params))
         ]
-    candidates = [v for v in candidates if ex.spec_match(spec, v)]
-    return [dict(row, **{spec.var: v}) for row in rows for v in candidates]
+    out = [dict(row, **{spec.var: v}) for row in rows for v in candidates]
+    return _emit(out, ex, filt, project)
 
 
 # -- expansion ---------------------------------------------------------------
-def _run_expand(op: ExpandOp, rows: list, ex: ExecState) -> list:
+def _run_expand(
+    op: ExpandOp, rows: list, ex: ExecState, needs=None, filt=None, project=None
+):
     if not rows:
-        return []
+        return _emit([], ex, filt, project)
     constraint = ex.edge_constraint(op.rel)
     if constraint.is_false():
-        return []
+        return _emit([], ex, filt, project)
     if op.rel.var_length:
-        return _run_var_expand(op, rows, ex, constraint)
+        out = _run_var_expand(op, rows, ex, constraint, needs)
+        return _emit(out, ex, filt, project)
     orientation = _ORIENTATION[op.rel.direction]
-    # one edge enumeration per *distinct* source vertex
+    need = needs.get(op.dst.var, NEED_ALL) if needs is not None else NEED_ALL
+    # With no relationship variable the edge handles themselves are never
+    # observed: the vectorized neighbor enumeration (one numpy pass over
+    # the slot array) replaces per-edge handle construction.
+    by_vid_only = op.rel.var is None
+    # one adjacency enumeration per *distinct* source vertex
     adjacency: dict[int, list] = {}
     for row in rows:
         src: VertexVal = row[op.src_var]
         if src.vid not in adjacency:
-            adjacency[src.vid] = src.h.edges(
-                orientation, constraint=constraint
-            )
+            if by_vid_only:
+                adjacency[src.vid] = src.h.neighbors(
+                    orientation, constraint=constraint
+                )
+            else:
+                adjacency[src.vid] = src.h.edges(
+                    orientation, constraint=constraint
+                )
     # prefetch the entire frontier with one batched associate
-    frontier = sorted(
-        {
-            e.other_endpoint()
-            for edges in adjacency.values()
-            for e in edges
-        }
-    )
-    fetched = ex.tx.associate_vertices(frontier, missing_ok=True)
+    if by_vid_only:
+        frontier = sorted(
+            {vid for nbrs in adjacency.values() for vid in nbrs}
+        )
+    else:
+        frontier = sorted(
+            {
+                e.other_endpoint()
+                for edges in adjacency.values()
+                for e in edges
+            }
+        )
+    fetched = ex.tx.associate_vertices(frontier, missing_ok=True, need=need)
     by_vid = {
         vid: VertexVal(h, ex)
         for vid, h in zip(frontier, fetched)
@@ -392,6 +661,18 @@ def _run_expand(op: ExpandOp, rows: list, ex: ExecState) -> list:
     out = []
     for row in rows:
         src = row[op.src_var]
+        if by_vid_only:
+            for nbr_vid in adjacency[src.vid]:
+                val = matching.get(nbr_vid)
+                if val is None:
+                    continue
+                if op.bound:
+                    if row[op.dst.var].vid != nbr_vid:
+                        continue
+                    out.append(dict(row))
+                else:
+                    out.append(dict(row, **{op.dst.var: val}))
+            continue
         for edge in adjacency[src.vid]:
             nbr_vid = edge.other_endpoint()
             val = matching.get(nbr_vid)
@@ -406,21 +687,28 @@ def _run_expand(op: ExpandOp, rows: list, ex: ExecState) -> list:
             if op.rel.var is not None:
                 new[op.rel.var] = EdgeVal(edge, ex)
             out.append(new)
-    return out
+    return _emit(out, ex, filt, project)
 
 
 def _run_var_expand(
-    op: ExpandOp, rows: list, ex: ExecState, constraint: Constraint
+    op: ExpandOp, rows: list, ex: ExecState, constraint: Constraint, needs=None
 ) -> list:
     """Variable-length expansion with BFS *distance* semantics.
 
     From each distinct source, every vertex whose shortest-path distance
     (over matching edges) lies in ``[min_hops, max_hops]`` binds exactly
     once.  Each BFS level's frontier is prefetched with one batched
-    ``associate_vertices`` call shared across *all* sources.
+    ``associate_vertices`` call shared across *all* sources.  Levels
+    below ``max_hops`` must carry topology (they expand again); the
+    final level fetches only what the destination spec and downstream
+    operators read — for a ``RETURN b.id`` friends-of-friends query the
+    (largest) last frontier moves nothing but holder headers.
     """
     orientation = _ORIENTATION[op.rel.direction]
     lo, hi = op.rel.min_hops, op.rel.max_hops
+    dst_need = (
+        needs.get(op.dst.var, NEED_ALL) if needs is not None else NEED_ALL
+    )
     sources: dict[int, VertexVal] = {}
     for row in rows:
         src = row[op.src_var]
@@ -452,8 +740,16 @@ def _run_var_expand(
             if vid not in vals
         ) if discovered else []
         if union:
+            lvl_need = (
+                dst_need
+                if hi is not None and depth == hi
+                else dst_need | NEED_TOPO
+            )
             for vid, h in zip(
-                union, ex.tx.associate_vertices(union, missing_ok=True)
+                union,
+                ex.tx.associate_vertices(
+                    union, missing_ok=True, need=lvl_need
+                ),
             ):
                 if h is not None:
                     vals[vid] = VertexVal(h, ex)
@@ -491,14 +787,18 @@ def _run_var_expand(
 
 # -- writes ------------------------------------------------------------------
 def _run_create(op: CreateOp, rows: list, ex: ExecState) -> list:
-    out = []
-    for row in rows:
-        env = dict(row)
+    # Phase 1: gather every fresh vertex any row binds, then create them
+    # all with one batched call (one DHT uniqueness-probe round instead
+    # of one round trip per vertex).  The planner guarantees each fresh
+    # CREATE node carries exactly one ``id =`` predicate.
+    envs = [dict(row) for row in rows]
+    specs: list[tuple] = []
+    slots: list[tuple[int, str]] = []
+    for ei, env in enumerate(envs):
+        pending: set[str] = set()
         for path in op.paths:
-            bindings = []
             for node in path.nodes:
-                if node.var in env:
-                    bindings.append(env[node.var])
+                if node.var in env or node.var in pending:
                     continue
                 app_id = None
                 props = []
@@ -508,13 +808,21 @@ def _run_create(op: CreateOp, rows: list, ex: ExecState) -> list:
                     if pred.key == "id":
                         app_id = int(value)
                     else:
-                        props.append((ex.ensure_ptype(pred.key, value), value))
-                handle = ex.tx.create_vertex(
-                    app_id, labels=labels, properties=props
-                )
-                env[node.var] = VertexVal(handle, ex)
-                bindings.append(env[node.var])
-                ex.bump("vertices_created")
+                        props.append(
+                            (ex.ensure_ptype(pred.key, value), value)
+                        )
+                specs.append((app_id, labels, props))
+                slots.append((ei, node.var))
+                pending.add(node.var)
+    if specs:
+        handles = ex.tx.create_vertices(specs)
+        for (ei, var), handle in zip(slots, handles):
+            envs[ei][var] = VertexVal(handle, ex)
+            ex.bump("vertices_created")
+    # Phase 2: edges, in plan order, against the now-bound endpoints.
+    for env in envs:
+        for path in op.paths:
+            bindings = [env[node.var] for node in path.nodes]
             for i, rel in enumerate(path.rels):
                 left, right = bindings[i], bindings[i + 1]
                 src, dst = (
@@ -535,11 +843,25 @@ def _run_create(op: CreateOp, rows: list, ex: ExecState) -> list:
                 if rel.var is not None:
                     env[rel.var] = EdgeVal(edge, ex)
                 ex.bump("edges_created")
-        out.append(env)
-    return out
+    return envs
+
+
+def _prefetch_write_targets(rows: list, ex: ExecState, vars_: list) -> None:
+    """Batch-load (and write-lock) the distinct vertices a SET/DELETE
+    touches: the read->write lock upgrades and any part hydration ride
+    one batched round instead of one per mutation."""
+    vids = {
+        row[var].vid
+        for row in rows
+        for var in vars_
+        if not row[var].is_edge
+    }
+    if len(vids) > 1:
+        ex.tx.load_vertices(sorted(vids), for_write=True, missing_ok=True)
 
 
 def _run_set(op: SetOp, rows: list, ex: ExecState) -> list:
+    _prefetch_write_targets(rows, ex, [item.var for item in op.items])
     for row in rows:
         for item in op.items:
             binding = row[item.var]
@@ -567,6 +889,7 @@ def _run_set(op: SetOp, rows: list, ex: ExecState) -> list:
 
 
 def _run_delete(op: DeleteOp, rows: list, ex: ExecState) -> list:
+    _prefetch_write_targets(rows, ex, list(op.vars))
     deleted_v: set[int] = set()
     deleted_e: set[int] = set()
     for row in rows:

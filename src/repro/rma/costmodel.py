@@ -75,6 +75,12 @@ class MachineProfile:
         Models receiver congestion: a rank bombarded by remote accesses
         cannot proceed past a synchronization point until its NIC has
         served them, which is what makes load imbalance hurt.
+    o_atomic:
+        Per-additional-operation overhead of a *batched* atomic in
+        seconds.  Aries pipelines back-to-back AMOs to the same NIC, so
+        a doorbell batch of ``n`` same-target atomics costs one full
+        ``alpha + gamma`` round plus ``(n - 1) * o_atomic`` issue slots
+        instead of ``n`` full rounds.
     """
 
     name: str
@@ -86,6 +92,7 @@ class MachineProfile:
     cores_per_server: int
     mem_per_server: int
     o_target: float = 0.4e-6
+    o_atomic: float = 0.05e-6
 
     def servers(self, nranks: int) -> float:
         """Server count equivalent to ``nranks`` simulated ranks."""
@@ -141,6 +148,7 @@ ZERO_COST = MachineProfile(
     cores_per_server=1,
     mem_per_server=64 * 2**30,
     o_target=0.0,
+    o_atomic=0.0,
 )
 
 
@@ -184,6 +192,22 @@ class CostModel:
         if origin == target:
             return p.alpha_local
         return p.alpha + p.gamma
+
+    def batched_atomic(self, origin: int, per_target: dict[int, int]) -> float:
+        """Cost of a batched atomic: one full round per distinct target.
+
+        ``per_target`` maps each target rank to the number of atomics
+        headed there; the first atomic per target pays the full
+        :meth:`atomic` latency and each additional one only the pipelined
+        ``o_atomic`` issue slot.
+        """
+        p = self.profile
+        total = 0.0
+        for t, n in per_target.items():
+            if n <= 0:
+                continue
+            total += self.atomic(origin, t) + (n - 1) * p.o_atomic
+        return total
 
     def target_service(self, nbytes: int) -> float:
         """Receiver-side NIC busy time caused by one incoming message."""

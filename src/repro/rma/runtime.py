@@ -397,6 +397,82 @@ class RankContext:
         rt._charge(self.rank, rt.cost.atomic(self.rank, target))
         rt._serve(self.rank, target, 8)
 
+    # -- batched remote atomics ---------------------------------------------------
+    def faa_batch(
+        self, win: Window, ops: Sequence[tuple[int, int, int]]
+    ) -> list[int]:
+        """Batched fetch-and-add: ``ops`` is ``(target, offset, delta)``.
+
+        Returns the pre-add values in issue order.  Same-target atomics
+        pipeline behind one full-latency round (doorbell batching), so a
+        vector of ``n`` AMOs to one NIC costs ``atomic + (n-1) *
+        o_atomic`` instead of ``n * atomic``.  Each element is still an
+        individually-atomic 64-bit operation; the batch as a whole is
+        *not* atomic.
+        """
+        if not ops:
+            return []
+        rt = self.rt
+        rt._step(self.rank)
+        per_t: dict[int, int] = {}
+        for target, _, _ in ops:
+            per_t[target] = per_t.get(target, 0) + 1
+        if rt.faults is not None:
+            rt.faults.before_batch(
+                rt, self.rank,
+                {t: 8 * n for t, n in per_t.items()},
+                rt.cost.batched_atomic(self.rank, per_t),
+            )
+        out: list[int] = []
+        for target, offset, delta in ops:
+            with rt._atomic_locks[target]:
+                old = win.read_i64(target, offset)
+                win.write_i64(target, offset, _wrap_i64(old + delta))
+            rt.trace.record("atomic", self.rank, target, win.name, offset, 8)
+            out.append(old)
+        for target, n in per_t.items():
+            rt._serve(self.rank, target, 8 * n)
+        rt._charge(self.rank, rt.cost.batched_atomic(self.rank, per_t))
+        rt.trace.record_batch(self.rank, len(ops), len(per_t), 8 * len(ops))
+        return out
+
+    def cas_batch(
+        self, win: Window, ops: Sequence[tuple[int, int, int, int]]
+    ) -> list[int]:
+        """Batched compare-and-swap: ``(target, offset, compare, new)``.
+
+        Returns the found values in issue order; element ``i`` swapped
+        iff ``result[i] == compare[i]``.  Cost model matches
+        :meth:`faa_batch`.
+        """
+        if not ops:
+            return []
+        rt = self.rt
+        rt._step(self.rank)
+        per_t: dict[int, int] = {}
+        for target, _, _, _ in ops:
+            per_t[target] = per_t.get(target, 0) + 1
+        if rt.faults is not None:
+            rt.faults.before_batch(
+                rt, self.rank,
+                {t: 8 * n for t, n in per_t.items()},
+                rt.cost.batched_atomic(self.rank, per_t),
+            )
+        out: list[int] = []
+        for target, offset, compare, new in ops:
+            compare = _wrap_i64(compare)
+            with rt._atomic_locks[target]:
+                old = win.read_i64(target, offset)
+                if old == compare:
+                    win.write_i64(target, offset, _wrap_i64(new))
+            rt.trace.record("atomic", self.rank, target, win.name, offset, 8)
+            out.append(old)
+        for target, n in per_t.items():
+            rt._serve(self.rank, target, 8 * n)
+        rt._charge(self.rank, rt.cost.batched_atomic(self.rank, per_t))
+        rt.trace.record_batch(self.rank, len(ops), len(per_t), 8 * len(ops))
+        return out
+
     # -- batched data movement ----------------------------------------------------
     def put_batch(
         self, win: Window, ops: Sequence[tuple[int, int, bytes]]

@@ -58,9 +58,12 @@ class RankCounters:
     corruptions_detected: int = 0
     shard_repairs: int = 0
     #: query-layer accounting (:mod:`repro.query.engine`): a cache *hit*
-    #: re-executes a previously built physical plan, skipping parse+plan.
+    #: re-executes a previously built physical plan, skipping parse+plan;
+    #: ``replans`` counts mid-query adaptive re-planning events (observed
+    #: cardinality diverged >=4x from the planner's estimate).
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    replans: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -93,6 +96,7 @@ class RankCounters:
             "shard_repairs": self.shard_repairs,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
+            "replans": self.replans,
         }
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -207,6 +211,10 @@ class TraceRecorder:
             c.plan_cache_hits += 1
         else:
             c.plan_cache_misses += 1
+
+    def record_replan(self, origin: int) -> None:
+        """Account one adaptive mid-query re-planning event at ``origin``."""
+        self.counters[origin].replans += 1
 
     # -- aggregation ------------------------------------------------------
     def total(self, field_name: str) -> int:

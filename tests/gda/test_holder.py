@@ -11,6 +11,9 @@ from repro.gda.holder import (
     DIR_OUT,
     DIR_UNDIR,
     HEADER_BYTES,
+    NEED_ENTRIES,
+    NEED_IDENT,
+    NEED_TOPO,
     SLOT_BYTES,
     SLOT_HEAVY,
     EdgeHolder,
@@ -164,6 +167,51 @@ def test_vertex_roundtrip_indirect_addressing():
         ctx.barrier()
 
     _with_storage(1, body, blocks_per_rank=2048)
+
+
+def test_vertex_roundtrip_at_index_block_boundary():
+    """Edge counts straddling an exact index-block boundary round-trip.
+
+    With 128-byte blocks one index block holds 16 data-block addresses.
+    A bare 132-edge vertex (payload ``16*132 + 4`` bytes — slots plus the
+    empty entry stream) needs exactly ``ndata = 16``, filling its single
+    index block completely; 133 edges is the first count that spills
+    into a second index block.
+    """
+    assert plan_layout(SLOT_BYTES * 132 + 4, 128) == (1, 16)
+    assert plan_layout(SLOT_BYTES * 133 + 4, 128) == (2, 17)
+
+    def body(ctx, hs):
+        if ctx.rank == 0:
+            for n_edges, nindex, ndata in ((132, 1, 16), (133, 2, 17)):
+                v = VertexHolder(
+                    app_id=1000 + n_edges,
+                    edges=[
+                        EdgeSlot(pack_dptr(i % 2, 16 * i), i % 5, DIR_OUT)
+                        for i in range(n_edges)
+                    ],
+                )
+                stored = hs.write_new(ctx, v, home_rank=1)
+                assert len(stored.index_blocks) == nindex
+                assert len(stored.data_blocks) == ndata
+                back = hs.read(ctx, stored.primary)
+                assert back.holder == v
+                # projected reads decode the same parts across the
+                # boundary too
+                topo = hs.read(
+                    ctx, stored.primary, need=NEED_TOPO | NEED_IDENT
+                )
+                assert topo.holder.edges == v.edges
+                ent = hs.read(
+                    ctx, stored.primary, need=NEED_ENTRIES | NEED_IDENT
+                )
+                assert ent.holder.labels == [] and ent.holder.properties == []
+                ident = hs.read(ctx, stored.primary, need=NEED_IDENT)
+                assert ident.holder.app_id == v.app_id
+                assert not ident.holder.has_topology
+        ctx.barrier()
+
+    _with_storage(2, body, block_size=128, blocks_per_rank=512)
 
 
 def test_edge_holder_roundtrip():

@@ -1,0 +1,105 @@
+"""Plan-cache invalidation when catalogue statistics change.
+
+A cached plan must not outlive the statistics it was chosen under:
+
+* a label-histogram inversion that flips the rarest-label choice must
+  re-plan (counted as a cache miss),
+* a directory-version bump that does *not* flip any access path must
+  revalidate the entry in place (counted as a hit),
+* CREATE INDEX changes the cache-key fingerprint, so the same query
+  text re-plans against the new index.
+"""
+
+from repro.gdi import Constraint
+from repro.query import QueryEngine
+from repro.query.logical import ScanOp
+from repro.rma import run_spmd
+
+from .conftest import NRANKS, build_social_db, run_rank0
+
+QUERY = "MATCH (p:Person:Admin) RETURN p.name"
+
+
+def _scan_op(plan):
+    (op,) = [op for op in plan.ops if isinstance(op, ScanOp)]
+    return op
+
+
+def _create_labelled(ctx, db, label_name, start_id, count):
+    label = db.label(ctx, label_name)
+    tx = db.start_transaction(ctx, write=True)
+    for i in range(count):
+        tx.create_vertex(start_id + i, labels=[label])
+    tx.commit()
+
+
+def test_histogram_inversion_invalidates_cached_plan():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        r0 = eng.run(ctx, QUERY)
+        # Admin (1 member) is rarer than Person (5): the scan anchors
+        # on Admin
+        op0 = _scan_op(r0.plan)
+        # flood :Admin until Person becomes the rarest of the two; the
+        # new vertices carry only Admin, so the query's answer is
+        # unchanged — only the optimal access path flips
+        _create_labelled(ctx, db, "Admin", 300, 10)
+        r1 = eng.run(ctx, QUERY)
+        op1 = _scan_op(r1.plan)
+        return op0, op1, r0.rows, r1.rows, dict(eng.cache_info(ctx))
+
+    op0, op1, rows0, rows1, cache = run_rank0(fn)
+    assert (op0.source, op0.detail) == ("label", "Admin")
+    assert (op1.source, op1.detail) == ("label", "Person")
+    assert rows0 == rows1 == [("erin",)]
+    # the stale plan did not survive: second run re-planned (a miss)
+    assert cache == {"hits": 0, "misses": 2, "entries": 1}
+
+
+def test_version_bump_without_flip_revalidates_in_place():
+    def fn(ctx, db):
+        eng = QueryEngine(db)
+        eng.run(ctx, QUERY)
+        # new :City vertices move the directory version but leave the
+        # Person/Admin histogram (and thus the access path) alone
+        _create_labelled(ctx, db, "City", 400, 3)
+        r1 = eng.run(ctx, QUERY)
+        return _scan_op(r1.plan), r1.rows, dict(eng.cache_info(ctx))
+
+    op1, rows, cache = run_rank0(fn)
+    assert (op1.source, op1.detail) == ("label", "Admin")
+    assert rows == [("erin",)]
+    # revalidated, not re-planned
+    assert cache == {"hits": 1, "misses": 1, "entries": 1}
+
+
+def test_create_index_replans_same_query_text():
+    # index creation is collective: every rank participates in the build
+    def prog(ctx):
+        db = build_social_db(ctx)
+        eng = QueryEngine(db)
+        r0 = eng.run(ctx, QUERY) if ctx.rank == 0 else None
+        ctx.barrier()
+        admin = db.label(ctx, "Admin")
+        db.create_index(ctx, "admins", Constraint.has_label(admin.int_id))
+        out = None
+        if ctx.rank == 0:
+            r1 = eng.run(ctx, QUERY)
+            out = (
+                _scan_op(r0.plan),
+                _scan_op(r1.plan),
+                r1.rows,
+                dict(eng.cache_info(ctx)),
+            )
+        ctx.barrier()
+        return out
+
+    _, res = run_spmd(NRANKS, prog)
+    op0, op1, rows, cache = res[0]
+    assert op0.source == "label"
+    # the index changes the cache-key fingerprint: same text, fresh plan
+    assert (op1.source, op1.detail) == ("index", "admins")
+    assert rows == [("erin",)]
+    assert cache["misses"] == 2 and cache["hits"] == 0
+    # both keys remain cached (old fingerprint + new fingerprint)
+    assert cache["entries"] == 2
