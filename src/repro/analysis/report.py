@@ -32,6 +32,7 @@ SECTION_ORDER: list[tuple[str, str]] = [
     ("sec68_extreme_scale", "Section 6.8 — extreme scales"),
     ("interactive_complex", "Extension — interactive complex queries"),
     ("query_engine", "Extension — declarative query engine vs hand-coded"),
+    ("serve_overload", "Extension — serving under overload"),
     ("micro_batch_coalescing", "Microbenchmark — RMA doorbell coalescing"),
     ("micro_codec", "Microbenchmark — holder codec: struct vs numpy view"),
     ("ablation_blocksize", "Ablation — BGDL block size"),
@@ -94,6 +95,10 @@ BENCH_JSON_GROUPS: dict[str, tuple[str, ...]] = {
     "BENCH_query.json": (
         "query_engine",
         "micro_codec",
+    ),
+    "BENCH_serve.json": (
+        "serve_overload",
+        "serve_overload_crash",
     ),
 }
 

@@ -44,7 +44,7 @@ from .recovery import (
 )
 from .relocate import plan_balance, rebalance
 from .replication import ReplicationLog, ReplicationManager
-from .retry import RetryPolicy, run_transaction
+from .retry import RetryDeadlineExceeded, RetryPolicy, run_transaction
 from .transaction_impl import (
     EdgeHandle,
     Transaction,
@@ -101,4 +101,5 @@ __all__ = [
     "take_checkpoint",
     "RetryPolicy",
     "run_transaction",
+    "RetryDeadlineExceeded",
 ]

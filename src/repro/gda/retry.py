@@ -36,18 +36,58 @@ if TYPE_CHECKING:  # pragma: no cover
     from .database_impl import GdaDatabase
     from .transaction_impl import Transaction
 
-__all__ = ["RetryPolicy", "run_transaction"]
+__all__ = ["RetryPolicy", "RetryDeadlineExceeded", "run_transaction"]
+
+
+class RetryDeadlineExceeded(RuntimeError):
+    """The retry loop ran out of wall-clock budget before succeeding.
+
+    Deliberately *not* a :class:`~repro.gdi.errors.GdiTransactionCritical`
+    (nor an :class:`~repro.rma.faults.RmaTransientError`): an enclosing
+    retry loop must treat an exhausted deadline as terminal, never as one
+    more retryable abort.  The failure that exhausted the budget is
+    attached as ``last_error`` (and as ``__cause__``), together with the
+    elapsed simulated time and the number of attempts made.
+    """
+
+    def __init__(
+        self,
+        deadline: float,
+        elapsed: float,
+        attempts: int,
+        last_error: BaseException,
+    ) -> None:
+        super().__init__(
+            f"transaction deadline of {deadline:.3g}s exhausted after "
+            f"{attempts} attempt(s) ({elapsed:.3g}s elapsed); "
+            f"last error: {last_error!r}"
+        )
+        self.deadline = deadline
+        self.elapsed = elapsed
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How often and how patiently to restart failed transactions."""
+    """How often and how patiently to restart failed transactions.
+
+    ``deadline`` is a total wall-clock budget in simulated seconds,
+    measured on the rank's clock from entry to :func:`run_transaction`
+    across *all* attempts and backoffs (``None`` keeps the legacy
+    attempts-only behavior).  The first attempt always runs; once a
+    restart — including the backoff it would charge — can no longer
+    finish within the budget, the loop stops and raises
+    :class:`RetryDeadlineExceeded` wrapping the last failure instead of
+    overshooting the caller's latency budget.
+    """
 
     max_attempts: int = 8
     backoff_base: float = 5e-6
     backoff_factor: float = 2.0
     backoff_cap: float = 500e-6
     seed: int = 0
+    deadline: float | None = None
 
 
 def run_transaction(
@@ -73,6 +113,7 @@ def run_transaction(
     if policy.max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
     stats = db.stats[ctx.rank]
+    t0 = ctx.clock
     for attempt in range(policy.max_attempts):
         if collective:
             tx = db.start_collective_transaction(ctx, write=write)
@@ -101,7 +142,6 @@ def run_transaction(
                     heal(ctx)
             if attempt + 1 >= policy.max_attempts:
                 raise
-            stats.restarts += 1
             delay = backoff_delay(
                 policy.backoff_base,
                 attempt,
@@ -110,6 +150,15 @@ def run_transaction(
                 seed=policy.seed,
                 token=(ctx.rank << 20) ^ stats.started,
             )
+            if policy.deadline is not None:
+                elapsed = ctx.clock - t0
+                if elapsed + delay >= policy.deadline:
+                    # a restart could not finish in time: abort now
+                    # instead of burning backoff past the caller's budget
+                    raise RetryDeadlineExceeded(
+                        policy.deadline, elapsed, attempt + 1, exc
+                    ) from exc
+            stats.restarts += 1
             ctx.charge(delay)
             ctx.rt.trace.record_backoff(ctx.rank, delay)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -23,6 +23,7 @@ re-plans.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from .errors import QueryPlanError
@@ -54,18 +55,38 @@ class QueryResult:
         return self.rows[0][0]
 
 
+#: default LRU bound of the plan cache: generous for any benchmark's
+#: working set of distinct query texts, yet a hard ceiling so a
+#: many-tenant serving workload with diverse text cannot grow the
+#: engine's memory without limit.
+DEFAULT_PLAN_CACHE_ENTRIES = 256
+
+
 class QueryEngine:
     """Cypher-lite query engine over one GDA database.
 
     One engine may be shared by all ranks of a simulation (its plan
     cache is guarded by a lock); per-execution state lives in the
     transaction, never in the engine.
+
+    The plan cache is an LRU bounded to ``max_cache_entries``: lookups
+    and refreshes touch the entry, inserts beyond the bound evict the
+    least-recently-used plan (counted per rank as
+    ``plan_cache_evictions`` in the trace recorder).
     """
 
-    def __init__(self, db) -> None:
+    def __init__(
+        self, db, max_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES
+    ) -> None:
+        if max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be >= 1")
         self.db = db
-        #: cache key -> (plan, directory version it was validated against)
-        self._cache: dict[tuple, tuple[LogicalPlan, int]] = {}
+        self.max_cache_entries = max_cache_entries
+        #: cache key -> (plan, directory version it was validated against),
+        #: in least-recently-used-first order
+        self._cache: OrderedDict[tuple, tuple[LogicalPlan, int]] = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
 
     # -- plan cache --------------------------------------------------------
@@ -76,11 +97,25 @@ class QueryEngine:
             tuple(sorted(self.db.edge_indexes)),
         )
 
+    def _cache_store(self, ctx, key: tuple, value: tuple) -> None:
+        """Insert/refresh ``key`` as most-recently-used; evict past the cap."""
+        with self._lock:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            n_evicted = 0
+            while len(self._cache) > self.max_cache_entries:
+                self._cache.popitem(last=False)
+                n_evicted += 1
+        for _ in range(n_evicted):
+            ctx.rt.trace.record_plan_cache_eviction(ctx.rank)
+
     def _get_plan(self, ctx, text: str) -> LogicalPlan:
         key = self._cache_key(text)
         version = self.db.directory.version
         with self._lock:
             entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
         plan: LogicalPlan | None = None
         if entry is not None:
             plan, seen_version = entry
@@ -88,19 +123,17 @@ class QueryEngine:
                 # data moved underneath the plan: keep it only if current
                 # statistics would still pick the same scan access paths
                 if plan_is_current(self.db, ctx, plan):
-                    with self._lock:
-                        self._cache[key] = (plan, version)
+                    self._cache_store(ctx, key, (plan, version))
                 else:
                     plan = None
         ctx.rt.trace.record_plan_cache(ctx.rank, hit=plan is not None)
         if plan is None:
             plan = plan_query(self.db, ctx, parse_query(text))
-            with self._lock:
-                self._cache[key] = (plan, version)
+            self._cache_store(ctx, key, (plan, version))
         return plan
 
     def cache_info(self, ctx) -> dict[str, int]:
-        """This rank's plan-cache hit/miss counters plus the cache size."""
+        """This rank's plan-cache hit/miss/eviction counters + cache size."""
         counters = ctx.rt.trace.counters[ctx.rank]
         with self._lock:
             size = len(self._cache)
@@ -108,9 +141,19 @@ class QueryEngine:
             "hits": counters.plan_cache_hits,
             "misses": counters.plan_cache_misses,
             "entries": size,
+            "evictions": counters.plan_cache_evictions,
         }
 
     # -- entry points ------------------------------------------------------
+    def prepare(self, ctx, text: str) -> LogicalPlan:
+        """Parse and plan (cached) without executing.
+
+        Callers that wrap execution in their own transaction (the serving
+        front-end, retry loops) use the returned plan's ``query.writes``
+        to pick the transaction mode before opening it.
+        """
+        return self._get_plan(ctx, text)
+
     def explain(self, ctx, text: str) -> str:
         """The EXPLAIN rendering of a query's plan (no execution)."""
         return self._get_plan(ctx, text).explain()

@@ -60,10 +60,29 @@ class RankCounters:
     #: query-layer accounting (:mod:`repro.query.engine`): a cache *hit*
     #: re-executes a previously built physical plan, skipping parse+plan;
     #: ``replans`` counts mid-query adaptive re-planning events (observed
-    #: cardinality diverged >=4x from the planner's estimate).
+    #: cardinality diverged >=4x from the planner's estimate);
+    #: ``plan_cache_evictions`` counts LRU evictions from the bounded
+    #: plan cache.
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     replans: int = 0
+    plan_cache_evictions: int = 0
+    #: serving-layer accounting (:mod:`repro.serve`): admission outcomes
+    #: of the front-end — ``requests_admitted`` entered the bounded queue,
+    #: ``requests_shed`` were rejected queue-full, ``requests_throttled``
+    #: hit a per-tenant token bucket, ``requests_shed_analytics`` were
+    #: shed by the open circuit breaker; ``deadline_misses`` counts
+    #: requests that expired before or during execution,
+    #: ``breaker_trips`` the closed->open transitions observed, and
+    #: ``queue_depth_peak`` the deepest admission-queue occupancy seen
+    #: (a max gauge, not a sum).
+    requests_admitted: int = 0
+    requests_shed: int = 0
+    requests_throttled: int = 0
+    requests_shed_analytics: int = 0
+    deadline_misses: int = 0
+    breaker_trips: int = 0
+    queue_depth_peak: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -97,6 +116,14 @@ class RankCounters:
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "replans": self.replans,
+            "plan_cache_evictions": self.plan_cache_evictions,
+            "requests_admitted": self.requests_admitted,
+            "requests_shed": self.requests_shed,
+            "requests_throttled": self.requests_throttled,
+            "requests_shed_analytics": self.requests_shed_analytics,
+            "deadline_misses": self.deadline_misses,
+            "breaker_trips": self.breaker_trips,
+            "queue_depth_peak": self.queue_depth_peak,
         }
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -215,6 +242,42 @@ class TraceRecorder:
     def record_replan(self, origin: int) -> None:
         """Account one adaptive mid-query re-planning event at ``origin``."""
         self.counters[origin].replans += 1
+
+    def record_plan_cache_eviction(self, origin: int) -> None:
+        """Account one LRU eviction from the bounded plan cache."""
+        self.counters[origin].plan_cache_evictions += 1
+
+    # -- serving-layer accounting ------------------------------------------
+    #: admission outcome -> RankCounters field incremented by it
+    _ADMISSION_FIELDS = {
+        "admitted": "requests_admitted",
+        "shed": "requests_shed",
+        "throttled": "requests_throttled",
+        "shed_analytics": "requests_shed_analytics",
+    }
+
+    def record_admission(self, origin: int, outcome: str) -> None:
+        """Account one admission decision of the serving front-end."""
+        try:
+            fname = self._ADMISSION_FIELDS[outcome]
+        except KeyError:
+            raise ValueError(f"unknown admission outcome {outcome!r}") from None
+        c = self.counters[origin]
+        setattr(c, fname, getattr(c, fname) + 1)
+
+    def record_queue_depth(self, origin: int, depth: int) -> None:
+        """Track the deepest admission-queue occupancy seen (max gauge)."""
+        c = self.counters[origin]
+        if depth > c.queue_depth_peak:
+            c.queue_depth_peak = depth
+
+    def record_deadline_miss(self, origin: int) -> None:
+        """Account one request that expired before or during execution."""
+        self.counters[origin].deadline_misses += 1
+
+    def record_breaker_trip(self, origin: int) -> None:
+        """Account one circuit-breaker closed->open transition."""
+        self.counters[origin].breaker_trips += 1
 
     # -- aggregation ------------------------------------------------------
     def total(self, field_name: str) -> int:

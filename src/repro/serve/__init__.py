@@ -1,0 +1,65 @@
+"""Concurrent serving front-end over the GDI query stack (ISSUE 7).
+
+The paper's headline claim is *serving* OLTP+OLAP graph workloads at
+extreme scale; this package adds the missing notion of clients.  Many
+concurrent sessions submit Cypher-lite query text; the front-end
+multiplexes them onto `QueryEngine`/`run_transaction` with:
+
+* a **bounded admission queue** with explicit load shedding
+  (:class:`~repro.serve.errors.ServerOverloaded` instead of unbounded
+  buffering),
+* a **thread-pooled worker loop** per serving rank
+  (:meth:`GraphServer.serve`),
+* **per-tenant token-bucket rate limiting**
+  (:mod:`repro.serve.ratelimit`),
+* **per-request deadlines** propagated into the transaction retry
+  policy — a request that cannot finish in time aborts instead of
+  retrying (:class:`~repro.gda.retry.RetryDeadlineExceeded`),
+* a **circuit breaker** that sheds analytics-class queries first when
+  p99 admission wait degrades (:mod:`repro.serve.breaker`): graceful
+  degradation keeps OLTP live while BI is throttled.
+
+Per-stage counters (admitted/shed/throttled/deadline-misses/breaker
+trips/queue depth) land in the RMA :class:`~repro.rma.trace.TraceRecorder`
+next to the substrate's own accounting.  The closed-loop load driver in
+:mod:`repro.serve.workload` turns the whole thing into a measurable
+system: ``benchmarks/test_serve_overload.py`` reports p50/p99/p999 and
+goodput through the overload knee, with and without a rank crash.
+"""
+
+from .breaker import CircuitBreaker
+from .errors import (
+    AnalyticsShed,
+    DeadlineExceeded,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+    TenantThrottled,
+)
+from .queue import BoundedQueue
+from .ratelimit import TenantRateLimiter, TokenBucket
+from .request import ANALYTICS, OLTP, Request
+from .server import GraphServer, ServeConfig
+from .session import ClientSession
+from .workload import ClosedLoopLoad, ServeMix
+
+__all__ = [
+    "AnalyticsShed",
+    "ANALYTICS",
+    "BoundedQueue",
+    "CircuitBreaker",
+    "ClientSession",
+    "ClosedLoopLoad",
+    "DeadlineExceeded",
+    "GraphServer",
+    "OLTP",
+    "Request",
+    "ServeConfig",
+    "ServeError",
+    "ServeMix",
+    "ServerClosed",
+    "ServerOverloaded",
+    "TenantRateLimiter",
+    "TenantThrottled",
+    "TokenBucket",
+]

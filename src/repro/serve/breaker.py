@@ -1,0 +1,134 @@
+"""Circuit breaker: shed analytics first when admission wait degrades.
+
+Graceful degradation under overload (ISSUE 7): when the p99 of recent
+admission waits crosses ``p99_threshold``, the breaker *opens* and
+analytics-class (BI/OLAP) queries are shed at admission while OLTP
+queries keep flowing — the cheap interactive traffic stays live, the
+expensive scans are throttled.  After ``cooldown`` simulated seconds the
+breaker goes *half-open* and admits a limited number of analytics probes;
+if the waits they observe stay below the threshold it closes again,
+while one bad wait re-opens it for another cooldown.
+
+All timestamps and waits are simulated seconds on the serving clock.
+The wait window is shared by every request class: OLTP waits opening the
+breaker is exactly the point — analytics queries are shed to protect the
+OLTP tail.
+
+State machine::
+
+    CLOSED --(p99 over window > threshold)--> OPEN      [trip]
+    OPEN   --(cooldown elapsed)-------------> HALF_OPEN
+    HALF_OPEN --(probe wait > threshold)----> OPEN      [trip]
+    HALF_OPEN --(recovery_probes good waits)-> CLOSED
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+def _p99(waits: list[float]) -> float:
+    ordered = sorted(waits)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+class CircuitBreaker:
+    """Sheds analytics-class admissions while p99 admission wait is high."""
+
+    def __init__(
+        self,
+        p99_threshold: float,
+        *,
+        window: int = 128,
+        min_samples: int = 16,
+        cooldown: float = 5e-3,
+        recovery_probes: int = 4,
+    ) -> None:
+        if p99_threshold <= 0.0:
+            raise ValueError("p99_threshold must be positive")
+        if min_samples < 1 or window < min_samples:
+            raise ValueError("need window >= min_samples >= 1")
+        self.p99_threshold = p99_threshold
+        self.window = window
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self.recovery_probes = recovery_probes
+        self._state = CLOSED
+        self._waits: list[float] = []
+        self._reopen_at = 0.0
+        self._probes_left = 0
+        self._good_probes = 0
+        #: closed->open transitions (including half-open re-trips)
+        self.trips = 0
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def p99(self) -> float | None:
+        """Current windowed p99 admission wait (None below min_samples)."""
+        with self._lock:
+            if len(self._waits) < self.min_samples:
+                return None
+            return _p99(self._waits)
+
+    def _trip(self, now: float) -> None:
+        self._state = OPEN
+        self._reopen_at = now + self.cooldown
+        self._waits.clear()
+        self.trips += 1
+
+    def observe_wait(self, now: float, wait: float) -> bool:
+        """Feed one dequeue's admission wait; True iff this tripped OPEN."""
+        with self._lock:
+            if self._state == OPEN:
+                return False
+            if self._state == HALF_OPEN:
+                if wait > self.p99_threshold:
+                    self._trip(now)
+                    return True
+                self._good_probes += 1
+                if self._good_probes >= self.recovery_probes:
+                    self._state = CLOSED
+                    self._waits.clear()
+                return False
+            self._waits.append(wait)
+            if len(self._waits) > self.window:
+                del self._waits[0]
+            if (
+                len(self._waits) >= self.min_samples
+                and _p99(self._waits) > self.p99_threshold
+            ):
+                self._trip(now)
+                return True
+            return False
+
+    def allow_analytics(self, now: float) -> bool:
+        """May an analytics-class request be admitted at ``now``?"""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if now < self._reopen_at:
+                    return False
+                self._state = HALF_OPEN
+                self._probes_left = self.recovery_probes
+                self._good_probes = 0
+            # half-open: a bounded number of probes trickle through
+            if self._probes_left > 0:
+                self._probes_left -= 1
+                return True
+            return False
+
+    def force_trip(self, now: float) -> None:
+        """Open the breaker unconditionally (tests, operator override)."""
+        with self._lock:
+            self._trip(now)

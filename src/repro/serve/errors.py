@@ -1,0 +1,52 @@
+"""Error vocabulary of the serving front-end.
+
+Rejections are *cheap by construction*: every error below is raised at
+admission time, before the request consumes a worker or issues a single
+one-sided operation, which is what makes explicit load shedding cheaper
+than unbounded buffering.  Clients treat :class:`ServerOverloaded` (and
+its subclasses) as backpressure — back off and resubmit — while
+:class:`DeadlineExceeded` is terminal for that request.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "ServerClosed",
+    "ServerOverloaded",
+    "TenantThrottled",
+    "AnalyticsShed",
+    "DeadlineExceeded",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of all serving-front-end failures."""
+
+
+class ServerClosed(ServeError):
+    """The server is shut down; no further requests are accepted."""
+
+
+class ServerOverloaded(ServeError):
+    """The bounded admission queue is full; the request was shed.
+
+    Backpressure, not failure: the request had no effect and the client
+    should back off and resubmit.
+    """
+
+
+class TenantThrottled(ServerOverloaded):
+    """The tenant's token bucket is empty; per-tenant rate limit hit."""
+
+
+class AnalyticsShed(ServerOverloaded):
+    """The circuit breaker is open: analytics-class queries are shed.
+
+    Graceful degradation — OLTP traffic is still admitted while p99
+    admission wait recovers below the breaker threshold.
+    """
+
+
+class DeadlineExceeded(ServeError):
+    """The request cannot (or did not) finish before its deadline."""

@@ -1,0 +1,90 @@
+"""The bounded admission queue: explicit shedding, never unbounded buffering.
+
+A classic bounded MPMC queue guarded by one condition variable.  The
+front-end uses :meth:`BoundedQueue.try_put` — a full queue returns
+``False`` (the caller sheds the request) instead of blocking, so queue
+depth, and with it admission wait, stays bounded by construction.
+Workers block in :meth:`BoundedQueue.get` until an item arrives or the
+queue is closed *and* drained, which is the graceful-shutdown path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from .errors import ServerClosed
+
+__all__ = ["BoundedQueue"]
+
+
+class BoundedQueue:
+    """Bounded FIFO with non-blocking producers and blocking consumers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._peak = 0
+
+    @property
+    def depth(self) -> int:
+        """Current occupancy."""
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def peak_depth(self) -> int:
+        """Deepest occupancy ever observed (bounded by ``capacity``)."""
+        with self._cond:
+            return self._peak
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue ``item``; ``False`` (shed) when at capacity."""
+        with self._cond:
+            if self._closed:
+                raise ServerClosed("admission queue is closed")
+            if len(self._items) >= self.capacity:
+                return False
+            self._items.append(item)
+            if len(self._items) > self._peak:
+                self._peak = len(self._items)
+            self._cond.notify()
+            return True
+
+    def requeue_front(self, item: Any) -> None:
+        """Hand an already-admitted item back to the head of the queue.
+
+        Used by a dying worker to return its in-flight request so a
+        surviving worker picks it up; deliberately ignores the capacity
+        bound (the item was admitted once — this never grows the queue
+        beyond what admission allowed) and works on a closed queue, so a
+        crash during drain still leaves no hung request behind.
+        """
+        with self._cond:
+            self._items.appendleft(item)
+            self._cond.notify()
+
+    def get(self, poll_interval: float = 0.05) -> Any | None:
+        """Dequeue the next item; ``None`` once closed and drained."""
+        with self._cond:
+            while True:
+                if self._items:
+                    return self._items.popleft()
+                if self._closed:
+                    return None
+                self._cond.wait(poll_interval)
+
+    def close(self) -> None:
+        """Stop admitting; wake all consumers so they drain and return."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,128 @@
+"""One client request and its lifecycle.
+
+A :class:`Request` carries the query text plus the serving metadata
+(tenant, query class, arrival time, absolute deadline) and collects the
+outcome: terminal status, result rows, and the latency decomposition
+(admission wait + service time = completion - arrival), all in simulated
+seconds.  Completion is signalled through a real :class:`threading.Event`
+— the closed-loop load driver blocks on it — and an optional ``on_done``
+callback invoked from the completing thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "Request",
+    "OLTP",
+    "ANALYTICS",
+    "PENDING",
+    "OK",
+    "SHED",
+    "THROTTLED",
+    "SHED_ANALYTICS",
+    "DEADLINE",
+    "FAILED",
+    "ERROR",
+    "TERMINAL_STATUSES",
+]
+
+#: query classes — the breaker sheds ANALYTICS first under overload
+OLTP = "oltp"
+ANALYTICS = "analytics"
+
+PENDING = "pending"
+OK = "ok"
+SHED = "shed"  # admission queue full
+THROTTLED = "throttled"  # per-tenant token bucket empty
+SHED_ANALYTICS = "shed_analytics"  # circuit breaker open
+DEADLINE = "deadline"  # expired before or during execution
+FAILED = "failed"  # retry budget exhausted on transaction errors
+ERROR = "error"  # malformed query (syntax/plan error)
+
+TERMINAL_STATUSES = frozenset(
+    {OK, SHED, THROTTLED, SHED_ANALYTICS, DEADLINE, FAILED, ERROR}
+)
+
+
+@dataclass
+class Request:
+    """One query submitted to the serving front-end."""
+
+    req_id: str
+    text: str
+    params: dict | None = None
+    tenant: str = "default"
+    qclass: str = OLTP
+    #: arrival timestamp on the serving clock (simulated seconds)
+    arrival: float = 0.0
+    #: absolute deadline on the serving clock; None = no deadline
+    deadline: float | None = None
+    #: closed-loop user that issued this request (load-driver bookkeeping)
+    user: int | None = None
+    on_done: Callable[["Request"], None] | None = None
+
+    # -- outcome (written exactly once by finish()) -----------------------
+    status: str = PENDING
+    rows: list[tuple] | None = None
+    error: BaseException | None = None
+    #: admission wait: service start - arrival
+    queue_wait: float = 0.0
+    #: execution time inside the worker (including retries/backoff)
+    service: float = 0.0
+    #: completion timestamp on the serving clock
+    completion: float = 0.0
+    #: transaction restarts burned by this request
+    attempts: int = 0
+    #: rank that served (or rejected) the request
+    rank: int | None = None
+
+    _done: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def latency(self) -> float:
+        """End-to-end simulated latency (only meaningful once done)."""
+        return self.completion - self.arrival
+
+    def finish(
+        self,
+        status: str,
+        *,
+        completion: float,
+        rank: int | None = None,
+        rows: list[tuple] | None = None,
+        error: BaseException | None = None,
+        queue_wait: float = 0.0,
+        service: float = 0.0,
+        attempts: int = 0,
+    ) -> None:
+        """Move to a terminal status and wake all waiters (idempotent-safe:
+        a second finish on a completed request is a programming error)."""
+        if status not in TERMINAL_STATUSES:
+            raise ValueError(f"non-terminal status {status!r}")
+        if self._done.is_set():
+            raise RuntimeError(f"request {self.req_id} finished twice")
+        self.status = status
+        self.completion = completion
+        self.rank = rank
+        self.rows = rows
+        self.error = error
+        self.queue_wait = queue_wait
+        self.service = service
+        self.attempts = attempts
+        self._done.set()
+        if self.on_done is not None:
+            self.on_done(self)
+
+    def wait_done(self, timeout: float | None = None) -> bool:
+        """Block (real time) until the request reaches a terminal status."""
+        return self._done.wait(timeout)

@@ -1,0 +1,330 @@
+"""The serving front-end: bounded admission, worker pool, degradation.
+
+:class:`GraphServer` multiplexes many client sessions onto the
+`QueryEngine`/`run_transaction` stack of one :class:`GdaDatabase`:
+
+* **admission** (:meth:`GraphServer.submit`) — runs on the submitting
+  thread and never blocks: an expired deadline, an open circuit breaker
+  (analytics class only), an empty tenant token bucket, or a full
+  bounded queue each reject the request *immediately* with the matching
+  :mod:`repro.serve.errors` exception instead of buffering it.  Explicit
+  load shedding keeps queue depth — and with it the admission wait of
+  everything that *is* admitted — bounded by construction.
+* **execution** (:meth:`GraphServer.serve`) — one worker loop per
+  serving rank, thread-pooled by the SPMD executor: each worker pulls
+  requests from the shared queue and drives them through
+  :func:`repro.gda.retry.run_transaction` with the request's remaining
+  deadline folded into the retry policy, so a retry storm can never
+  overshoot a client's latency budget.
+* **degradation** — every dequeue feeds its admission wait to the
+  :class:`~repro.serve.breaker.CircuitBreaker`; when the windowed p99
+  crosses the threshold the breaker opens and analytics-class queries
+  are shed at admission while OLTP stays live.
+
+Time model: request latency is accounted in *simulated* seconds.  Each
+worker keeps a virtual clock ``vt``; serving a request advances it by
+the simulated execution time (measured on the rank's RMA clock), so
+``service start = max(vt, arrival)``, ``admission wait = start -
+arrival`` and ``completion = start + service`` compose into the same
+queueing behavior a real deployment would see, while OS threads provide
+genuine concurrency on the underlying lock-free structures.
+
+Worker crashes: a worker that dies mid-request (:class:`RmaRankDead`)
+hands its in-flight request back to the head of the queue before
+propagating the crash, so a surviving worker completes it — no session
+ever hangs on a dead rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..gda.retry import RetryDeadlineExceeded, RetryPolicy, run_transaction
+from ..gdi.errors import GdiTransactionCritical
+from ..query import QueryEngine
+from ..query.errors import QueryError
+from ..rma.faults import RmaRankDead, RmaTransientError
+from .breaker import CircuitBreaker
+from .errors import (
+    AnalyticsShed,
+    DeadlineExceeded,
+    ServerClosed,
+    ServerOverloaded,
+    TenantThrottled,
+)
+from .queue import BoundedQueue
+from .ratelimit import TenantRateLimiter
+from .request import (
+    ANALYTICS,
+    DEADLINE,
+    ERROR,
+    FAILED,
+    OK,
+    SHED,
+    SHED_ANALYTICS,
+    THROTTLED,
+    Request,
+)
+
+__all__ = ["ServeConfig", "GraphServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one serving front-end."""
+
+    #: bounded admission queue capacity (requests waiting for a worker)
+    queue_capacity: int = 64
+    #: default per-request latency budget in simulated seconds from
+    #: arrival (None = no deadline unless the request carries one)
+    default_deadline: float | None = None
+    #: per-tenant token bucket: requests per simulated second
+    #: (None = unlimited) and burst capacity
+    tenant_rate: float | None = None
+    tenant_burst: float = 8.0
+    #: tenant -> (rate, burst) overrides
+    tenant_overrides: Mapping[str, tuple[float | None, float]] = field(
+        default_factory=dict
+    )
+    #: circuit breaker on p99 admission wait, simulated seconds
+    #: (None disables the breaker: analytics always admitted)
+    breaker_p99_threshold: float | None = None
+    breaker_window: int = 128
+    breaker_min_samples: int = 16
+    breaker_cooldown: float = 5e-3
+    breaker_recovery_probes: int = 4
+    #: transaction retry/backoff; the per-request remaining deadline is
+    #: folded in (min of both budgets) before each execution
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+
+class GraphServer:
+    """Concurrent serving front-end over one GDA database."""
+
+    def __init__(
+        self, db, engine: QueryEngine | None = None, config: ServeConfig | None = None
+    ) -> None:
+        self.db = db
+        self.engine = engine or QueryEngine(db)
+        self.config = config or ServeConfig()
+        self.queue = BoundedQueue(self.config.queue_capacity)
+        self.limiter = TenantRateLimiter(
+            self.config.tenant_rate,
+            self.config.tenant_burst,
+            self.config.tenant_overrides,
+        )
+        self.breaker: CircuitBreaker | None = None
+        if self.config.breaker_p99_threshold is not None:
+            self.breaker = CircuitBreaker(
+                self.config.breaker_p99_threshold,
+                window=self.config.breaker_window,
+                min_samples=self.config.breaker_min_samples,
+                cooldown=self.config.breaker_cooldown,
+                recovery_probes=self.config.breaker_recovery_probes,
+            )
+        #: worker rank -> virtual serving clock (simulated seconds)
+        self._vt: dict[int, float] = {}
+        self._lock = threading.Lock()
+        #: terminal status -> count, across admission + execution
+        self.outcomes: dict[str, int] = {}
+        self._n_submitted = 0
+
+    # -- bookkeeping -------------------------------------------------------
+    def _finish(self, req: Request, status: str, **kw) -> None:
+        with self._lock:
+            self.outcomes[status] = self.outcomes.get(status, 0) + 1
+        req.finish(status, **kw)
+
+    def virtual_now(self) -> float:
+        """Latest worker virtual clock (phase chaining / diagnostics)."""
+        with self._lock:
+            return max(self._vt.values(), default=0.0)
+
+    def stats(self) -> dict:
+        """Aggregate serving statistics (terminal counts + gauges)."""
+        with self._lock:
+            outcomes = dict(self.outcomes)
+            submitted = self._n_submitted
+        return {
+            "submitted": submitted,
+            "outcomes": outcomes,
+            "queue_depth": self.queue.depth,
+            "queue_peak": self.queue.peak_depth,
+            "breaker_state": self.breaker.state if self.breaker else None,
+            "breaker_trips": self.breaker.trips if self.breaker else 0,
+            "throttles_by_tenant": dict(self.limiter.throttles),
+            "virtual_now": self.virtual_now(),
+        }
+
+    # -- admission ---------------------------------------------------------
+    def submit(self, ctx, req: Request) -> Request:
+        """Admit ``req`` (arriving at ``req.arrival``) or shed it.
+
+        Rejections mark the request terminal (so closed-loop clients see
+        a completion either way) and raise the matching
+        :mod:`repro.serve.errors` exception; trace counters attribute the
+        decision to the submitting rank ``ctx``.
+        """
+        trace = ctx.rt.trace
+        now = req.arrival
+        with self._lock:
+            self._n_submitted += 1
+        if req.deadline is None and self.config.default_deadline is not None:
+            req.deadline = now + self.config.default_deadline
+        if self.queue.closed:
+            # still a terminal completion: a closed-loop client blocked on
+            # this request must wake up rather than hang on shutdown
+            trace.record_admission(ctx.rank, "shed")
+            self._finish(req, SHED, completion=now, rank=ctx.rank)
+            raise ServerClosed("server is shut down")
+        if req.deadline is not None and now >= req.deadline:
+            trace.record_deadline_miss(ctx.rank)
+            self._finish(
+                req, DEADLINE, completion=now, rank=ctx.rank
+            )
+            raise DeadlineExceeded(
+                f"{req.req_id}: already past deadline at arrival"
+            )
+        if (
+            self.breaker is not None
+            and req.qclass == ANALYTICS
+            and not self.breaker.allow_analytics(now)
+        ):
+            trace.record_admission(ctx.rank, "shed_analytics")
+            self._finish(
+                req, SHED_ANALYTICS, completion=now, rank=ctx.rank
+            )
+            raise AnalyticsShed(
+                f"{req.req_id}: breaker open, analytics shed"
+            )
+        if not self.limiter.allow(req.tenant, now):
+            trace.record_admission(ctx.rank, "throttled")
+            self._finish(req, THROTTLED, completion=now, rank=ctx.rank)
+            raise TenantThrottled(
+                f"{req.req_id}: tenant {req.tenant!r} over rate limit"
+            )
+        if not self.queue.try_put(req):
+            trace.record_admission(ctx.rank, "shed")
+            self._finish(req, SHED, completion=now, rank=ctx.rank)
+            raise ServerOverloaded(
+                f"{req.req_id}: admission queue full "
+                f"({self.config.queue_capacity})"
+            )
+        trace.record_admission(ctx.rank, "admitted")
+        trace.record_queue_depth(ctx.rank, self.queue.depth)
+        return req
+
+    # -- execution ---------------------------------------------------------
+    def serve(self, ctx) -> int:
+        """Worker loop: serve queued requests on rank ``ctx`` until the
+        server is closed and the queue drained.  Returns the number of
+        requests this worker brought to a terminal state."""
+        served = 0
+        while True:
+            req = self.queue.get()
+            if req is None:
+                return served
+            self._execute(ctx, req)
+            served += 1
+
+    def _execute(self, ctx, req: Request) -> None:
+        trace = ctx.rt.trace
+        vt = self._vt.get(ctx.rank, 0.0)
+        start = max(vt, req.arrival)
+        wait = start - req.arrival
+        if self.breaker is not None and self.breaker.observe_wait(start, wait):
+            trace.record_breaker_trip(ctx.rank)
+        if req.deadline is not None and start >= req.deadline:
+            # doomed before it ran: shed the work, don't burn a worker
+            trace.record_deadline_miss(ctx.rank)
+            self._finish(
+                req,
+                DEADLINE,
+                completion=start,
+                rank=ctx.rank,
+                queue_wait=wait,
+            )
+            return
+        policy = self.config.retry
+        if req.deadline is not None:
+            budget = req.deadline - start
+            if policy.deadline is None or budget < policy.deadline:
+                policy = replace(policy, deadline=budget)
+        restarts0 = self.db.stats[ctx.rank].restarts
+        c0 = ctx.clock
+        try:
+            plan = self.engine.prepare(ctx, req.text)
+            result = run_transaction(
+                ctx,
+                self.db,
+                lambda tx: self.engine.run(ctx, req.text, req.params, tx=tx),
+                write=plan.query.writes,
+                policy=policy,
+            )
+        except RmaRankDead:
+            # this worker just died: hand the request back so a survivor
+            # serves it, then let the crash propagate to the executor
+            self.queue.requeue_front(req)
+            raise
+        except RetryDeadlineExceeded as exc:
+            completion = start + (ctx.clock - c0)
+            self._vt[ctx.rank] = completion
+            trace.record_deadline_miss(ctx.rank)
+            self._finish(
+                req,
+                DEADLINE,
+                completion=completion,
+                rank=ctx.rank,
+                error=exc,
+                queue_wait=wait,
+                service=ctx.clock - c0,
+                attempts=self.db.stats[ctx.rank].restarts - restarts0,
+            )
+            return
+        except (GdiTransactionCritical, RmaTransientError) as exc:
+            completion = start + (ctx.clock - c0)
+            self._vt[ctx.rank] = completion
+            self._finish(
+                req,
+                FAILED,
+                completion=completion,
+                rank=ctx.rank,
+                error=exc,
+                queue_wait=wait,
+                service=ctx.clock - c0,
+                attempts=self.db.stats[ctx.rank].restarts - restarts0,
+            )
+            return
+        except QueryError as exc:
+            completion = start + (ctx.clock - c0)
+            self._vt[ctx.rank] = completion
+            self._finish(
+                req,
+                ERROR,
+                completion=completion,
+                rank=ctx.rank,
+                error=exc,
+                queue_wait=wait,
+                service=ctx.clock - c0,
+            )
+            return
+        service = ctx.clock - c0
+        completion = start + service
+        self._vt[ctx.rank] = completion
+        self._finish(
+            req,
+            OK,
+            completion=completion,
+            rank=ctx.rank,
+            rows=result.rows,
+            queue_wait=wait,
+            service=service,
+            attempts=self.db.stats[ctx.rank].restarts - restarts0,
+        )
+
+    # -- shutdown ----------------------------------------------------------
+    def close(self) -> None:
+        """Stop admission; workers drain the queue and return."""
+        self.queue.close()

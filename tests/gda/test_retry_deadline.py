@@ -1,0 +1,202 @@
+"""Retry/backoff edge cases: deadlines, jitter bounds, heal interaction.
+
+Uses a minimal fake database so every failure sequence is exact: the
+retry loop only touches ``db.stats[rank]``, ``db.start_transaction`` and
+``db.heal``.
+"""
+
+import pytest
+
+from repro.gda import RetryDeadlineExceeded, RetryPolicy, run_transaction
+from repro.gda.database_impl import TxStats
+from repro.gdi.errors import GdiTransactionCritical
+from repro.rma import RmaRuntime
+from repro.rma.faults import RmaStaleEpoch, RmaTransientError, backoff_delay
+
+
+class FakeTx:
+    def __init__(self):
+        self.open = True
+        self.failed = False
+        self.committed = False
+
+    def commit(self):
+        self.open = False
+        self.committed = True
+
+    def abort(self):
+        self.open = False
+
+    def _fail(self, reason):
+        self.failed = True
+
+
+class FakeDb:
+    """Just enough surface for :func:`run_transaction`."""
+
+    def __init__(self):
+        self.stats = [TxStats()]
+        self.healed = 0
+        self.txs = []
+
+    def start_transaction(self, ctx, write=False):
+        self.stats[ctx.rank].started += 1
+        tx = FakeTx()
+        self.txs.append(tx)
+        return tx
+
+    def heal(self, ctx):
+        self.healed += 1
+
+
+@pytest.fixture()
+def ctx():
+    return RmaRuntime(1).context(0)
+
+
+def failing(n, exc=GdiTransactionCritical, then=42):
+    """A body that fails ``n`` times, then returns ``then``."""
+    box = {"left": n, "calls": 0}
+
+    def fn(tx):
+        box["calls"] += 1
+        if box["left"] > 0:
+            box["left"] -= 1
+            raise exc("induced abort")
+        return then
+
+    fn.box = box
+    return fn
+
+
+# -- deadline semantics ------------------------------------------------------
+def test_deadline_exhausts_mid_backoff(ctx):
+    db = FakeDb()
+    policy = RetryPolicy(
+        max_attempts=100, backoff_base=1e-3, backoff_cap=1e-3, deadline=2.5e-3
+    )
+    fn = failing(100)
+    with pytest.raises(RetryDeadlineExceeded) as ei:
+        run_transaction(ctx, db, fn, policy=policy)
+    err = ei.value
+    assert err.deadline == 2.5e-3
+    assert isinstance(err.last_error, GdiTransactionCritical)
+    assert err.__cause__ is err.last_error
+    # the loop stopped as soon as elapsed + next-backoff crossed the
+    # budget — it never charged simulated time past the deadline
+    assert err.elapsed <= policy.deadline
+    assert ctx.clock <= policy.deadline
+    # each backoff is at least base/2, so at most deadline/(base/2) + 1
+    # attempts fit in the budget (far fewer than max_attempts)
+    assert err.attempts == fn.box["calls"] <= 6
+    assert db.stats[0].restarts == err.attempts - 1
+
+
+def test_first_attempt_always_runs(ctx):
+    db = FakeDb()
+    # a zero-ish budget still executes the body once (and may succeed)
+    policy = RetryPolicy(deadline=1e-18)
+    assert run_transaction(ctx, db, failing(0), policy=policy) == 42
+    # ...but a failure then exhausts immediately instead of backing off
+    with pytest.raises(RetryDeadlineExceeded) as ei:
+        run_transaction(ctx, db, failing(5), policy=policy)
+    assert ei.value.attempts == 1
+    assert db.stats[0].restarts == 0
+
+
+def test_generous_deadline_lets_retries_succeed(ctx):
+    db = FakeDb()
+    policy = RetryPolicy(max_attempts=8, deadline=10.0)
+    fn = failing(3)
+    assert run_transaction(ctx, db, fn, policy=policy) == 42
+    assert fn.box["calls"] == 4
+    assert db.stats[0].restarts == 3
+    assert ctx.clock > 0.0  # the three backoffs were charged
+    assert db.txs[-1].committed
+
+
+def test_no_deadline_keeps_attempts_only_behavior(ctx):
+    db = FakeDb()
+    policy = RetryPolicy(max_attempts=4)  # deadline None
+    with pytest.raises(GdiTransactionCritical):
+        run_transaction(ctx, db, failing(100), policy=policy)
+    assert db.stats[0].restarts == 3  # attempts - 1
+
+
+def test_transient_error_counts_against_deadline(ctx):
+    db = FakeDb()
+    policy = RetryPolicy(
+        max_attempts=100, backoff_base=1e-3, backoff_cap=1e-3, deadline=2e-3
+    )
+    with pytest.raises(RetryDeadlineExceeded) as ei:
+        run_transaction(
+            ctx, db, failing(100, exc=RmaTransientError), policy=policy
+        )
+    assert isinstance(ei.value.last_error, RmaTransientError)
+    # the transient marked the transaction failed before aborting it
+    assert all(tx.failed and not tx.open for tx in db.txs)
+
+
+# -- heal-then-retry interaction ---------------------------------------------
+def test_stale_epoch_heals_then_retries(ctx):
+    db = FakeDb()
+    fn = failing(2, exc=RmaStaleEpoch)
+    assert run_transaction(ctx, db, fn, policy=RetryPolicy()) == 42
+    assert db.healed == 2  # one heal per fenced abort
+    assert db.stats[0].restarts == 2
+
+
+def test_stale_epoch_heals_even_when_deadline_exhausts(ctx):
+    db = FakeDb()
+    policy = RetryPolicy(
+        max_attempts=100, backoff_base=1e-3, backoff_cap=1e-3, deadline=1.5e-3
+    )
+    with pytest.raises(RetryDeadlineExceeded) as ei:
+        run_transaction(
+            ctx, db, failing(100, exc=RmaStaleEpoch), policy=policy
+        )
+    # the shard repair ran on every fenced abort, including the one whose
+    # restart the deadline then vetoed: the database is left healed
+    assert db.healed == ei.value.attempts
+    assert isinstance(ei.value.last_error, RmaStaleEpoch)
+
+
+def test_deadline_error_is_terminal_to_enclosing_retries(ctx):
+    """RetryDeadlineExceeded must not look retryable to an outer loop."""
+    assert not issubclass(RetryDeadlineExceeded, GdiTransactionCritical)
+    assert not issubclass(RetryDeadlineExceeded, RmaTransientError)
+    db = FakeDb()
+    inner_policy = RetryPolicy(
+        max_attempts=100, backoff_base=1e-3, backoff_cap=1e-3, deadline=1e-3
+    )
+
+    def outer(tx):
+        return run_transaction(
+            ctx, db, failing(100), policy=inner_policy
+        )
+
+    with pytest.raises(RetryDeadlineExceeded):
+        run_transaction(ctx, db, outer, policy=RetryPolicy(max_attempts=8))
+
+
+# -- jitter bounds -----------------------------------------------------------
+def test_backoff_jitter_stays_in_half_open_window():
+    base, cap, factor = 5e-6, 500e-6, 2.0
+    for attempt in range(12):
+        ceiling = min(cap, base * factor**attempt)
+        for token in range(50):
+            d = backoff_delay(
+                base, attempt, cap=cap, factor=factor, seed=3, token=token
+            )
+            assert ceiling / 2 <= d <= ceiling
+
+
+def test_backoff_jitter_desynchronizes_contenders():
+    delays = {
+        backoff_delay(5e-6, 4, cap=1e-3, seed=0, token=t) for t in range(32)
+    }
+    assert len(delays) == 32  # distinct tokens draw distinct delays
+
+
+def test_backoff_zero_base_disables_delay():
+    assert backoff_delay(0.0, 7, cap=1e-3) == 0.0

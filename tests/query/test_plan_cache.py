@@ -53,7 +53,7 @@ def test_histogram_inversion_invalidates_cached_plan():
     assert (op1.source, op1.detail) == ("label", "Person")
     assert rows0 == rows1 == [("erin",)]
     # the stale plan did not survive: second run re-planned (a miss)
-    assert cache == {"hits": 0, "misses": 2, "entries": 1}
+    assert cache == {"hits": 0, "misses": 2, "entries": 1, "evictions": 0}
 
 
 def test_version_bump_without_flip_revalidates_in_place():
@@ -70,7 +70,7 @@ def test_version_bump_without_flip_revalidates_in_place():
     assert (op1.source, op1.detail) == ("label", "Admin")
     assert rows == [("erin",)]
     # revalidated, not re-planned
-    assert cache == {"hits": 1, "misses": 1, "entries": 1}
+    assert cache == {"hits": 1, "misses": 1, "entries": 1, "evictions": 0}
 
 
 def test_create_index_replans_same_query_text():
@@ -103,3 +103,40 @@ def test_create_index_replans_same_query_text():
     assert cache["misses"] == 2 and cache["hits"] == 0
     # both keys remain cached (old fingerprint + new fingerprint)
     assert cache["entries"] == 2
+
+
+def test_cache_is_lru_bounded():
+    queries = [
+        "MATCH (p:Person) RETURN p.name",
+        "MATCH (a:Admin) RETURN a.name",
+        "MATCH (c:City) RETURN c.name",
+    ]
+
+    def fn(ctx, db):
+        eng = QueryEngine(db, max_cache_entries=2)
+        for q in queries[:2]:
+            eng.run(ctx, q)
+        eng.run(ctx, queries[0])  # hit; refreshes LRU order: [1] is oldest
+        eng.run(ctx, queries[2])  # miss; evicts queries[1]
+        eng.run(ctx, queries[0])  # hit: the refreshed entry survived
+        eng.run(ctx, queries[1])  # miss: was evicted, re-planned
+        return dict(eng.cache_info(ctx)), ctx.rt.trace.counters[
+            ctx.rank
+        ].snapshot()["plan_cache_evictions"]
+
+    cache, trace_evictions = run_rank0(fn)
+    assert cache["entries"] == 2  # never exceeds the cap
+    # 4 distinct plannings: the 3 first-time misses + the evicted re-plan
+    assert cache == {"hits": 2, "misses": 4, "entries": 2, "evictions": 2}
+    assert trace_evictions == 2
+
+
+def test_cache_cap_validation():
+    import pytest
+
+    def fn(ctx, db):
+        with pytest.raises(ValueError):
+            QueryEngine(db, max_cache_entries=0)
+        return True
+
+    assert run_rank0(fn)

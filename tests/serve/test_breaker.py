@@ -1,0 +1,92 @@
+"""Circuit-breaker state machine: trip, cooldown, half-open recovery."""
+
+from repro.serve import CircuitBreaker
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+def make(**kw):
+    defaults = dict(
+        p99_threshold=1e-3,
+        window=32,
+        min_samples=4,
+        cooldown=1.0,
+        recovery_probes=2,
+    )
+    defaults.update(kw)
+    return CircuitBreaker(**defaults)
+
+
+def test_closed_admits_analytics():
+    b = make()
+    assert b.state == CLOSED
+    assert b.allow_analytics(0.0)
+    assert b.trips == 0
+
+
+def test_trips_when_windowed_p99_crosses_threshold():
+    b = make()
+    for i in range(3):
+        assert not b.observe_wait(float(i), 10e-3)  # below min_samples
+    assert b.observe_wait(3.0, 10e-3)  # 4th sample: p99 over threshold
+    assert b.state == OPEN
+    assert b.trips == 1
+    assert not b.allow_analytics(3.5)  # inside cooldown: shed
+
+
+def test_low_waits_never_trip():
+    b = make()
+    for i in range(100):
+        assert not b.observe_wait(float(i), 1e-6)
+    assert b.state == CLOSED and b.trips == 0
+
+
+def test_half_open_recovers_after_good_probes():
+    b = make()
+    b.force_trip(0.0)
+    assert not b.allow_analytics(0.5)  # cooldown (1s) not yet elapsed
+    assert b.allow_analytics(1.5)  # probe 1 admitted: half-open now
+    assert b.state == HALF_OPEN
+    assert b.allow_analytics(1.6)  # probe 2 admitted
+    assert not b.allow_analytics(1.7)  # probe budget (2) spent
+    # both probes observed good waits: breaker closes again
+    assert not b.observe_wait(1.8, 1e-6)
+    assert not b.observe_wait(1.9, 1e-6)
+    assert b.state == CLOSED
+    assert b.allow_analytics(2.0)
+
+
+def test_half_open_bad_wait_reopens():
+    b = make()
+    b.force_trip(0.0)
+    assert b.allow_analytics(1.5)
+    assert b.state == HALF_OPEN
+    # one over-threshold wait during recovery re-trips immediately
+    assert b.observe_wait(1.6, 5e-3)
+    assert b.state == OPEN
+    assert b.trips == 2
+    assert not b.allow_analytics(1.7)
+
+
+def test_trip_clears_window():
+    b = make()
+    for i in range(4):
+        b.observe_wait(float(i), 10e-3)
+    assert b.state == OPEN
+    # recover through half-open...
+    assert b.allow_analytics(5.0)
+    b.observe_wait(5.1, 1e-6)
+    b.observe_wait(5.2, 1e-6)
+    assert b.state == CLOSED
+    # ...and the old bad waits are gone: min_samples fresh ones needed
+    for i in range(3):
+        assert not b.observe_wait(6.0 + i, 10e-3)
+    assert b.observe_wait(9.5, 10e-3)  # trips again only at 4 samples
+    assert b.trips == 2
+
+
+def test_p99_reporting():
+    b = make(min_samples=10, window=100)
+    assert b.p99() is None
+    for i in range(100):
+        b.observe_wait(float(i), 1e-6 if i < 99 else 99e-6)
+    assert b.p99() == 99e-6

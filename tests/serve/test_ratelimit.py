@@ -1,0 +1,74 @@
+"""Token-bucket semantics: burst, refill, per-tenant isolation."""
+
+import pytest
+
+from repro.serve import TenantRateLimiter, TokenBucket
+
+
+def test_bucket_burst_then_throttle():
+    b = TokenBucket(rate=10.0, burst=3.0)
+    # the full burst is available immediately...
+    assert [b.try_take(0.0) for _ in range(3)] == [True, True, True]
+    # ...then the bucket is dry until time passes
+    assert not b.try_take(0.0)
+    assert not b.try_take(0.05)  # 0.5 tokens refilled: still short
+    assert b.try_take(0.1)  # a full token has accumulated
+
+
+def test_bucket_refill_caps_at_burst():
+    b = TokenBucket(rate=100.0, burst=2.0)
+    assert b.try_take(0.0) and b.try_take(0.0)
+    # a long idle period refills to burst, never beyond
+    assert [b.try_take(10.0) for _ in range(3)] == [True, True, False]
+
+
+def test_bucket_sustained_rate():
+    b = TokenBucket(rate=100.0, burst=1.0)
+    admitted = sum(
+        b.try_take(i * 1e-3) for i in range(1000)
+    )  # 1000 arrivals over 1s at rate 100/s
+    assert 95 <= admitted <= 105
+
+
+def test_bucket_out_of_order_arrivals_never_mint_tokens():
+    b = TokenBucket(rate=1.0, burst=1.0)
+    assert b.try_take(10.0)
+    # an arrival with an older timestamp must not rewind the stamp or
+    # refill anything
+    assert not b.try_take(5.0)
+    assert not b.try_take(10.5)
+    assert b.try_take(11.0)
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.5)
+
+
+def test_limiter_tenants_are_isolated():
+    lim = TenantRateLimiter(rate=1.0, burst=1.0)
+    assert lim.allow("a", 0.0)
+    assert not lim.allow("a", 0.0)  # a's bucket is dry
+    assert lim.allow("b", 0.0)  # b is unaffected
+    assert lim.throttles == {"a": 1}
+
+
+def test_limiter_overrides_and_unlimited():
+    lim = TenantRateLimiter(
+        rate=1.0,
+        burst=1.0,
+        overrides={"premium": (100.0, 10.0), "firehose": (None, 1.0)},
+    )
+    assert [lim.allow("premium", 0.0) for _ in range(10)].count(True) == 10
+    assert not lim.allow("premium", 0.0)
+    # rate=None override disables limiting entirely for that tenant
+    assert all(lim.allow("firehose", 0.0) for _ in range(100))
+    assert "firehose" not in lim.throttles
+
+
+def test_limiter_default_unlimited():
+    lim = TenantRateLimiter(rate=None)
+    assert all(lim.allow("t", 0.0) for _ in range(100))
+    assert lim.throttles == {}
