@@ -33,6 +33,7 @@ SECTION_ORDER: list[tuple[str, str]] = [
     ("interactive_complex", "Extension — interactive complex queries"),
     ("query_engine", "Extension — declarative query engine vs hand-coded"),
     ("serve_overload", "Extension — serving under overload"),
+    ("traffic_storm", "Extension — adversarial skew storm & live rebalance"),
     ("micro_batch_coalescing", "Microbenchmark — RMA doorbell coalescing"),
     ("micro_codec", "Microbenchmark — holder codec: struct vs numpy view"),
     ("ablation_blocksize", "Ablation — BGDL block size"),
@@ -99,6 +100,10 @@ BENCH_JSON_GROUPS: dict[str, tuple[str, ...]] = {
     "BENCH_serve.json": (
         "serve_overload",
         "serve_overload_crash",
+    ),
+    "BENCH_traffic.json": (
+        "traffic_storm",
+        "traffic_storm_crash",
     ),
 }
 

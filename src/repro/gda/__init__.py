@@ -42,7 +42,7 @@ from .recovery import (
     replay_entries_idempotent,
     take_checkpoint,
 )
-from .relocate import plan_balance, rebalance
+from .relocate import plan_balance, plan_offload, rebalance
 from .replication import ReplicationLog, ReplicationManager
 from .retry import RetryDeadlineExceeded, RetryPolicy, run_transaction
 from .transaction_impl import (
@@ -93,6 +93,7 @@ __all__ = [
     "VertexHandle",
     "VolatileVertexId",
     "plan_balance",
+    "plan_offload",
     "rebalance",
     "Checkpoint",
     "CommitLog",

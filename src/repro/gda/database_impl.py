@@ -119,6 +119,36 @@ class GdaDatabase:
         #: :class:`~repro.gda.locks.LockRegistry` (failover lock cleanup);
         #: only instantiated alongside replication.
         self.lock_registry = None
+        #: stale->fresh internal-ID translation published by the last
+        #: rebalance (:func:`repro.gda.relocate.rebalance`): lets reads
+        #: through pre-move permanent DPTRs raise a healable
+        #: :class:`~repro.gdi.errors.GdiStaleDptr` instead of silently
+        #: reading the vacated block.  Composed across rebalances.
+        self.relocations: dict[int, int] = {}
+        #: bumped once per completed rebalance (diagnostics / tests)
+        self.placement_epoch = 0
+
+    def note_relocations(self, mapping: dict[int, int]) -> None:
+        """Publish one rebalance's ``{old_vid: new_vid}`` map.
+
+        Earlier entries are path-compressed through the new map so a
+        DPTR that is two rebalances old still resolves to the current
+        location in one lookup.
+        """
+        if not mapping:
+            return
+        for old, mid in self.relocations.items():
+            if mid in mapping:
+                self.relocations[old] = mapping[mid]
+        for fresh in mapping.values():
+            # a block that is now a live location cannot be a stale key
+            self.relocations.pop(fresh, None)
+        self.relocations.update(mapping)
+        self.placement_epoch += 1
+
+    def fresh_vid(self, vid: int) -> int | None:
+        """Current internal ID of a relocated vertex (None if never moved)."""
+        return self.relocations.get(vid)
 
     # -- construction --------------------------------------------------------
     @classmethod

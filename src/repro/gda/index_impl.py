@@ -126,6 +126,13 @@ class VertexDirectory:
             self._count_labels(rank, vid, after - before, +1)
             self.version += 1
 
+    def contains(self, vid: int) -> bool:
+        """Is ``vid`` registered (any shard)?  Control-path only: the
+        crash-safe rebalance uses this as its per-vertex replay guard."""
+        rank = unpack_dptr(vid).rank
+        with self._locks[rank]:
+            return vid in self._shards[rank]
+
     def local_vertices(self, ctx: RankContext) -> list[int]:
         """Snapshot of the vertices homed on the calling rank."""
         with self._locks[ctx.rank]:

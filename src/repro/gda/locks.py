@@ -100,6 +100,7 @@ class RWLock:
             if not old & WRITE_BIT:
                 return
             ctx.faa(self.window, self.rank, self.offset, -1)  # back out
+            ctx.rt.trace.record_lock_conflict(ctx.rank, self.rank)
             if attempt + 1 < self.max_retries:
                 self._backoff(ctx, attempt)
         raise LockTimeout(
@@ -116,6 +117,7 @@ class RWLock:
         for attempt in range(self.max_retries):
             if ctx.cas(self.window, self.rank, self.offset, 0, WRITE_BIT) == 0:
                 return
+            ctx.rt.trace.record_lock_conflict(ctx.rank, self.rank)
             if attempt + 1 < self.max_retries:
                 self._backoff(ctx, attempt)
         raise LockTimeout(
@@ -142,6 +144,7 @@ class RWLock:
         for attempt in range(self.max_retries):
             if ctx.cas(self.window, self.rank, self.offset, 1, WRITE_BIT) == 1:
                 return
+            ctx.rt.trace.record_lock_conflict(ctx.rank, self.rank)
             if attempt + 1 < self.max_retries:
                 self._backoff(ctx, attempt)
         raise LockTimeout(

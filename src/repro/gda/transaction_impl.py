@@ -42,6 +42,7 @@ from ..gdi.errors import (
     GdiObjectMismatch,
     GdiReadOnly,
     GdiSizeLimit,
+    GdiStaleDptr,
     GdiStateError,
 )
 from ..gdi.types import Datatype, decode_value, encode_value, value_nbytes
@@ -446,7 +447,18 @@ class Transaction:
         # themselves batched (fresh acquisitions and read->write
         # upgrades each ride one atomic round).
         cached: list[_TxVertex] = []
+        reloc = self.db.relocations
         for i, vid in enumerate(vids):
+            if reloc and vid in reloc:
+                # the DPTR predates a rebalance: the vertex vacated this
+                # block, and reading through it would return whatever
+                # lives there now (stale-DPTR hazard, Section 3.4)
+                raise GdiStaleDptr(
+                    f"internal ID {vid:#x} predates a vertex relocation "
+                    f"(placement epoch {self.db.placement_epoch}); "
+                    "re-translate the application ID or use volatile IDs",
+                    fresh_vid=reloc[vid],
+                )
             txv = self._vertices.get(vid)
             if txv is not None:
                 if txv.deleted:
@@ -810,6 +822,8 @@ class Transaction:
         """Create a vertex whose uniqueness precheck already passed."""
         home = self.db.home_rank(app_id)
         primary = self._acquire_or_fail(home)
+        # a recycled block is a live vertex again, not a stale DPTR
+        self.db.relocations.pop(primary, None)
         holder = VertexHolder(app_id=app_id)
         txv = _TxVertex(
             vid=primary,

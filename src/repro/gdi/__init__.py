@@ -23,6 +23,7 @@ from .errors import (
     GdiNoMemory,
     GdiNonUniqueId,
     GdiNotFound,
+    GdiStaleDptr,
     GdiObjectMismatch,
     GdiReadOnly,
     GdiSizeLimit,
@@ -62,6 +63,7 @@ __all__ = [
     "GdiNoMemory",
     "GdiNonUniqueId",
     "GdiNotFound",
+    "GdiStaleDptr",
     "GdiObjectMismatch",
     "GdiReadOnly",
     "GdiSizeLimit",

@@ -14,6 +14,7 @@ __all__ = [
     "GdiError",
     "GdiInvalidArgument",
     "GdiNotFound",
+    "GdiStaleDptr",
     "GdiObjectMismatch",
     "GdiStateError",
     "GdiNoMemory",
@@ -43,6 +44,26 @@ class GdiInvalidArgument(GdiError):
 
 class GdiNotFound(GdiError):
     code = ErrorCode.ERROR_NOT_FOUND
+
+
+class GdiStaleDptr(GdiNotFound):
+    """A permanent internal ID (DPTR) predates a vertex relocation.
+
+    Raised instead of a bare :class:`GdiNotFound` when the database can
+    prove the ID named a vertex that a rebalance has since moved: the
+    DPTR is not merely unknown, it points at a block the vertex vacated.
+    Reading through it silently would return the wrong shard's bytes —
+    the stale-DPTR hazard of paper Section 3.4, and the reason users who
+    want relocation choose *volatile* internal IDs.  ``fresh_vid``
+    carries the post-move ID when the relocation table still remembers
+    it, so resolvable callers can heal instead of aborting.
+    """
+
+    code = ErrorCode.ERROR_NOT_FOUND
+
+    def __init__(self, message: str, fresh_vid: int | None = None) -> None:
+        super().__init__(message)
+        self.fresh_vid = fresh_vid
 
 
 class GdiObjectMismatch(GdiError):

@@ -81,6 +81,18 @@ class MachineProfile:
         a doorbell batch of ``n`` same-target atomics costs one full
         ``alpha + gamma`` round plus ``(n - 1) * o_atomic`` issue slots
         instead of ``n`` full rounds.
+    congestion_feedback:
+        Fraction of the receiver NIC's queueing delay charged back to
+        the *issuing* rank's clock (0.0 = legacy open-loop accounting,
+        where receiver busy time only moves ``effective_clock``).  With
+        feedback enabled the target NIC is a FIFO queue: an op arriving
+        while the NIC's busy horizon is ahead of the issuer's clock
+        waits its turn, and ``congestion_feedback`` of that wait lands
+        on the issuer.  This is what makes a *hot shard* a genuinely
+        shared bottleneck — every rank hammering the same NIC slows
+        down — and what a rebalance that spreads the shard's vertices
+        measurably repairs.  Opt-in so calibrated baselines keep their
+        legacy numbers.
     """
 
     name: str
@@ -93,6 +105,7 @@ class MachineProfile:
     mem_per_server: int
     o_target: float = 0.4e-6
     o_atomic: float = 0.05e-6
+    congestion_feedback: float = 0.0
 
     def servers(self, nranks: int) -> float:
         """Server count equivalent to ``nranks`` simulated ranks."""

@@ -180,6 +180,26 @@ class ClusterMembership:
             self.epoch += 1
             self.rehosted_at[shard] = self.epoch
 
+    # -- planned reconfiguration (rebalance) -------------------------------
+    def bump_epoch(self, fence_all: bool = True) -> int:
+        """Advance the epoch for a *planned* reconfiguration (rebalance).
+
+        Unlike a crash failover, a rebalance changes where *vertices*
+        live without moving any shard to a different host, so the
+        translation table is untouched.  With ``fence_all`` every shard's
+        ``rehosted_at`` is stamped with the new epoch: each issuer's next
+        operation against *any* shard fails the :meth:`check_epoch` fence
+        exactly once (:class:`~repro.rma.faults.RmaStaleEpoch`), forcing
+        it through the database's heal hook where it drops stale DPTR
+        caches and adopts the new placement.  Returns the new epoch.
+        """
+        with self._lock:
+            self.epoch += 1
+            if fence_all:
+                for s in range(self.nranks):
+                    self.rehosted_at[s] = self.epoch
+            return self.epoch
+
     # -- epoch fencing -----------------------------------------------------
     def check_epoch(self, origin: int, shard: int) -> bool:
         """Fence check: is ``origin``'s adopted epoch current for ``shard``?

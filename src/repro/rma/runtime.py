@@ -268,11 +268,30 @@ class RmaRuntime:
         self.clocks[rank] += seconds
 
     def _serve(self, origin: int, target: int, nbytes: int) -> None:
-        """Account receiver-side NIC service of one incoming message."""
+        """Account receiver-side NIC service of one incoming message.
+
+        With ``profile.congestion_feedback > 0`` the target NIC acts as
+        a FIFO queue relative to the issuer's clock: the message starts
+        at ``max(busy horizon, issuer now)`` and the issuer is charged
+        ``congestion_feedback``x its queueing delay, so hot receivers
+        slow every rank that touches them (the hot-shard signal).
+        """
         if origin == target:
             return
+        svc = self.cost.target_service(nbytes)
+        fb = self.cost.profile.congestion_feedback
+        wait = 0.0
         with self._atomic_locks[target]:
-            self.service[target] += self.cost.target_service(nbytes)
+            if fb > 0.0:
+                now = self.clocks[origin]
+                start = self.service[target] if self.service[target] > now else now
+                self.service[target] = start + svc
+                wait = start + svc - now
+            else:
+                self.service[target] += svc
+        if wait > 0.0:
+            self._charge(origin, fb * wait)
+            self.trace.record_congestion(origin, fb * wait)
 
     def effective_clock(self, rank: int) -> float:
         """A rank's progress bound: own clock or its NIC's busy horizon."""

@@ -83,6 +83,14 @@ class RankCounters:
     deadline_misses: int = 0
     breaker_trips: int = 0
     queue_depth_peak: int = 0
+    #: traffic-layer accounting (:mod:`repro.traffic`): ``congestion_time``
+    #: is the receiver-queueing delay charged to this rank's one-sided ops
+    #: when the profile enables ``congestion_feedback`` (a hot target NIC
+    #: backs up its issuers); ``lock_conflicts`` counts failed lock
+    #: acquisition attempts (the word was held), the per-origin side of the
+    #: per-shard conflict accounting the hot-shard detector consumes.
+    congestion_time: float = 0.0
+    lock_conflicts: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -124,6 +132,8 @@ class RankCounters:
             "deadline_misses": self.deadline_misses,
             "breaker_trips": self.breaker_trips,
             "queue_depth_peak": self.queue_depth_peak,
+            "congestion_time": self.congestion_time,
+            "lock_conflicts": self.lock_conflicts,
         }
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -144,10 +154,22 @@ class TraceRecorder:
     log_ops: bool = False
     counters: list[RankCounters] = field(default_factory=list)
     ops: list[tuple] = field(default_factory=list)
+    #: per-*target-shard* access accounting (hot-shard detection): how
+    #: many one-sided operations, payload bytes, and lock-acquisition
+    #: conflicts landed on each shard, regardless of which rank issued
+    #: them.  Kept outside :class:`RankCounters` because they are indexed
+    #: by target, not origin.
+    shard_ops: list[int] = field(default_factory=list)
+    shard_bytes: list[int] = field(default_factory=list)
+    shard_conflicts: list[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.counters:
             self.counters = [RankCounters() for _ in range(self.nranks)]
+        if not self.shard_ops:
+            self.shard_ops = [0] * self.nranks
+            self.shard_bytes = [0] * self.nranks
+            self.shard_conflicts = [0] * self.nranks
 
     def record(
         self,
@@ -176,6 +198,8 @@ class TraceRecorder:
                 c.local_ops += 1
             else:
                 c.remote_ops += 1
+            self.shard_ops[target] += 1
+            self.shard_bytes[target] += nbytes
         if self.log_ops:
             self.ops.append((kind, origin, target, window, offset, nbytes))
 
@@ -279,6 +303,34 @@ class TraceRecorder:
         """Account one circuit-breaker closed->open transition."""
         self.counters[origin].breaker_trips += 1
 
+    # -- traffic-layer accounting ------------------------------------------
+    def record_congestion(self, origin: int, seconds: float) -> None:
+        """Account receiver-queueing delay charged to ``origin``'s op."""
+        self.counters[origin].congestion_time += seconds
+
+    def record_lock_conflict(self, origin: int, shard: int) -> None:
+        """Account one failed lock attempt by ``origin`` on ``shard``."""
+        self.counters[origin].lock_conflicts += 1
+        self.shard_conflicts[shard] += 1
+
+    def shard_snapshot(self) -> dict[str, list[int]]:
+        """Copy of the per-target-shard access counters (detector input)."""
+        return {
+            "ops": list(self.shard_ops),
+            "bytes": list(self.shard_bytes),
+            "conflicts": list(self.shard_conflicts),
+        }
+
+    def shard_diff(
+        self, earlier: dict[str, list[int]]
+    ) -> dict[str, list[int]]:
+        """Per-shard counter deltas relative to an earlier
+        :meth:`shard_snapshot` (one detection window)."""
+        now = self.shard_snapshot()
+        return {
+            k: [a - b for a, b in zip(now[k], earlier[k])] for k in now
+        }
+
     # -- aggregation ------------------------------------------------------
     def total(self, field_name: str) -> int:
         return sum(getattr(c, field_name) for c in self.counters)
@@ -290,3 +342,6 @@ class TraceRecorder:
     def reset(self) -> None:
         self.counters = [RankCounters() for _ in range(self.nranks)]
         self.ops = []
+        self.shard_ops = [0] * self.nranks
+        self.shard_bytes = [0] * self.nranks
+        self.shard_conflicts = [0] * self.nranks

@@ -6,6 +6,25 @@ front-end uses :meth:`BoundedQueue.try_put` — a full queue returns
 depth, and with it admission wait, stays bounded by construction.
 Workers block in :meth:`BoundedQueue.get` until an item arrives or the
 queue is closed *and* drained, which is the graceful-shutdown path.
+
+Leases: capacity counts *admitted-but-incomplete* work, not just
+waiting items.  :meth:`get` hands the worker a lease that
+:meth:`task_done` releases; a worker that crashes mid-request returns
+its item with :meth:`requeue_front` instead.  Two consequences fix the
+multi-crash hazards:
+
+* occupancy (waiting + leased) never exceeds ``capacity``, so a burst
+  of crashed workers re-queuing their in-flight requests cannot grow
+  the queue past what admission allowed;
+* every item carries its admission sequence number and a re-queue
+  inserts in sequence order, so simultaneous crashes hand requests back
+  in *arrival order* regardless of which dying worker thread runs
+  first.
+
+Pause/resume: :meth:`pause` sheds new arrivals without closing the
+queue (workers keep draining), which is the serving front-end's drain
+point for quiesced maintenance such as a live rebalance;
+:meth:`resume` re-opens admission.
 """
 
 from __future__ import annotations
@@ -26,16 +45,27 @@ class BoundedQueue:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._items: deque = deque()
+        #: waiting items as (admission seq, item), ascending seq
+        self._items: deque[tuple[int, Any]] = deque()
+        #: id(item) -> admission seq of dequeued-but-unfinished items
+        self._leases: dict[int, int] = {}
+        self._seq = 0
         self._cond = threading.Condition()
         self._closed = False
+        self._paused = False
         self._peak = 0
 
     @property
     def depth(self) -> int:
-        """Current occupancy."""
+        """Current number of *waiting* items."""
         with self._cond:
             return len(self._items)
+
+    @property
+    def in_flight(self) -> int:
+        """Leased items: dequeued but neither finished nor re-queued."""
+        with self._cond:
+            return len(self._leases)
 
     @property
     def peak_depth(self) -> int:
@@ -47,41 +77,89 @@ class BoundedQueue:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def quiescent(self) -> bool:
+        """No waiting items and no leases: safe for maintenance."""
+        with self._cond:
+            return not self._items and not self._leases
+
     def try_put(self, item: Any) -> bool:
-        """Enqueue ``item``; ``False`` (shed) when at capacity."""
+        """Enqueue ``item``; ``False`` (shed) when occupancy is at capacity."""
         with self._cond:
             if self._closed:
                 raise ServerClosed("admission queue is closed")
-            if len(self._items) >= self.capacity:
+            if self._paused:
                 return False
-            self._items.append(item)
-            if len(self._items) > self._peak:
-                self._peak = len(self._items)
+            occupancy = len(self._items) + len(self._leases)
+            if occupancy >= self.capacity:
+                return False
+            self._items.append((self._seq, item))
+            self._seq += 1
+            if occupancy + 1 > self._peak:
+                self._peak = occupancy + 1
             self._cond.notify()
             return True
 
     def requeue_front(self, item: Any) -> None:
-        """Hand an already-admitted item back to the head of the queue.
+        """Hand an already-admitted item back near the head of the queue.
 
         Used by a dying worker to return its in-flight request so a
-        surviving worker picks it up; deliberately ignores the capacity
-        bound (the item was admitted once — this never grows the queue
-        beyond what admission allowed) and works on a closed queue, so a
-        crash during drain still leaves no hung request behind.
+        surviving worker picks it up.  The item's lease converts back
+        into a waiting slot (occupancy is unchanged, so the capacity
+        bound holds even when several workers crash at once) and the
+        item is inserted in *admission order*: simultaneous crashes
+        cannot invert the arrival order no matter which dying thread
+        runs first.  Works on a closed or paused queue, so a crash
+        during drain still leaves no hung request behind.
         """
         with self._cond:
-            self._items.appendleft(item)
+            seq = self._leases.pop(id(item), -1)
+            # ascending-seq insertion; re-queues cluster near the front
+            # (their seqs predate everything still waiting)
+            pos = 0
+            for pos, (s, _) in enumerate(self._items):
+                if s > seq:
+                    break
+            else:
+                pos = len(self._items)
+            self._items.insert(pos, (seq, item))
             self._cond.notify()
 
     def get(self, poll_interval: float = 0.05) -> Any | None:
-        """Dequeue the next item; ``None`` once closed and drained."""
+        """Dequeue the next item; ``None`` once closed and drained.
+
+        The caller holds the item's lease until :meth:`task_done` (or
+        :meth:`requeue_front`, if it cannot finish the work).
+        """
         with self._cond:
             while True:
                 if self._items:
-                    return self._items.popleft()
+                    seq, item = self._items.popleft()
+                    self._leases[id(item)] = seq
+                    return item
                 if self._closed:
                     return None
                 self._cond.wait(poll_interval)
+
+    def task_done(self, item: Any) -> None:
+        """Release ``item``'s lease, freeing its capacity slot."""
+        with self._cond:
+            self._leases.pop(id(item), None)
+            self._cond.notify()
+
+    def pause(self) -> None:
+        """Shed new arrivals (drain mode); waiting items still serve."""
+        with self._cond:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Re-open admission after a :meth:`pause`."""
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
 
     def close(self) -> None:
         """Stop admitting; wake all consumers so they drain and return."""

@@ -151,6 +151,7 @@ class GraphServer:
             "submitted": submitted,
             "outcomes": outcomes,
             "queue_depth": self.queue.depth,
+            "queue_in_flight": self.queue.in_flight,
             "queue_peak": self.queue.peak_depth,
             "breaker_state": self.breaker.state if self.breaker else None,
             "breaker_trips": self.breaker.trips if self.breaker else 0,
@@ -226,7 +227,11 @@ class GraphServer:
             req = self.queue.get()
             if req is None:
                 return served
+            # the lease survives _execute's crash path: RmaRankDead
+            # re-queues the request (converting the lease back into a
+            # waiting slot) before the crash propagates past us
             self._execute(ctx, req)
+            self.queue.task_done(req)
             served += 1
 
     def _execute(self, ctx, req: Request) -> None:
@@ -323,6 +328,32 @@ class GraphServer:
             service=service,
             attempts=self.db.stats[ctx.rank].restarts - restarts0,
         )
+
+    # -- drain / resume (quiesced maintenance windows) ---------------------
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Pause admission and wait until the server is quiescent.
+
+        New arrivals are shed (closed-loop clients back off and retry);
+        workers finish the queued and in-flight requests.  Returns True
+        once no request is waiting or leased — the safe point for
+        maintenance that requires no open transactions, e.g. a live
+        rebalance — or False if quiescence was not reached within
+        ``timeout`` wall-clock seconds (admission stays paused so the
+        caller can decide).
+        """
+        import time
+
+        self.queue.pause()
+        deadline = time.monotonic() + timeout
+        while not self.queue.quiescent():
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(0.001)
+        return True
+
+    def resume(self) -> None:
+        """Re-open admission after a :meth:`drain`."""
+        self.queue.resume()
 
     # -- shutdown ----------------------------------------------------------
     def close(self) -> None:

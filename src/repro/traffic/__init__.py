@@ -1,0 +1,35 @@
+"""Adversarial traffic generation and hot-shard detection.
+
+The robustness counterpart to the paper's steady-state workloads:
+seeded Zipfian skew aimed at one shard (:mod:`.zipf`), flash-crowd load
+shapes and large-transaction mixes (:mod:`.generator`), mixed
+ingest/query and mutation-during-OLAP interleavings (:mod:`.scenarios`),
+and the EWMA detector (:mod:`.detector`) that closes the loop into
+``gda.relocate`` live rebalancing.
+"""
+
+from .detector import HotShardDetector, HotShardReport
+from .generator import (
+    AdversarialMix,
+    TrafficPhase,
+    flash_crowd,
+    large_txn_sizes,
+    run_phases,
+)
+from .scenarios import ScenarioResult, mutation_during_olap, streaming_ingest
+from .zipf import ShardColocatedKeys, ZipfSampler
+
+__all__ = [
+    "ZipfSampler",
+    "ShardColocatedKeys",
+    "HotShardDetector",
+    "HotShardReport",
+    "AdversarialMix",
+    "TrafficPhase",
+    "flash_crowd",
+    "run_phases",
+    "large_txn_sizes",
+    "ScenarioResult",
+    "streaming_ingest",
+    "mutation_during_olap",
+]

@@ -1,0 +1,131 @@
+"""Online hot-shard detection from the trace recorder's shard counters.
+
+The RMA trace recorder accumulates per-target-shard access counts
+(``shard_ops``/``shard_bytes``) and per-shard lock-conflict counts
+(``shard_conflicts``).  A monitoring loop snapshots them
+(:meth:`~repro.rma.trace.TraceRecorder.shard_snapshot`), computes the
+window delta (:meth:`~repro.rma.trace.TraceRecorder.shard_diff`), and
+feeds each window to :class:`HotShardDetector`.
+
+The detector keeps one exponentially weighted moving average of *load*
+per shard — ``ops + conflict_weight * lock_conflicts``, so a shard that
+is not just popular but *contended* trips earlier — and reports a shard
+hot when its EWMA exceeds ``threshold ×`` the mean across shards.  EWMA
+smoothing means one bursty window does not trigger a (costly, drained)
+rebalance, while a sustained flash crowd fires within a few windows;
+``min_window_ops`` suppresses verdicts on idle or barely-warmed windows
+where ratios are noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HotShardReport", "HotShardDetector"]
+
+
+@dataclass(frozen=True)
+class HotShardReport:
+    """One monitoring window's verdict."""
+
+    #: shards whose EWMA load exceeds ``threshold ×`` the mean
+    hot: tuple[int, ...]
+    #: per-shard EWMA load divided by the mean (1.0 = perfectly even)
+    scores: tuple[float, ...]
+    #: max score — the imbalance factor the paper's balancer targets
+    skew: float
+    #: raw RMA ops observed in this window (all shards)
+    window_ops: int
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.hot)
+
+    @property
+    def hottest(self) -> int | None:
+        if not self.hot:
+            return None
+        return max(self.hot, key=lambda s: self.scores[s])
+
+
+class HotShardDetector:
+    """EWMA skew detector over per-shard load windows."""
+
+    def __init__(
+        self,
+        nranks: int,
+        alpha: float = 0.3,
+        threshold: float = 2.0,
+        min_window_ops: int = 64,
+        conflict_weight: float = 4.0,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("need nranks >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if threshold <= 1.0:
+            raise ValueError("threshold must exceed 1.0 (mean-relative)")
+        self.nranks = nranks
+        self.alpha = alpha
+        self.threshold = threshold
+        self.min_window_ops = min_window_ops
+        self.conflict_weight = conflict_weight
+        self._ewma: list[float] | None = None
+        self.last: HotShardReport | None = None
+
+    @property
+    def ewma(self) -> tuple[float, ...]:
+        """Current smoothed per-shard load (zeros before any window)."""
+        if self._ewma is None:
+            return tuple(0.0 for _ in range(self.nranks))
+        return tuple(self._ewma)
+
+    def observe(self, window: dict[str, list[int]]) -> HotShardReport:
+        """Fold one ``shard_diff`` window; return the updated verdict.
+
+        ``window`` is the dict produced by
+        :meth:`~repro.rma.trace.TraceRecorder.shard_diff` (keys
+        ``"ops"``, ``"bytes"``, ``"conflicts"``).
+        """
+        ops = window["ops"]
+        conflicts = window.get("conflicts") or [0] * self.nranks
+        if len(ops) != self.nranks:
+            raise ValueError(
+                f"window has {len(ops)} shards, detector expects {self.nranks}"
+            )
+        load = [
+            float(o) + self.conflict_weight * float(c)
+            for o, c in zip(ops, conflicts)
+        ]
+        if self._ewma is None:
+            self._ewma = load
+        else:
+            a = self.alpha
+            self._ewma = [
+                a * new + (1.0 - a) * old
+                for new, old in zip(load, self._ewma)
+            ]
+        window_ops = sum(ops)
+        mean = sum(self._ewma) / self.nranks
+        if mean > 0.0:
+            scores = tuple(e / mean for e in self._ewma)
+        else:
+            scores = tuple(0.0 for _ in range(self.nranks))
+        hot: tuple[int, ...] = ()
+        if self.nranks > 1 and window_ops >= self.min_window_ops:
+            hot = tuple(
+                s for s, score in enumerate(scores) if score >= self.threshold
+            )
+        report = HotShardReport(
+            hot=hot,
+            scores=scores,
+            skew=max(scores) if scores else 0.0,
+            window_ops=window_ops,
+        )
+        self.last = report
+        return report
+
+    def reset(self) -> None:
+        """Forget all history (e.g. right after a rebalance)."""
+        self._ewma = None
+        self.last = None

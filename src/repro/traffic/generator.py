@@ -1,0 +1,198 @@
+"""Adversarial request-stream generation for the serving front-end.
+
+:class:`AdversarialMix` is a drop-in replacement for
+:class:`repro.serve.workload.ServeMix` (same ``make(user, seq)``
+protocol, same deterministic per-(user, seq) seeding) whose point reads
+and one-hop expansions draw their source vertex from a
+shard-colocated Zipfian (:class:`repro.traffic.zipf.ShardColocatedKeys`)
+instead of the uniform baseline — the celebrity keys all home to one
+shard, turning key popularity skew into NIC/lock pressure on a single
+rank.
+
+:class:`TrafficPhase` + :func:`flash_crowd` describe multi-phase load
+shapes (calm → ramp → peak), and :func:`run_phases` drives them through
+:class:`~repro.serve.workload.ClosedLoopLoad` back to back in simulated
+time, so a benchmark can measure per-phase latency before, during, and
+after a storm.
+
+For the Table 3 OLTP path, :meth:`AdversarialMix.key_sampler` plugs
+straight into ``run_oltp_rank(key_sampler=...)`` and
+:func:`large_txn_sizes` into ``run_oltp_rank(batch_sizes=...)`` — the
+verbatim paper mixes, skewed keys, occasional jumbo transactions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Callable
+
+from ..serve.request import ANALYTICS, OLTP
+from ..serve.workload import ANALYTICS_AGG, ONE_HOP, POINT_READ, ClosedLoopLoad
+from .zipf import ShardColocatedKeys
+
+__all__ = [
+    "AdversarialMix",
+    "TrafficPhase",
+    "flash_crowd",
+    "run_phases",
+    "large_txn_sizes",
+]
+
+
+@dataclass(frozen=True)
+class AdversarialMix:
+    """Zipf-skewed, shard-colocated request mix (ServeMix-compatible)."""
+
+    n_vertices: int
+    nranks: int
+    theta: float = 0.99
+    hot_shard: int = 0
+    n_hot: int = 8
+    analytics_fraction: float = 0.0
+    onehop_fraction: float = 0.25
+    analytics_text: str = ANALYTICS_AGG
+    seed: int = 0
+
+    @cached_property
+    def keys(self) -> ShardColocatedKeys:
+        return ShardColocatedKeys(
+            self.n_vertices,
+            self.nranks,
+            hot_shard=self.hot_shard,
+            theta=self.theta,
+            n_hot=self.n_hot,
+        )
+
+    def make(self, user: int, seq: int) -> tuple[str, str, dict]:
+        """The ``(qclass, text, params)`` of ``user``'s ``seq``-th request."""
+        rng = random.Random(f"traffic/{self.seed}/{user}/{seq}")
+        draw = rng.random()
+        if draw < self.analytics_fraction:
+            return ANALYTICS, self.analytics_text, {"minscore": 50.0}
+        src = self.keys.sample(rng)
+        if draw < self.analytics_fraction + self.onehop_fraction:
+            return OLTP, ONE_HOP, {"src": src}
+        return OLTP, POINT_READ, {"src": src}
+
+    def key_sampler(self) -> Callable[[random.Random], int]:
+        """Sampler for ``run_oltp_rank(key_sampler=...)``."""
+        return self.keys.sample
+
+
+@dataclass(frozen=True)
+class TrafficPhase:
+    """One segment of a multi-phase load shape."""
+
+    name: str
+    arrival_rate: float
+    n_requests: int
+    n_users: int
+    deadline_in: float | None = None
+    horizon: float | None = None
+    #: per-phase mix override (e.g. the storm phase goes Zipfian while
+    #: the calm phases stay uniform); ``None`` uses the shared mix
+    mix: Any | None = None
+
+
+def flash_crowd(
+    base_rate: float,
+    peak_rate: float,
+    *,
+    n_users: int,
+    base_requests: int,
+    peak_requests: int,
+    ramp_steps: int = 1,
+    peak_mix: Any | None = None,
+    deadline_in: float | None = None,
+    horizon: float | None = None,
+) -> list[TrafficPhase]:
+    """A calm → geometric ramp → peak phase list.
+
+    The ramp steps interpolate the arrival rate geometrically so each
+    step multiplies load by the same factor — the shape of a real flash
+    crowd (retweets beget retweets), and the shape that gives an EWMA
+    detector a few windows of warning before the peak hits.
+    """
+    if base_rate <= 0.0 or peak_rate <= 0.0:
+        raise ValueError("rates must be positive")
+    if ramp_steps < 0:
+        raise ValueError("ramp_steps must be >= 0")
+    phases = [
+        TrafficPhase(
+            "base", base_rate, base_requests, n_users,
+            deadline_in=deadline_in, horizon=horizon,
+        )
+    ]
+    ratio = peak_rate / base_rate
+    for i in range(1, ramp_steps + 1):
+        rate = base_rate * ratio ** (i / (ramp_steps + 1))
+        phases.append(
+            TrafficPhase(
+                f"ramp{i}", rate, max(1, base_requests // 2), n_users,
+                deadline_in=deadline_in, horizon=horizon, mix=peak_mix,
+            )
+        )
+    phases.append(
+        TrafficPhase(
+            "peak", peak_rate, peak_requests, n_users,
+            deadline_in=deadline_in, horizon=horizon, mix=peak_mix,
+        )
+    )
+    return phases
+
+
+def run_phases(
+    ctx,
+    server,
+    sessions,
+    mix,
+    phases: list[TrafficPhase],
+    start: float = 0.0,
+) -> dict[str, list]:
+    """Drive ``phases`` back to back; returns per-phase request records.
+
+    Each phase starts at the later of its predecessor's end and the
+    workers' virtual clocks, so simulated arrival timestamps stay
+    monotone across phases.  Call from the front-end rank only (the
+    same contract as :meth:`ClosedLoopLoad.run`).
+    """
+    out: dict[str, list] = {}
+    t = start
+    for ph in phases:
+        t = max(t, server.virtual_now())
+        load = ClosedLoopLoad(
+            server,
+            sessions,
+            ph.mix if ph.mix is not None else mix,
+            n_users=ph.n_users,
+            arrival_rate=ph.arrival_rate,
+            n_requests=ph.n_requests,
+            deadline_in=ph.deadline_in,
+            start=t,
+            horizon=ph.horizon,
+        )
+        out[ph.name] = load.run(ctx)
+    return out
+
+
+def large_txn_sizes(
+    p_large: float = 0.1, small: int = 1, large: int = 16
+) -> Callable[[random.Random], int]:
+    """Batch-size sampler mixing occasional jumbo transactions.
+
+    Plug into ``run_oltp_rank(batch_sizes=...)``: most transactions
+    carry ``small`` operations, a ``p_large`` fraction carry ``large``
+    — widening the abort blast radius and hold time of locks, which is
+    exactly what makes skewed keys hurt.
+    """
+    if not 0.0 <= p_large <= 1.0:
+        raise ValueError("p_large must be in [0, 1]")
+    if small < 1 or large < 1:
+        raise ValueError("batch sizes must be >= 1")
+
+    def draw(rng: random.Random) -> int:
+        return large if rng.random() < p_large else small
+
+    return draw

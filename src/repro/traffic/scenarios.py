@@ -1,0 +1,186 @@
+"""Adversarial concurrency scenarios: ingest-under-queries, OLAP-under-mutation.
+
+Both scenarios are SPMD bodies (call from every rank inside
+``run_spmd``) exercising the two mixed-workload interleavings the paper
+calls out as the hard part of HTAP serving:
+
+* :func:`streaming_ingest` — a subset of ranks streams edge batches
+  into the live graph while the rest hammer point/one-hop reads.  The
+  readers and writers share shards, locks, and NIC service queues; with
+  a fault plan armed, transients and stragglers land mid-batch.
+* :func:`mutation_during_olap` — every rank issues a single-process
+  write burst and then *immediately* joins a collective OLAP kernel
+  (BFS) with no intervening barrier.  A slow mutator's writes therefore
+  overlap the fast ranks' collective adjacency reads — the exact
+  interleaving GDI's collective-transaction contract must survive
+  without deadlock or torn reads.
+
+Results are plain per-rank dataclasses; allgather them to aggregate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..gdi import EdgeOrientation
+from ..gdi.errors import GdiNotFound, GdiTransactionCritical
+from ..generator.lpg import GeneratedGraph
+from ..rma.faults import RmaTransientError
+from ..rma.runtime import RankContext
+from ..workloads.analytics import bfs
+
+__all__ = ["ScenarioResult", "streaming_ingest", "mutation_during_olap"]
+
+
+@dataclass
+class ScenarioResult:
+    """One rank's share of a scenario run."""
+
+    rank: int
+    role: str
+    n_ok: int = 0  # committed transactions
+    n_failed: int = 0  # aborted after exhausting their budget
+    n_edges_added: int = 0  # edge creations inside committed batches
+    n_reached: int = 0  # BFS-reached vertices (OLAP scenario only)
+    sim_elapsed: float = 0.0
+
+
+def _commit_guarded(ctx, db, write: bool, body, res: ScenarioResult) -> bool:
+    """Run one transaction, counting the outcome; True on commit."""
+    tx = db.start_transaction(ctx, write=write)
+    try:
+        body(tx)
+        tx.commit()
+        res.n_ok += 1
+        return True
+    except (GdiTransactionCritical, GdiNotFound, RmaTransientError):
+        if tx.open:
+            tx.abort()
+        res.n_failed += 1
+        return False
+
+
+def streaming_ingest(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    *,
+    n_ingest_ranks: int = 1,
+    n_edges: int = 64,
+    n_queries: int = 64,
+    batch: int = 8,
+    seed: int = 0,
+    key_sampler: Callable[[random.Random], int] | None = None,
+) -> ScenarioResult:
+    """Streaming edge ingest on some ranks, concurrent queries on the rest.
+
+    Ranks ``< n_ingest_ranks`` append ``n_edges`` edges in write
+    transactions of ``batch`` creations between sampled endpoints; the
+    others run ``n_queries`` one-hop read transactions.  Pass a Zipfian
+    ``key_sampler`` to aim both streams at the same celebrity keys.
+    """
+    if not 0 < n_ingest_ranks <= ctx.nranks:
+        raise ValueError("n_ingest_ranks must be in [1, nranks]")
+    db = graph.db
+    n = graph.n_vertices
+    role = "ingest" if ctx.rank < n_ingest_ranks else "query"
+    rng = random.Random(f"traffic/ingest/{seed}/{ctx.rank}")
+    draw = key_sampler if key_sampler is not None else (
+        lambda r: r.randrange(n)
+    )
+    res = ScenarioResult(rank=ctx.rank, role=role)
+    start = ctx.rt.effective_clock(ctx.rank)
+    if role == "ingest":
+        label = (
+            graph.edge_label(0) if graph.schema.n_edge_labels else None
+        )
+        remaining = n_edges
+        while remaining > 0:
+            k = min(batch, remaining)
+            remaining -= k
+            pairs = [(draw(rng), draw(rng)) for _ in range(k)]
+            added = [0]
+
+            def body(tx, pairs=pairs, added=added):
+                for a_id, b_id in pairs:
+                    a = tx.find_vertex(a_id)
+                    b = tx.find_vertex(b_id)
+                    if a is not None and b is not None and a.vid != b.vid:
+                        tx.create_edge(a, b, label=label)
+                        added[0] += 1
+
+            if _commit_guarded(ctx, db, True, body, res):
+                res.n_edges_added += added[0]
+    else:
+        for _ in range(n_queries):
+            app = draw(rng)
+
+            def body(tx, app=app):
+                v = tx.find_vertex(app)
+                if v is not None:
+                    for e in v.edges(EdgeOrientation.OUTGOING):
+                        e.endpoints()
+
+            _commit_guarded(ctx, db, False, body, res)
+    res.sim_elapsed = ctx.rt.effective_clock(ctx.rank) - start
+    return res
+
+
+def mutation_during_olap(
+    ctx: RankContext,
+    graph: GeneratedGraph,
+    *,
+    n_rounds: int = 2,
+    mutations_per_round: int = 8,
+    root: int = 0,
+    seed: int = 0,
+    key_sampler: Callable[[random.Random], int] | None = None,
+) -> ScenarioResult:
+    """Interleave write bursts with collective OLAP rounds, barrier-free.
+
+    Each round, every rank commits ``mutations_per_round`` property
+    updates / edge insertions in single-process transactions, then joins
+    a collective BFS.  Because nothing synchronizes the hand-off, ranks
+    reach the collective at different simulated times and the laggards'
+    writes run concurrently with the leaders' collective reads.  The
+    kernel must terminate (collectives admit joiners in generation
+    order) and each round's reached-count is recorded for the caller's
+    sanity checks — mutation only ever *adds* reachability here.
+    """
+    db = graph.db
+    n = graph.n_vertices
+    rng = random.Random(f"traffic/olap/{seed}/{ctx.rank}")
+    draw = key_sampler if key_sampler is not None else (
+        lambda r: r.randrange(n)
+    )
+    p_ts = graph.ptypes.get("p_ts")
+    label = graph.edge_label(0) if graph.schema.n_edge_labels else None
+    res = ScenarioResult(rank=ctx.rank, role="mutate+olap")
+    start = ctx.rt.effective_clock(ctx.rank)
+    for _ in range(n_rounds):
+        for _ in range(mutations_per_round):
+            if rng.random() < 0.5 and p_ts is not None:
+                app = draw(rng)
+                stamp = rng.randrange(1 << 31)
+
+                def body(tx, app=app, stamp=stamp):
+                    v = tx.find_vertex(app)
+                    if v is not None:
+                        v.set_property(p_ts, stamp)
+
+            else:
+                a_id, b_id = draw(rng), draw(rng)
+
+                def body(tx, a_id=a_id, b_id=b_id):
+                    a = tx.find_vertex(a_id)
+                    b = tx.find_vertex(b_id)
+                    if a is not None and b is not None and a.vid != b.vid:
+                        tx.create_edge(a, b, label=label)
+
+            _commit_guarded(ctx, db, True, body, res)
+        # straight into the collective: no barrier before the kernel
+        depth = bfs(ctx, graph, root=root)
+        res.n_reached = ctx.allreduce(len(depth))
+    res.sim_elapsed = ctx.rt.effective_clock(ctx.rank) - start
+    return res

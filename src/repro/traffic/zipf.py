@@ -1,0 +1,115 @@
+"""Seeded Zipfian key machinery for adversarial traffic.
+
+:class:`ZipfSampler` draws key *ranks* ``0..n-1`` (rank 0 hottest) with
+``P(k) ∝ 1/(k+1)**theta`` from a precomputed inverse CDF — sampling is
+one ``rng.random()`` plus a bisect, so a storm of millions of draws
+stays cheap and, given a seeded ``random.Random``, bit-for-bit
+reproducible.
+
+:class:`ShardColocatedKeys` turns Zipf ranks into *application IDs* in a
+way that weaponizes the directory's placement function: vertices home to
+``app_id % nranks``, so choosing the hottest ``n_hot`` celebrity keys
+from the residue class of one target shard concentrates the skewed mass
+on a single rank's NIC — the hot-shard pattern the detector
+(:mod:`repro.traffic.detector`) must catch and the rebalancer must
+dissolve.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+__all__ = ["ZipfSampler", "ShardColocatedKeys"]
+
+
+class ZipfSampler:
+    """Zipfian sampler over ranks ``0..n-1`` with configurable ``theta``.
+
+    ``theta = 0`` degenerates to uniform; the YCSB-classic ``0.99``
+    puts ~19% of the mass on the hottest 16 of 10k keys; ``theta > 1``
+    is a genuine celebrity regime.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99) -> None:
+        if n < 1:
+            raise ValueError("need n >= 1 keys")
+        if theta < 0.0:
+            raise ValueError("theta must be >= 0")
+        self.n = n
+        self.theta = theta
+        acc = 0.0
+        cdf: list[float] = []
+        for k in range(n):
+            acc += (k + 1) ** -theta
+            cdf.append(acc)
+        self._cdf = [c / acc for c in cdf]
+
+    def pmf(self, k: int) -> float:
+        """Probability of rank ``k``."""
+        return self._cdf[k] - (self._cdf[k - 1] if k > 0 else 0.0)
+
+    def head_mass(self, k: int) -> float:
+        """Total probability of the hottest ``k`` ranks."""
+        if k <= 0:
+            return 0.0
+        return self._cdf[min(k, self.n) - 1]
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank using the caller's seeded RNG."""
+        i = bisect.bisect_right(self._cdf, rng.random())
+        return i if i < self.n else self.n - 1
+
+
+class ShardColocatedKeys:
+    """A permutation of ``range(n_keys)`` colocating celebrities.
+
+    Zipf rank ``k < n_hot`` maps to the ``k``-th application ID of the
+    residue class ``hot_shard (mod nranks)`` — all celebrities home to
+    one shard.  The tail ranks map to the remaining IDs in natural
+    order, spreading residual traffic round-robin like the uniform
+    baseline.  The map is a bijection, so any key remains reachable and
+    full-scan oracles see the same vertex set as a uniform run.
+    """
+
+    def __init__(
+        self,
+        n_keys: int,
+        nranks: int,
+        hot_shard: int = 0,
+        theta: float = 0.99,
+        n_hot: int = 8,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("need nranks >= 1")
+        if not 0 <= hot_shard < nranks:
+            raise ValueError(f"hot_shard {hot_shard} not in [0, {nranks})")
+        if n_hot < 0:
+            raise ValueError("n_hot must be >= 0")
+        hot = list(range(hot_shard, n_keys, nranks))[:n_hot]
+        hotset = set(hot)
+        self._perm = hot + [i for i in range(n_keys) if i not in hotset]
+        self.hot_ids: tuple[int, ...] = tuple(hot)
+        self.hot_shard = hot_shard
+        self.nranks = nranks
+        self.sampler = ZipfSampler(n_keys, theta)
+
+    @property
+    def n_keys(self) -> int:
+        return self.sampler.n
+
+    @property
+    def theta(self) -> float:
+        return self.sampler.theta
+
+    def app_id(self, zipf_rank: int) -> int:
+        """The application ID behind Zipf rank ``zipf_rank``."""
+        return self._perm[zipf_rank]
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one application ID (hot mass lands on ``hot_shard``)."""
+        return self._perm[self.sampler.sample(rng)]
+
+    def hot_mass(self) -> float:
+        """Traffic fraction aimed at the colocated celebrity set."""
+        return self.sampler.head_mass(len(self.hot_ids))

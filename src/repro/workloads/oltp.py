@@ -27,6 +27,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable
 
 from ..gda.retry import RetryPolicy, run_transaction
 from ..gdi import EdgeOrientation
@@ -185,6 +186,8 @@ def run_oltp_rank(
     seed: int = 0,
     ops_per_txn: int = 1,
     retry: RetryPolicy | None = None,
+    key_sampler: Callable[[random.Random], int] | None = None,
+    batch_sizes: Callable[[random.Random], int] | None = None,
 ) -> OltpRankResult:
     """Execute ``n_ops`` operations of ``mix`` on this rank.
 
@@ -201,6 +204,13 @@ def run_oltp_rank(
     as failed when the whole retry budget is exhausted.  All random
     choices of a batch are drawn *before* its transaction starts, so a
     restarted batch replays the identical logical operations.
+
+    ``key_sampler`` overrides the uniform application-ID draw — this is
+    how an adversarial traffic profile (e.g. a Zipfian celebrity skew
+    from :mod:`repro.traffic`) reuses the verbatim Table 3 mixes.
+    ``batch_sizes`` draws a per-transaction batch size instead of the
+    fixed ``ops_per_txn`` (large-transaction mixes); both samplers see
+    the rank's seeded RNG, so runs stay reproducible.
     """
     if ops_per_txn < 1:
         raise ValueError("ops_per_txn must be >= 1")
@@ -220,6 +230,8 @@ def run_oltp_rank(
     def random_app_id() -> int:
         if my_created and rng.random() < 0.1:
             return rng.choice(my_created)
+        if key_sampler is not None:
+            return key_sampler(rng)
         return rng.randrange(n)
 
     def draw_op(op: OpType) -> tuple:
@@ -280,7 +292,8 @@ def run_oltp_rank(
     start = ctx.rt.effective_clock(ctx.rank)
     remaining = n_ops
     while remaining > 0:
-        batch = [mix.sample(rng) for _ in range(min(ops_per_txn, remaining))]
+        size = ops_per_txn if batch_sizes is None else max(1, batch_sizes(rng))
+        batch = [mix.sample(rng) for _ in range(min(size, remaining))]
         remaining -= len(batch)
         descs = [draw_op(op) for op in batch]
         write = any(op.is_update for op in batch)

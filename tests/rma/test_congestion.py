@@ -94,3 +94,87 @@ def test_skewed_traffic_slows_the_hot_rank():
     _, skewed = run_spmd(4, prog_skewed)
     _, even = run_spmd(4, prog_even)
     assert skewed[0] > even[0]
+
+
+# -- congestion feedback (opt-in FIFO NIC queue) -----------------------------
+def test_default_profile_charges_no_feedback():
+    rt = RmaRuntime(2, profile=UNIFORM)  # congestion_feedback = 0.0
+    win = rt.allocate_window("w", 1024)
+    c = rt.context(0)
+    for _ in range(4):
+        c.put(win, 1, 0, b"x" * 100)
+    assert rt.trace.counters[0].congestion_time == 0.0
+
+
+def test_feedback_charges_issuer_for_nic_queueing():
+    """With feedback on, the target NIC is a FIFO queue: each op waits
+    behind the backlog and the issuer is charged for the wait."""
+    from dataclasses import replace
+
+    prof = replace(UNIFORM, congestion_feedback=1.0)
+    rt = RmaRuntime(2, profile=prof)
+    win = rt.allocate_window("w", 1 << 16)
+    c = rt.context(0)
+    c.put(win, 1, 0, b"x" * 100)
+    first = rt.trace.counters[0].congestion_time
+    assert first > 0.0
+    # hammering the same target grows the backlog: each successive op
+    # waits longer than the one before
+    for _ in range(8):
+        c.put(win, 1, 0, b"x" * 100)
+    total = rt.trace.counters[0].congestion_time
+    assert total > 9 * first  # superlinear: queueing, not a flat tax
+    # the issuer's own clock absorbed the charge
+    assert rt.clocks[0] > 9 * (prof.alpha + 100 * prof.beta)
+
+
+def test_feedback_never_undercounts_receiver_service():
+    """The FIFO queue model anchors busy periods to the issuer clock, so
+    the receiver's service horizon can only grow relative to the legacy
+    additive accounting — calibrated baselines are a lower bound."""
+    from dataclasses import replace
+
+    rt_legacy = RmaRuntime(2, profile=UNIFORM)
+    rt_fb = RmaRuntime(2, profile=replace(UNIFORM, congestion_feedback=0.5))
+    for rt in (rt_legacy, rt_fb):
+        win = rt.allocate_window("w", 1024)
+        c = rt.context(0)
+        for _ in range(3):
+            c.put(win, 1, 0, b"x" * 64)
+    assert rt_fb.service[1] >= rt_legacy.service[1]
+
+
+# -- per-shard traffic counters (hot-shard detection feed) -------------------
+def test_shard_counters_accumulate_by_target():
+    rt = RmaRuntime(3, profile=UNIFORM)
+    win = rt.allocate_window("w", 1024)
+    c = rt.context(0)
+    c.put(win, 1, 0, b"x" * 8)
+    c.put(win, 1, 8, b"x" * 8)
+    c.get(win, 2, 0, 16)
+    snap = rt.trace.shard_snapshot()
+    assert snap["ops"][1] == 2 and snap["ops"][2] == 1
+    assert snap["bytes"][1] == 16 and snap["bytes"][2] == 16
+    assert snap["conflicts"] == [0, 0, 0]
+
+
+def test_shard_diff_isolates_a_window():
+    rt = RmaRuntime(3, profile=UNIFORM)
+    win = rt.allocate_window("w", 1024)
+    c = rt.context(0)
+    c.put(win, 1, 0, b"x" * 8)
+    base = rt.trace.shard_snapshot()
+    c.put(win, 2, 0, b"y" * 4)
+    c.cas(win, 2, 0, 0, 1)
+    diff = rt.trace.shard_diff(base)
+    assert diff["ops"] == [0, 0, 2]
+    assert diff["bytes"][1] == 0 and diff["bytes"][2] > 0
+
+
+def test_lock_conflicts_count_per_shard_and_origin():
+    rt = RmaRuntime(3, profile=UNIFORM)
+    rt.trace.record_lock_conflict(0, 2)
+    rt.trace.record_lock_conflict(1, 2)
+    assert rt.trace.shard_snapshot()["conflicts"] == [0, 0, 2]
+    assert rt.trace.counters[0].snapshot()["lock_conflicts"] == 1
+    assert rt.trace.counters[1].snapshot()["lock_conflicts"] == 1

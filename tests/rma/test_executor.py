@@ -96,6 +96,12 @@ class TestInterleavingScheduler:
     def test_different_seeds_yield_different_interleavings(self):
         def prog(ctx):
             win = ctx.win_allocate("w", 8)
+            # all ranks must be alive before anyone issues ops: the
+            # scheduler only interleaves among concurrently waiting
+            # ranks, so without this barrier a loaded machine can start
+            # the threads sequentially and serialize every seed the
+            # same way
+            ctx.barrier()
             order = []
             for _ in range(5):
                 old = ctx.faa(win, 0, 0, 1)

@@ -43,6 +43,8 @@ def test_queue_bounds_and_peak():
     assert not q.try_put("c")  # full: shed, never block
     assert q.depth == 2 and q.peak_depth == 2
     assert q.get() == "a"
+    assert not q.try_put("c")  # "a" is leased: its slot is still held
+    q.task_done("a")
     assert q.try_put("c")
     assert [q.get(), q.get()] == ["b", "c"]
 
@@ -157,3 +159,55 @@ def test_session_counts_rejections(ctx):
     assert ok0 and not ok1
     assert r0.req_id == "t/3/0" and r1.req_id == "t/3/1"
     assert sess.n_submitted == 2 and sess.n_rejected == 1
+
+
+def test_queue_multi_crash_requeue_preserves_order_and_capacity():
+    """Simultaneous worker crashes: requeues arrive in arbitrary thread
+    order, yet the queue restores arrival order and never exceeds its
+    capacity accounting."""
+    q = BoundedQueue(3)
+    assert q.try_put("a") and q.try_put("b") and q.try_put("c")
+    a, b, c = q.get(), q.get(), q.get()  # three workers lease everything
+    assert q.depth == 0 and q.in_flight == 3
+    assert not q.try_put("d")  # leases still occupy the capacity
+    # dying workers hand back in reverse order — the worst case
+    q.requeue_front(c)
+    q.requeue_front(b)
+    q.requeue_front(a)
+    assert q.depth == 3 and q.in_flight == 0
+    assert not q.try_put("d")  # occupancy unchanged by the crashes
+    assert [q.get(), q.get(), q.get()] == ["a", "b", "c"]
+
+
+def test_queue_requeue_lands_before_younger_waiting_items():
+    q = BoundedQueue(4)
+    q.try_put("a")
+    q.try_put("b")
+    a = q.get()
+    q.try_put("c")  # younger than the in-flight "a"
+    q.requeue_front(a)
+    assert [q.get(), q.get(), q.get()] == ["a", "b", "c"]
+
+
+def test_queue_pause_sheds_and_resume_readmits():
+    q = BoundedQueue(2)
+    assert q.try_put("a")
+    q.pause()
+    assert q.paused
+    assert not q.try_put("b")  # shed while draining, not an error
+    assert q.get() == "a"  # workers keep draining through a pause
+    q.task_done("a")
+    assert q.quiescent()
+    q.resume()
+    assert not q.paused and q.try_put("b")
+
+
+def test_queue_quiescent_requires_leases_released():
+    q = BoundedQueue(2)
+    assert q.quiescent()
+    q.try_put("a")
+    assert not q.quiescent()
+    item = q.get()
+    assert not q.quiescent()  # dequeued but still leased
+    q.task_done(item)
+    assert q.quiescent()

@@ -284,3 +284,46 @@ def test_worker_crash_mid_request_fails_over():
     assert rt.membership.degraded()
     totals = [rt.trace.counters[r].snapshot() for r in range(NRANKS)]
     assert sum(t["epoch_fences"] for t in totals) > 0
+
+
+def test_drain_quiesces_then_resume_readmits():
+    """The rebalance window: drain() pauses admission and waits out the
+    backlog and every lease; resume() re-opens the front door."""
+    state = {}
+
+    def drive(ctx, server):
+        sess = ClientSession(server)
+        reqs = [
+            sess.submit(
+                ctx, POINT_READ,
+                params={"src": PEOPLE_IDS[i % len(PEOPLE_IDS)]},
+                arrival=i * 1e-5,
+            )[0]
+            for i in range(6)
+        ]
+        assert server.drain(timeout=30.0)
+        assert server.queue.paused and server.queue.quiescent()
+        assert server.stats()["queue_in_flight"] == 0
+        # while drained, new work is shed — never queued behind the
+        # maintenance window
+        shed, ok = sess.submit(
+            ctx, POINT_READ, params={"src": 100}, arrival=1.0
+        )
+        assert not ok and shed.status == "shed"
+        server.resume()
+        late, ok = sess.submit(
+            ctx, POINT_READ, params={"src": 101}, arrival=1.1
+        )
+        assert ok
+        return reqs + [late]
+
+    def prog(ctx):
+        return _serve_phase(
+            ctx, state, drive, config=ServeConfig(queue_capacity=16)
+        )
+
+    _, res = run_spmd(2, prog)
+    for r in res[0]:
+        assert r.wait_done(timeout=30) and r.status == "ok"
+    outcomes = state["server"].stats()["outcomes"]
+    assert outcomes["ok"] == 7 and outcomes["shed"] == 1

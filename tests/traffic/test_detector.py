@@ -1,0 +1,84 @@
+"""EWMA hot-shard detector unit tests."""
+
+import pytest
+
+from repro.traffic import HotShardDetector
+
+
+def window(ops, conflicts=None):
+    n = len(ops)
+    return {
+        "ops": list(ops),
+        "bytes": [o * 64 for o in ops],
+        "conflicts": list(conflicts) if conflicts else [0] * n,
+    }
+
+
+def test_uniform_load_never_fires():
+    d = HotShardDetector(4, threshold=2.0, min_window_ops=10)
+    for _ in range(5):
+        r = d.observe(window([50, 50, 50, 50]))
+        assert not r.fired
+        assert r.skew == pytest.approx(1.0)
+
+
+def test_skewed_load_fires_on_the_hot_shard():
+    d = HotShardDetector(4, threshold=2.0, min_window_ops=10)
+    r = d.observe(window([10, 10, 300, 10]))
+    assert r.fired and r.hot == (2,) and r.hottest == 2
+    assert r.skew > 2.0
+
+
+def test_idle_window_is_suppressed():
+    d = HotShardDetector(4, threshold=2.0, min_window_ops=100)
+    r = d.observe(window([1, 0, 30, 0]))  # skewed but nearly idle
+    assert not r.fired
+    assert r.window_ops == 31
+
+
+def test_single_burst_smoothed_sustained_skew_fires():
+    """One bursty window after even history stays below threshold; a
+    sustained flash crowd trips within two windows."""
+    d = HotShardDetector(4, alpha=0.2, threshold=2.0, min_window_ops=10)
+    for _ in range(4):
+        d.observe(window([10, 10, 10, 10]))
+    first = d.observe(window([100, 10, 10, 10]))
+    assert not first.fired  # EWMA absorbs one burst
+    second = d.observe(window([100, 10, 10, 10]))
+    assert second.fired and second.hot == (0,)
+
+
+def test_conflicts_escalate_detection():
+    d = HotShardDetector(
+        4, threshold=2.0, min_window_ops=10, conflict_weight=10.0
+    )
+    plain = d.observe(window([30, 20, 20, 20]))
+    assert not plain.fired
+    d.reset()
+    contended = d.observe(window([30, 20, 20, 20], conflicts=[20, 0, 0, 0]))
+    assert contended.fired and contended.hot == (0,)
+
+
+def test_reset_forgets_history():
+    d = HotShardDetector(2, min_window_ops=1)
+    d.observe(window([100, 1]))
+    assert d.ewma[0] > d.ewma[1]
+    d.reset()
+    assert d.ewma == (0.0, 0.0) and d.last is None
+
+
+def test_single_rank_never_fires():
+    d = HotShardDetector(1, min_window_ops=1)
+    assert not d.observe({"ops": [500], "bytes": [0], "conflicts": [0]}).fired
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HotShardDetector(0)
+    with pytest.raises(ValueError):
+        HotShardDetector(2, alpha=0.0)
+    with pytest.raises(ValueError):
+        HotShardDetector(2, threshold=1.0)
+    d = HotShardDetector(2)
+    with pytest.raises(ValueError):
+        d.observe({"ops": [1, 2, 3], "bytes": [], "conflicts": [0, 0, 0]})

@@ -1,0 +1,80 @@
+"""Seeded determinism of traffic × faults.
+
+Same seeds ⇒ bit-identical Zipfian key stream, identical injected-fault
+schedule, and identical terminal transaction outcomes — the property
+that makes an adversarial failure reproducible from its seed tuple
+alone.  The SPMD phases run under an interleaving-scheduler seed so
+thread scheduling cannot leak into the outcome.
+"""
+
+import random
+
+from repro.gda import GdaConfig, GdaDatabase
+from repro.generator import KroneckerParams, build_lpg, default_schema
+from repro.rma import run_spmd
+from repro.rma.faults import FaultPlan
+from repro.traffic import AdversarialMix, streaming_ingest
+
+PARAMS = KroneckerParams(scale=5, edge_factor=3, seed=21)
+SCHEMA = default_schema(n_vertex_labels=2, n_edge_labels=1, n_properties=3)
+NRANKS = 3
+SCHED_SEED = 13
+FAULTS = dict(seed=7, transient_rate=0.03, op_retry_limit=2,
+              stragglers={1: 2.0})
+
+
+def test_zipf_key_stream_is_seed_determined():
+    m1 = AdversarialMix(n_vertices=256, nranks=4, theta=1.1, seed=5)
+    m2 = AdversarialMix(n_vertices=256, nranks=4, theta=1.1, seed=5)
+    grid1 = [m1.make(u, s) for u in range(8) for s in range(32)]
+    grid2 = [m2.make(u, s) for u in range(8) for s in range(32)]
+    assert grid1 == grid2
+    draw1, draw2 = m1.key_sampler(), m2.key_sampler()
+    r1, r2 = random.Random(99), random.Random(99)
+    assert [draw1(r1) for _ in range(300)] == [draw2(r2) for _ in range(300)]
+
+
+def _storm_once():
+    """One full build + adversarial-ingest-under-faults run; returns
+    everything that must be reproducible."""
+    mix = AdversarialMix(
+        n_vertices=2**5, nranks=NRANKS, theta=1.2, hot_shard=0, n_hot=4,
+        seed=2,
+    )
+    graphs = {}
+
+    def build(ctx):
+        db = GdaDatabase.create(ctx, GdaConfig(blocks_per_rank=16384))
+        graphs[ctx.rank] = build_lpg(ctx, db, PARAMS, SCHEMA)
+        ctx.barrier()
+
+    rt, _ = run_spmd(NRANKS, build, seed=SCHED_SEED)
+
+    def storm(ctx):
+        return streaming_ingest(
+            ctx, graphs[ctx.rank], n_ingest_ranks=1, n_edges=18,
+            n_queries=18, batch=6, seed=4,
+            key_sampler=mix.key_sampler(),
+        )
+
+    rt, res = run_spmd(
+        NRANKS, storm, runtime=rt, faults=FaultPlan(**FAULTS)
+    )
+    outcomes = [(r.role, r.n_ok, r.n_failed, r.n_edges_added) for r in res]
+    fault_schedule = [
+        rt.trace.counters[r].snapshot()["faults_injected"]
+        for r in range(NRANKS)
+    ]
+    shards = rt.trace.shard_snapshot()
+    return outcomes, fault_schedule, shards
+
+
+def test_traffic_under_faults_replays_identically():
+    run1 = _storm_once()
+    run2 = _storm_once()
+    outcomes1, faults1, shards1 = run1
+    outcomes2, faults2, shards2 = run2
+    assert outcomes1 == outcomes2  # terminal-status counts
+    assert faults1 == faults2  # the fault schedule itself
+    assert shards1["ops"] == shards2["ops"]  # per-shard access pattern
+    assert sum(faults1) > 0  # the storm actually injected faults

@@ -1,0 +1,154 @@
+"""Adversarial mix, flash-crowd phases, and phase-driver tests."""
+
+import random
+
+import pytest
+
+from repro.serve import ClientSession, GraphServer, ServeConfig
+from repro.serve.request import OLTP, TERMINAL_STATUSES
+from repro.rma import run_spmd
+from repro.traffic import (
+    AdversarialMix,
+    TrafficPhase,
+    flash_crowd,
+    large_txn_sizes,
+    run_phases,
+)
+
+from query.conftest import build_social_db
+
+
+class TestAdversarialMix:
+    def test_make_is_deterministic_per_user_seq(self):
+        m = AdversarialMix(n_vertices=512, nranks=4, seed=3)
+        assert m.make(7, 11) == m.make(7, 11)
+        grid = [m.make(u, s) for u in range(4) for s in range(8)]
+        assert grid == [m.make(u, s) for u in range(4) for s in range(8)]
+
+    def test_seed_changes_the_stream(self):
+        a = AdversarialMix(n_vertices=512, nranks=4, seed=0)
+        b = AdversarialMix(n_vertices=512, nranks=4, seed=1)
+        ga = [a.make(u, s) for u in range(8) for s in range(16)]
+        gb = [b.make(u, s) for u in range(8) for s in range(16)]
+        assert ga != gb
+
+    def test_sources_concentrate_on_hot_shard(self):
+        m = AdversarialMix(
+            n_vertices=512, nranks=4, theta=1.2, hot_shard=1, n_hot=16
+        )
+        srcs = [
+            params["src"]
+            for u in range(32)
+            for s in range(64)
+            for qclass, _, params in [m.make(u, s)]
+            if qclass == OLTP
+        ]
+        hot_frac = sum(1 for s in srcs if s % 4 == 1) / len(srcs)
+        assert m.keys.hot_mass() > 0.5
+        assert hot_frac > 0.6  # celebrities + tail residue share
+
+    def test_key_sampler_plugs_into_oltp_signature(self):
+        m = AdversarialMix(n_vertices=100, nranks=4, theta=1.5, n_hot=4)
+        draw = m.key_sampler()
+        rng = random.Random(5)
+        xs = [draw(rng) for _ in range(200)]
+        assert all(0 <= x < 100 for x in xs)
+        hot = sum(1 for x in xs if x in m.keys.hot_ids) / len(xs)
+        assert hot > 0.5
+
+
+class TestFlashCrowd:
+    def test_ramp_is_geometric_and_monotone(self):
+        ph = flash_crowd(
+            10.0, 1000.0, n_users=8, base_requests=20,
+            peak_requests=40, ramp_steps=3,
+        )
+        rates = [p.arrival_rate for p in ph]
+        assert rates == sorted(rates)
+        assert ph[0].name == "base" and ph[-1].name == "peak"
+        assert rates[0] == 10.0 and rates[-1] == 1000.0
+        # geometric: constant step ratio through the ramp
+        ratios = [rates[i + 1] / rates[i] for i in range(len(rates) - 1)]
+        assert ratios == pytest.approx([ratios[0]] * len(ratios))
+
+    def test_peak_mix_overrides_only_storm_phases(self):
+        skew = AdversarialMix(n_vertices=64, nranks=2)
+        ph = flash_crowd(
+            1.0, 8.0, n_users=2, base_requests=4, peak_requests=8,
+            ramp_steps=1, peak_mix=skew,
+        )
+        assert ph[0].mix is None
+        assert all(p.mix is skew for p in ph[1:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd(0.0, 1.0, n_users=1, base_requests=1, peak_requests=1)
+        with pytest.raises(ValueError):
+            flash_crowd(
+                1.0, 2.0, n_users=1, base_requests=1, peak_requests=1,
+                ramp_steps=-1,
+            )
+
+
+class TestLargeTxnSizes:
+    def test_draws_only_the_two_sizes(self):
+        draw = large_txn_sizes(p_large=0.25, small=2, large=32)
+        rng = random.Random(0)
+        xs = [draw(rng) for _ in range(400)]
+        assert set(xs) == {2, 32}
+        assert sum(1 for x in xs if x == 32) / len(xs) == pytest.approx(
+            0.25, abs=0.07
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            large_txn_sizes(p_large=1.5)
+        with pytest.raises(ValueError):
+            large_txn_sizes(small=0)
+
+
+def test_run_phases_drives_a_live_server_in_order():
+    """Two chained phases against a real worker pool: every request
+    terminal, per-phase record counts match, simulated time monotone."""
+    state = {}
+    mix = AdversarialMix(
+        n_vertices=105, nranks=3, theta=1.0, hot_shard=0, n_hot=4,
+        onehop_fraction=0.2,
+    )
+    phases = [
+        TrafficPhase("calm", 100.0, 8, 2, horizon=None),
+        TrafficPhase("storm", 1000.0, 12, 3, horizon=None),
+    ]
+
+    def prog(ctx):
+        if "db" not in state:
+            db = build_social_db(ctx)
+            if ctx.rank == 0:
+                state["db"] = db
+                state["server"] = GraphServer(
+                    db, config=ServeConfig(queue_capacity=64)
+                )
+            ctx.barrier()
+        server = state["server"]
+        if ctx.rank == 0:
+            sessions = [
+                ClientSession(server, tenant="t", session_id=i)
+                for i in range(3)
+            ]
+            try:
+                return run_phases(ctx, server, sessions, mix, phases)
+            finally:
+                server.close()
+        return server.serve(ctx)
+
+    _, res = run_spmd(3, prog)
+    by_phase = res[0]
+    assert set(by_phase) == {"calm", "storm"}
+    assert len(by_phase["calm"]) == 8 and len(by_phase["storm"]) == 12
+    for recs in by_phase.values():
+        for r in recs:
+            assert r.status in TERMINAL_STATUSES
+    # phase chaining: the storm's first arrival is not before the calm
+    # phase began
+    calm_start = min(r.arrival for r in by_phase["calm"])
+    assert min(r.arrival for r in by_phase["storm"]) >= calm_start

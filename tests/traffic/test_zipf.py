@@ -1,0 +1,81 @@
+"""Zipfian sampler and shard-colocated key map unit tests."""
+
+import random
+
+import pytest
+
+from repro.traffic import ShardColocatedKeys, ZipfSampler
+
+
+class TestZipfSampler:
+    def test_pmf_sums_to_one(self):
+        z = ZipfSampler(100, theta=0.99)
+        assert sum(z.pmf(k) for k in range(100)) == pytest.approx(1.0)
+
+    def test_theta_zero_is_uniform(self):
+        z = ZipfSampler(50, theta=0.0)
+        for k in range(50):
+            assert z.pmf(k) == pytest.approx(1 / 50)
+
+    def test_head_mass_grows_with_theta(self):
+        masses = [
+            ZipfSampler(1000, theta=t).head_mass(10)
+            for t in (0.0, 0.5, 0.99, 1.5)
+        ]
+        assert masses == sorted(masses)
+        assert masses[0] == pytest.approx(0.01)
+        assert masses[-1] > 0.5
+
+    def test_samples_in_range_and_match_head_mass(self):
+        z = ZipfSampler(1000, theta=0.99)
+        rng = random.Random(42)
+        xs = [z.sample(rng) for _ in range(20000)]
+        assert all(0 <= x < 1000 for x in xs)
+        top8 = sum(1 for x in xs if x < 8) / len(xs)
+        assert top8 == pytest.approx(z.head_mass(8), abs=0.02)
+
+    def test_seeded_streams_are_identical(self):
+        z = ZipfSampler(256, theta=1.1)
+        r1, r2 = random.Random(123), random.Random(123)
+        assert [z.sample(r1) for _ in range(500)] == [
+            z.sample(r2) for _ in range(500)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, theta=-0.1)
+
+
+class TestShardColocatedKeys:
+    def test_hot_ids_share_one_home_shard(self):
+        k = ShardColocatedKeys(1000, 4, hot_shard=2, theta=0.99, n_hot=8)
+        assert len(k.hot_ids) == 8
+        assert all(i % 4 == 2 for i in k.hot_ids)
+
+    def test_map_is_a_bijection(self):
+        k = ShardColocatedKeys(300, 3, hot_shard=1, n_hot=5)
+        ids = [k.app_id(r) for r in range(300)]
+        assert sorted(ids) == list(range(300))
+
+    def test_hot_mass_lands_on_hot_shard(self):
+        k = ShardColocatedKeys(512, 4, hot_shard=3, theta=1.2, n_hot=16)
+        rng = random.Random(7)
+        hits = sum(
+            1 for _ in range(20000) if k.sample(rng) % 4 == 3
+        ) / 20000
+        # exact expectation: Zipf mass of every rank homing to shard 3
+        expected = sum(
+            k.sampler.pmf(r) for r in range(512) if k.app_id(r) % 4 == 3
+        )
+        assert hits == pytest.approx(expected, abs=0.02)
+        assert expected > k.hot_mass() > 0.5  # a genuine celebrity regime
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardColocatedKeys(10, 0)
+        with pytest.raises(ValueError):
+            ShardColocatedKeys(10, 4, hot_shard=4)
+        with pytest.raises(ValueError):
+            ShardColocatedKeys(10, 4, n_hot=-1)
