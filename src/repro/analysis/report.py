@@ -34,6 +34,7 @@ SECTION_ORDER: list[tuple[str, str]] = [
     ("query_engine", "Extension — declarative query engine vs hand-coded"),
     ("serve_overload", "Extension — serving under overload"),
     ("traffic_storm", "Extension — adversarial skew storm & live rebalance"),
+    ("htap_storm", "Extension — HTAP: snapshot OLAP under OLTP storm"),
     ("micro_batch_coalescing", "Microbenchmark — RMA doorbell coalescing"),
     ("micro_codec", "Microbenchmark — holder codec: struct vs numpy view"),
     ("ablation_blocksize", "Ablation — BGDL block size"),
@@ -105,6 +106,7 @@ BENCH_JSON_GROUPS: dict[str, tuple[str, ...]] = {
         "traffic_storm",
         "traffic_storm_crash",
     ),
+    "BENCH_htap.json": ("htap_storm",),
 }
 
 

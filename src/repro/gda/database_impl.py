@@ -66,6 +66,13 @@ class GdaConfig:
     #: runtime to carry a :class:`~repro.rma.membership.ClusterMembership`).
     #: Off by default: fault-free workloads pay no mirroring traffic.
     replication: bool = False
+    #: MVCC snapshot reads (:mod:`repro.mvcc`): write commits install
+    #: pre-image version chains and read-only transactions opened with
+    #: ``snapshot=True`` read a frozen watermark without taking read
+    #: locks.  Off by default: OLTP-only workloads pay no versioning cost.
+    mvcc: bool = False
+    #: applied commits between opportunistic watermark-GC passes.
+    mvcc_gc_interval: int = 32
 
 
 @dataclass
@@ -127,6 +134,14 @@ class GdaDatabase:
         self.relocations: dict[int, int] = {}
         #: bumped once per completed rebalance (diagnostics / tests)
         self.placement_epoch = 0
+        #: :class:`~repro.mvcc.SnapshotManager` when the config enables
+        #: MVCC; None keeps the lock-only seed behavior.  A control-path
+        #: shared structure like the commit log.
+        self.mvcc = None
+        if config.mvcc:
+            from ..mvcc import SnapshotManager
+
+            self.mvcc = SnapshotManager(gc_interval=config.mvcc_gc_interval)
 
     def note_relocations(self, mapping: dict[int, int]) -> None:
         """Publish one rebalance's ``{old_vid: new_vid}`` map.
@@ -145,6 +160,10 @@ class GdaDatabase:
             self.relocations.pop(fresh, None)
         self.relocations.update(mapping)
         self.placement_epoch += 1
+        if self.mvcc is not None:
+            # version chains and unpublish tombstones follow their
+            # vertices to the new placement
+            self.mvcc.rekey(mapping)
 
     def fresh_vid(self, vid: int) -> int | None:
         """Current internal ID of a relocated vertex (None if never moved)."""
@@ -274,24 +293,54 @@ class GdaDatabase:
         self.replicas[ctx.rank].sync()
 
     # -- transactions -----------------------------------------------------------
-    def start_transaction(self, ctx: RankContext, write: bool = False):
-        """``GDI_StartTransaction``: a local, single-process transaction."""
+    def start_transaction(
+        self, ctx: RankContext, write: bool = False, snapshot: bool = False
+    ):
+        """``GDI_StartTransaction``: a local, single-process transaction.
+
+        With ``snapshot=True`` (read-only databases running MVCC) the
+        transaction reads a frozen watermark without taking read locks;
+        on a database without :mod:`repro.mvcc` the flag degrades to a
+        plain read transaction, so callers can request snapshots
+        unconditionally.
+        """
         from .transaction_impl import Transaction
 
+        if snapshot and write:
+            raise GdiInvalidArgument("snapshot transactions are read-only")
         self.replicas[ctx.rank].sync()
         self.stats[ctx.rank].started += 1
-        return Transaction(self, ctx, write=write, collective=False)
+        return Transaction(
+            self,
+            ctx,
+            write=write,
+            collective=False,
+            snapshot=snapshot and self.mvcc is not None,
+        )
 
     def start_collective_transaction(
-        self, ctx: RankContext, write: bool = False
+        self, ctx: RankContext, write: bool = False, snapshot: bool = False
     ):
-        """``GDI_StartCollectiveTransaction``: all ranks participate."""
+        """``GDI_StartCollectiveTransaction``: all ranks participate.
+
+        With ``snapshot=True`` rank 0 freezes one watermark and every
+        rank joins it, so a collective OLAP kernel sees a single
+        consistent cut while writers keep committing underneath.
+        """
         from .transaction_impl import Transaction
 
+        if snapshot and write:
+            raise GdiInvalidArgument("snapshot transactions are read-only")
         ctx.barrier()
         self.replicas[ctx.rank].sync()
         self.stats[ctx.rank].started += 1
-        return Transaction(self, ctx, write=write, collective=True)
+        return Transaction(
+            self,
+            ctx,
+            write=write,
+            collective=True,
+            snapshot=snapshot and self.mvcc is not None,
+        )
 
     # -- sharding policy ------------------------------------------------------------
     def home_rank(self, app_id: int) -> int:
@@ -426,6 +475,12 @@ class GdaDatabase:
                 break
             time.sleep(0.001)
         mem.adopt_epoch(ctx.rank)
+        if self.mvcc is not None:
+            # a commit that allocated its timestamp on a now-dead rank
+            # can never call note_applied; retire those orphans so the
+            # snapshot watermark is not pinned forever (replayed effects
+            # re-install under fresh timestamps)
+            self.mvcc.force_apply(set(range(self.nranks)) - mem.live)
 
     # -- durability (in-memory redo log; the paper's system is in-memory) ----------------
     def log_commit(self, rank: int, entries: tuple) -> int:

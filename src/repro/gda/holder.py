@@ -67,6 +67,7 @@ from .dptr import unpack_dptr
 
 __all__ = [
     "HEADER_BYTES",
+    "VERSION_OFFSET",
     "SLOT_BYTES",
     "DIR_OUT",
     "DIR_IN",
@@ -143,6 +144,11 @@ HEADER_DTYPE = np.dtype(
 assert SLOT_DTYPE.itemsize == _SLOT.size == SLOT_BYTES
 assert HEADER_DTYPE.itemsize == _HEADER.size == 36
 assert HEADER_BYTES - _HEADER.size == 4, "header pads 36 -> 40 bytes"
+
+#: byte offset of the MVCC commit version inside the 40-byte header: the
+#: u32 occupying what used to be the trailing pad (bytes 36..40).  Holders
+#: written before MVCC decode as version 0 — visible to every snapshot.
+VERSION_OFFSET = _HEADER.size
 
 #: bytes of address area fetched speculatively with every header read;
 #: covers holders with up to 8 continuation/index addresses in one round.
@@ -407,6 +413,10 @@ class StoredHolder:
     #: which holder parts were actually fetched (projected reads); holders
     #: built locally or read in full carry NEED_ALL.
     parts: int = NEED_ALL
+    #: commit timestamp of the transaction that last wrote this holder
+    #: (the MVCC version in the header pad bytes); 0 for pre-MVCC data
+    #: and for databases running without :mod:`repro.mvcc`.
+    version: int = 0
 
     @property
     def all_blocks(self) -> list[int]:
@@ -440,6 +450,7 @@ class HolderStorage:
         ndata: int,
         payload_len: int,
         crc: int = 0,
+        version: int = 0,
     ) -> bytes:
         entries_len = entries_nbytes(holder.labels, holder.properties)
         edge_count = (
@@ -458,7 +469,8 @@ class HolderStorage:
             crc,
         )
         assert HEADER_BYTES - len(hdr) == 4
-        return hdr + b"\x00" * (HEADER_BYTES - len(hdr))
+        # the former pad bytes carry the MVCC commit version
+        return hdr + (version & 0xFFFFFFFF).to_bytes(4, "little")
 
     @staticmethod
     def _parse_payload(kind: int, flags: int, edge_count: int, payload: bytes):
@@ -564,7 +576,7 @@ class HolderStorage:
         ndata = len(stored.data_blocks)
         crc = zlib.crc32(payload) & 0xFFFFFFFF
         header = self._pack_header(
-            holder, flags, nindex, ndata, len(payload), crc
+            holder, flags, nindex, ndata, len(payload), crc, stored.version
         )
         items: list[tuple[int, bytes]] = []
         if nindex:
@@ -686,6 +698,9 @@ class HolderStorage:
             "entries_len": entries_len,
             "payload_len": payload_len,
             "crc": crc,
+            "version": int.from_bytes(
+                blob[VERSION_OFFSET : VERSION_OFFSET + 4], "little"
+            ),
             "blob": blob,
             "index_blocks": [],
             "data_blocks": [],
@@ -781,6 +796,7 @@ class HolderStorage:
                     primary=info["primary"],
                     data_blocks=info["data_blocks"],
                     index_blocks=info["index_blocks"],
+                    version=info["version"],
                 )
             )
         return out
@@ -965,6 +981,7 @@ class HolderStorage:
             data_blocks=info["data_blocks"],
             index_blocks=info["index_blocks"],
             parts=parts,
+            version=info["version"],
         )
 
     # -- delete --------------------------------------------------------------------

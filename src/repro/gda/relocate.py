@@ -128,25 +128,69 @@ def plan_offload(
     db: GdaDatabase,
     hot_shard: int,
     keep_fraction: float = 0.0,
+    window: dict[str, list[int]] | None = None,
 ) -> dict[int, int]:
-    """Spread a hot shard's vertices round-robin over the other ranks.
+    """Spread a hot shard's vertices over the ranks with NIC headroom.
 
     The remediation the hot-shard detector triggers: unlike
     :func:`plan_balance` (which equalizes *counts*), this deliberately
     empties ``hot_shard`` down to ``keep_fraction`` of its vertices so
-    the celebrity keys colocated there stop sharing one NIC.  Only the
-    hot rank's plan is non-empty; the move set is deterministic (sorted
-    vertex order), so every rank computes a consistent view.
+    the celebrity keys colocated there stop sharing one NIC.
+
+    Targets are weighted by *measured* NIC headroom rather than
+    round-robin: the trace's per-shard access counters
+    (:meth:`~repro.rma.trace.TraceRecorder.shard_snapshot`, or the delta
+    against an earlier ``window`` snapshot — the detector already holds
+    one) give each candidate's observed load in one-sided ops plus moved
+    bytes, and the move set is split by largest-remainder shares of
+    ``peak_load - load + 1``.  A quiet rank therefore absorbs more of
+    the celebrity traffic than one already near its NIC limit, instead
+    of each receiving an equal slice.  Only the hot rank's plan is
+    non-empty; the move set is deterministic (sorted vertex order).
     """
     if ctx.rank != hot_shard or ctx.nranks < 2:
         return {}
     vids = sorted(db.directory.local_vertices(ctx))
     n_keep = int(len(vids) * keep_fraction)
     movable = vids[n_keep:]
+    if not movable:
+        return {}
+    trace = ctx.rt.trace
+    snap = (
+        trace.shard_diff(window) if window is not None
+        else trace.shard_snapshot()
+    )
+    # measured per-shard NIC load: one-sided op count, with the moved
+    # bytes folded in at cache-line-ish granularity so a byte-heavy but
+    # op-light shard still reads as busy
+    load = [
+        ops + nbytes // 1024
+        for ops, nbytes in zip(snap["ops"], snap["bytes"])
+    ]
     targets = [r for r in range(ctx.nranks) if r != hot_shard]
-    return {
-        vid: targets[i % len(targets)] for i, vid in enumerate(movable)
+    peak = max(load[r] for r in targets)
+    headroom = {r: peak - load[r] + 1 for r in targets}
+    total = sum(headroom.values())
+    # blend a uniform base (half the set, split evenly) with the
+    # headroom-proportional half: the skew follows the measurement, but
+    # no target is starved or flooded outright when absolute loads are
+    # small — flooding one quiet rank would just mint the next hotspot
+    quota = {
+        r: len(movable) * (0.5 / len(targets) + 0.5 * headroom[r] / total)
+        for r in targets
     }
+    share = {r: int(quota[r]) for r in targets}
+    leftover = len(movable) - sum(share.values())
+    for r in sorted(
+        targets, key=lambda r: (quota[r] - share[r], -r), reverse=True
+    )[:leftover]:
+        share[r] += 1
+    plan: dict[int, int] = {}
+    it = iter(movable)
+    for r in sorted(targets, key=lambda r: (-headroom[r], r)):
+        for _ in range(share[r]):
+            plan[next(it)] = r
+    return plan
 
 
 def _with_heal(ctx: RankContext, db: GdaDatabase, fn):
@@ -234,7 +278,13 @@ def rebalance(
         primary = db.blocks.acquire_block(ctx, target)
         if primary is None:
             continue  # target shard full: skip the move
-        new_stored = type(stored)(holder=stored.holder, primary=primary)
+        new_stored = type(stored)(
+            holder=stored.holder,
+            primary=primary,
+            # the MVCC version rides along: a snapshot reader validating
+            # the relocated holder must see the same commit stamp
+            version=stored.version,
+        )
         db.storage.rewrite(ctx, new_stored)
         intents.append(
             MoveIntent(

@@ -97,6 +97,7 @@ def run_transaction(
     *,
     write: bool = True,
     collective: bool = False,
+    snapshot: bool = False,
     policy: RetryPolicy | None = None,
 ) -> Any:
     """Run ``fn(tx)`` in a transaction, retrying aborts with backoff.
@@ -115,10 +116,15 @@ def run_transaction(
     stats = db.stats[ctx.rank]
     t0 = ctx.clock
     for attempt in range(policy.max_attempts):
+        kwargs = {"write": write}
+        if snapshot:
+            # only forwarded when set, so duck-typed stand-in databases
+            # without MVCC support keep working
+            kwargs["snapshot"] = True
         if collective:
-            tx = db.start_collective_transaction(ctx, write=write)
+            tx = db.start_collective_transaction(ctx, **kwargs)
         else:
-            tx = db.start_transaction(ctx, write=write)
+            tx = db.start_transaction(ctx, **kwargs)
         try:
             out = fn(tx)
             if tx.open:

@@ -35,6 +35,7 @@ import numpy as np
 from ..gdi.constants import EdgeOrientation, Multiplicity, SizeType
 from ..gdi.constraint import Constraint, LabelCondition
 from ..gdi.errors import (
+    GdiChecksumError,
     GdiInvalidArgument,
     GdiLockFailed,
     GdiNonUniqueId,
@@ -117,6 +118,10 @@ class _TxVertex:
     #: label ids as loaded (write txns only) — diffed at commit to keep
     #: the directory's per-label histogram current
     label_preimage: "list[int] | None" = None
+    #: holder state as loaded, copied deep enough to be immutable under
+    #: this transaction's own mutations — installed in the MVCC version
+    #: chain at commit (write txns with MVCC enabled only)
+    mvcc_preimage: "StoredHolder | None" = None
 
     @property
     def holder(self) -> VertexHolder:
@@ -135,10 +140,49 @@ class _TxEdge:
     #: (src_app, dst_app) when supplied by the bulk loader, so commit
     #: logging needs no remote reads to resolve application IDs
     app_ids: "tuple[int, int] | None" = None
+    #: holder state as loaded (see :attr:`_TxVertex.mvcc_preimage`)
+    mvcc_preimage: "StoredHolder | None" = None
 
     @property
     def holder(self) -> EdgeHolder:
         return self.stored.holder  # type: ignore[return-value]
+
+
+def _frozen_copy(stored: StoredHolder) -> StoredHolder:
+    """Copy a holder deep enough to serve as an MVCC pre-image.
+
+    The committing transaction mutates its cached holders in place
+    (labels/properties/edge-slot lists), so the chain image must own
+    those containers.  Slot objects and property blobs are shared: the
+    transaction layer replaces them, it never mutates them.  Block lists
+    are dropped — an image is only ever *served*, never rewritten.
+    """
+    h = stored.holder
+    if h.kind == 1:
+        ch = VertexHolder(
+            app_id=h.app_id,
+            labels=list(h.labels),
+            properties=list(h.properties),
+        )
+        if h._edges is not None:
+            ch._edges = list(h._edges)
+        else:  # still in wire form; the buffer is immutable bytes
+            ch._edges = None
+            ch._slot_buf = h._slot_buf
+    else:
+        ch = EdgeHolder(
+            src=h.src,
+            dst=h.dst,
+            directed=h.directed,
+            labels=list(h.labels),
+            properties=list(h.properties),
+        )
+    return StoredHolder(
+        holder=ch,
+        primary=stored.primary,
+        parts=stored.parts,
+        version=stored.version,
+    )
 
 
 class Transaction:
@@ -151,11 +195,31 @@ class Transaction:
         *,
         write: bool,
         collective: bool,
+        snapshot: bool = False,
     ) -> None:
         self.db = db
         self.ctx = ctx
         self.write = write
         self.collective = collective
+        #: MVCC snapshot read mode: resolve every holder read against a
+        #: frozen watermark instead of taking read locks (lock-free, so
+        #: an OLTP storm never blocks — and is never blocked by — this
+        #: transaction).  Requires ``db.mvcc`` (GdaConfig.mvcc).
+        self.snapshot = bool(snapshot) and not write and db.mvcc is not None
+        self._snap = None
+        self._commit_ts: int | None = None
+        if self.snapshot:
+            if collective:
+                # every participant must read at the same watermark:
+                # rank 0 begins the snapshot and broadcasts the handle,
+                # the others join it (each rank holds its own refcount)
+                snap0 = db.mvcc.begin_snapshot() if ctx.rank == 0 else None
+                snap0 = ctx.bcast(snap0, root=0)
+                self._snap = (
+                    snap0 if ctx.rank == 0 else db.mvcc.share(snap0)
+                )
+            else:
+                self._snap = db.mvcc.begin_snapshot()
         self.open = True
         self.failed = False
         self.fail_cause: str | None = None  # per-cause abort accounting
@@ -231,8 +295,10 @@ class Transaction:
         )
 
     def _ensure_lock(self, txv: _TxVertex, want_write: bool) -> None:
-        if self.collective or txv.created:
-            return  # collective txns are lock-free; private until commit
+        if self.collective or self.snapshot or txv.created:
+            # collective and snapshot txns are lock-free; created
+            # vertices are private until commit
+            return
         want = _LOCK_WRITE if want_write else _LOCK_READ
         if txv.lock_mode >= want:
             return
@@ -285,7 +351,7 @@ class Transaction:
         scalar path when a membership view is armed (failover epochs
         must be captured per lock) or the vector degenerates.
         """
-        if self.collective:
+        if self.collective or self.snapshot:
             return
         want = _LOCK_WRITE if want_write else _LOCK_READ
         todo: list[_TxVertex] = []
@@ -359,6 +425,8 @@ class Transaction:
                 lock.release_write(self.ctx)
 
     def _release_locks(self) -> None:
+        if self.snapshot:
+            return  # never held any
         # With no membership view armed the failover-aware release checks
         # are no-ops, and every release direction is an FAA — the whole
         # vector rides one batched atomic round per distinct lock shard.
@@ -433,6 +501,11 @@ class Transaction:
         if self.write:
             # preimage capture and commit rewrites need whole holders
             need = NEED_ALL
+        if self.snapshot:
+            # full-span reads carry the CRC end to end, so a torn read
+            # under a concurrent lock-free rewrite surfaces as a checksum
+            # failure and retries against the version chain
+            need = NEED_ALL
         need |= NEED_IDENT
         if expected_app_ids is None:
             expected_app_ids = [None] * len(vids)
@@ -490,6 +563,19 @@ class Transaction:
             if vid not in placeholders:
                 # duplicates in this batch: one lock, one fetch
                 placeholders[vid] = _TxVertex(vid=vid, stored=None)  # type: ignore[arg-type]
+        if self.snapshot:
+            # Lock-free watermark reads: no locks, no placeholders owned;
+            # chain-covered vids are served from their pre-images, the
+            # rest from the live blocks after version validation.
+            if placeholders:
+                err = self._snapshot_load(
+                    list(placeholders), need, expected_by_vid, missing_ok
+                )
+                if err is not None:
+                    raise err
+            for i in fetch_idx:
+                results[i] = self._vertices.get(vids[i])
+            return results
         if (
             not self.collective
             and self._mem is None
@@ -575,6 +661,9 @@ class Transaction:
                 )
                 self._vertices[vid] = txv
                 if self.write:
+                    if self.db.mvcc is not None:
+                        # the pre-image this commit will chain-install
+                        txv.mvcc_preimage = _frozen_copy(stored)
                     # capture the slot identities for the commit-log diff
                     txv.edge_preimage = list(stored.holder.edges)
                     txv.label_preimage = list(stored.holder.labels)
@@ -590,11 +679,139 @@ class Transaction:
         return results
 
     def _rollback_placeholder_lock(self, placeholder: _TxVertex) -> None:
-        if self.collective:
+        if self.collective or self.snapshot:
             return
         self._undo_lock(
             placeholder.vid, placeholder.lock_mode, placeholder.lock_epoch
         )
+
+    # -- snapshot (MVCC) reads ---------------------------------------------
+    def _snapshot_load(
+        self,
+        fetch_vids: "list[int]",
+        need: int,
+        expected_by_vid: "dict[int, int]",
+        missing_ok: bool,
+    ) -> BaseException | None:
+        """Batched lock-free vertex load at the snapshot watermark.
+
+        Visibility rule (:mod:`repro.mvcc.versions`): a chain entry with
+        ``boundary_ts > W`` serves the vid's state at ``W``; otherwise
+        the live blocks are authoritative, validated by the version
+        stamped in the holder header being ``<= W``.  A too-new version,
+        a reused block, or a checksum failure all mean a commit after
+        the watermark is (re)writing the holder — its pre-image is
+        already installed (install-before-rewrite), so the vid simply
+        re-resolves against the chain on the next attempt.  Returns the
+        first per-element validation error instead of raising so the
+        caller keeps the scalar path's error precedence.
+        """
+        mvcc = self.db.mvcc
+        w = self._snap.watermark
+        trace = self.ctx.rt.trace
+        rank = self.ctx.rank
+        error: BaseException | None = None
+
+        def miss(why: str) -> None:
+            nonlocal error
+            if not missing_ok and error is None:
+                error = GdiNotFound(why)
+
+        def serve(vid: int, stored: StoredHolder) -> None:
+            nonlocal error
+            expected = expected_by_vid.get(vid)
+            if expected is not None and stored.holder.app_id != expected:
+                # the block was recycled relative to the caller's ID
+                # translation: that vertex did not live here at W
+                miss(
+                    f"vertex {vid:#x} was recycled (expected application "
+                    f"ID {expected}, found {stored.holder.app_id})"
+                )
+                return
+            self._vertices[vid] = _TxVertex(vid=vid, stored=stored)
+
+        pending = list(fetch_vids)
+        for _ in range(4):
+            live: list[int] = []
+            for vid in pending:
+                hit, image = mvcc.versions.resolve(("v", vid), w)
+                if hit:
+                    trace.record_snapshot_read(rank)
+                    if image is None:
+                        miss(
+                            f"vertex {vid:#x} absent at snapshot "
+                            f"watermark {w}"
+                        )
+                    else:
+                        serve(vid, image)
+                else:
+                    live.append(vid)
+            if not live:
+                return error
+            try:
+                stored_list = self.db.storage.read_many(
+                    self.ctx, live, missing_ok=True, need=need
+                )
+            except GdiChecksumError:
+                pending = live  # torn read under a concurrent rewrite
+                continue
+            pending = []
+            for vid, stored in zip(live, stored_list):
+                if stored is None:
+                    if mvcc.versions.covered(("v", vid), w):
+                        # deleted by a commit > W between our chain pass
+                        # and the read; the fresh entry serves W
+                        pending.append(vid)
+                        continue
+                    # no chain entry and no live holder: never existed
+                    # at W, or was deleted at a commit <= W
+                    miss(f"vertex {vid:#x} no longer exists")
+                    continue
+                if stored.version > w:
+                    pending.append(vid)  # rewritten after W: re-resolve
+                    continue
+                if stored.holder.kind != 1:
+                    if mvcc.versions.covered(("v", vid), w):
+                        pending.append(vid)  # block reused; chain serves
+                    elif error is None:
+                        error = GdiObjectMismatch(f"{vid:#x} is not a vertex")
+                    continue
+                trace.record_snapshot_read(rank)
+                serve(vid, stored)
+            if not pending:
+                return error
+        raise GdiStateError(
+            f"snapshot read of {len(pending)} vid(s) did not stabilize "
+            f"after 4 attempts (watermark {w})"
+        )
+
+    @property
+    def snapshot_watermark(self) -> int | None:
+        """The frozen watermark of a snapshot transaction, else ``None``."""
+        return self._snap.watermark if self._snap is not None else None
+
+    def visible_vertices(self, live_vids, shard: int) -> "list[int]":
+        """Snapshot-aware vid enumeration for directory sweeps.
+
+        The live directory misses vertices deleted after the watermark
+        (the unpublish tombstones recover them) and includes vertices
+        created after it (those resolve to absent through the chain, so
+        callers must associate with ``missing_ok=True`` and drop the
+        ``None`` results).  Outside snapshot mode this is the identity.
+        """
+        vids = list(live_vids)
+        if not self.snapshot:
+            return vids
+        extra = self.db.mvcc.deleted_vids(shard, self._snap.watermark)
+        if extra:
+            seen = set(vids)
+            vids.extend(v for v in extra if v not in seen)
+        return vids
+
+    def _close_snapshot(self) -> None:
+        if self._snap is not None:
+            self._snap.close()
+            self._snap = None
 
     # -- part hydration (projected reads) ---------------------------------
     def _ensure_parts(self, txv: _TxVertex, need: int) -> None:
@@ -691,6 +908,12 @@ class Transaction:
             vid = self._created_app_ids[app_id]
         else:
             vid = self.db.dht.lookup(self.ctx, app_id)
+            if vid is None and self.snapshot:
+                # deleted after the watermark: the unpublish tombstone
+                # recovers the vid that carried the ID at the snapshot
+                vid = self.db.mvcc.lookup_unpublished(
+                    app_id, self._snap.watermark
+                )
             if vid is None:
                 raise GdiNotFound(f"no vertex with application ID {app_id}")
         if not volatile:
@@ -744,6 +967,15 @@ class Transaction:
             )
             for i, vid in zip(to_lookup, found):
                 vids[i] = vid
+        if self.snapshot:
+            # IDs the live DHT no longer maps were deleted after the
+            # watermark; the unpublish tombstones recover the vid that
+            # carried each one at the snapshot
+            for i in to_lookup:
+                if vids[i] is None:
+                    vids[i] = self.db.mvcc.lookup_unpublished(
+                        app_ids[i], self._snap.watermark
+                    )
         present = [i for i in range(len(app_ids)) if vids[i] is not None]
         loaded = self.load_vertices(
             [vids[i] for i in present],
@@ -756,6 +988,30 @@ class Transaction:
         for i, txv in zip(present, loaded):
             if txv is not None:
                 out[i] = VertexHandle(self, txv)
+        if self.snapshot:
+            # second chance: a live DHT hit can point at a vertex created
+            # after the watermark that reuses a deleted application ID;
+            # the tombstoned predecessor is the one visible at W
+            again = [
+                (i, self.db.mvcc.lookup_unpublished(
+                    app_ids[i], self._snap.watermark
+                ))
+                for i, txv in zip(present, loaded)
+                if txv is None
+            ]
+            again = [(i, alt) for i, alt in again
+                     if alt is not None and alt != vids[i]]
+            if again:
+                reloaded = self.load_vertices(
+                    [alt for _, alt in again],
+                    for_write=False,
+                    expected_app_ids=[app_ids[i] for i, _ in again],
+                    missing_ok=True,
+                    need=need,
+                )
+                for (i, _), txv in zip(again, reloaded):
+                    if txv is not None:
+                        out[i] = VertexHandle(self, txv)
         return out
 
     # -- vertex CRUD ------------------------------------------------------------------------
@@ -1139,12 +1395,61 @@ class Transaction:
             if txe.deleted:
                 raise GdiNotFound("edge deleted in this transaction")
             return txe
+        if self.snapshot:
+            return self._snapshot_load_edge(eptr)
         stored = self.db.storage.read(self.ctx, eptr)
         if stored.holder.kind != 2:
             raise GdiObjectMismatch(f"{eptr:#x} is not an edge holder")
         txe = _TxEdge(dptr=eptr, stored=stored)
+        if self.write and self.db.mvcc is not None:
+            txe.mvcc_preimage = _frozen_copy(stored)
         self._edges[eptr] = txe
         return txe
+
+    def _snapshot_load_edge(self, eptr: int) -> _TxEdge:
+        """Lock-free heavyweight-edge load at the snapshot watermark
+        (same visibility rule and retry shape as :meth:`_snapshot_load`)."""
+        mvcc = self.db.mvcc
+        w = self._snap.watermark
+        trace = self.ctx.rt.trace
+        for _ in range(4):
+            hit, image = mvcc.versions.resolve(("e", eptr), w)
+            if hit:
+                trace.record_snapshot_read(self.ctx.rank)
+                if image is None:
+                    raise GdiNotFound(
+                        f"edge holder {eptr:#x} absent at snapshot "
+                        f"watermark {w}"
+                    )
+                txe = _TxEdge(dptr=eptr, stored=image)
+                self._edges[eptr] = txe
+                return txe
+            try:
+                stored = self.db.storage.read_many(
+                    self.ctx, [eptr], missing_ok=True
+                )[0]
+            except GdiChecksumError:
+                continue  # torn read: the writer installed its pre-image
+            if stored is None:
+                if mvcc.versions.covered(("e", eptr), w):
+                    continue  # deleted after W mid-read; chain serves
+                raise GdiNotFound(
+                    f"edge holder {eptr:#x} absent at snapshot watermark {w}"
+                )
+            if stored.version > w:
+                continue  # rewritten after the watermark: re-resolve
+            if stored.holder.kind != 2:
+                if mvcc.versions.covered(("e", eptr), w):
+                    continue  # block reused; the chain serves W
+                raise GdiObjectMismatch(f"{eptr:#x} is not an edge holder")
+            trace.record_snapshot_read(self.ctx.rank)
+            txe = _TxEdge(dptr=eptr, stored=stored)
+            self._edges[eptr] = txe
+            return txe
+        raise GdiStateError(
+            f"snapshot read of edge holder {eptr:#x} did not stabilize "
+            f"after 4 attempts (watermark {w})"
+        )
 
     def _mark_edge_holder_deleted(self, eptr: int) -> None:
         txe = self._load_edge_holder(eptr)
@@ -1178,6 +1483,7 @@ class Transaction:
         except BaseException:
             self._abort_logged_commit()
             self._release_locks()
+            self._close_snapshot()
             self.open = False
             stats.aborted += 1
             if self.failed:
@@ -1185,6 +1491,7 @@ class Transaction:
                 stats.count_failure(self.fail_cause or "other")
             raise
         self._release_locks()
+        self._close_snapshot()
         self.open = False
         stats.committed += 1
         if self.collective:
@@ -1249,6 +1556,75 @@ class Transaction:
             self._logged_seq = seq
             if repl is not None:
                 repl.note_logged(ctx.rank, seq)
+        # MVCC: allocate the commit timestamp (right after the log
+        # append, while every write lock is still held, so timestamp
+        # order is the serialization order) and install the pre-image
+        # version chains BEFORE any live block is touched — a snapshot
+        # reader that observes a too-new header version is then
+        # guaranteed to find its state in the chain.  Failover redo
+        # replays (``_no_log``) re-install under a fresh timestamp.
+        mvcc = self.db.mvcc
+        ts = 0
+        if mvcc is not None:
+            mutated = (
+                bool(survivors)
+                or bool(deletes)
+                or any(
+                    txe.created or txe.dirty or txe.deleted
+                    for txe in self._edges.values()
+                )
+            )
+            if mutated:
+                ts = mvcc.begin_commit(ctx.rank)
+                self._commit_ts = ts
+                installed = 0
+                for txv in ordered:
+                    if txv.deleted and txv.created:
+                        continue
+                    if txv.deleted:
+                        if mvcc.versions.install(
+                            ("v", txv.vid), ts, txv.mvcc_preimage
+                        ):
+                            installed += 1
+                        mvcc.note_unpublished(
+                            txv.holder.app_id,
+                            txv.vid,
+                            unpack_dptr(txv.vid).rank,
+                            ts,
+                        )
+                    elif txv.created:
+                        # absent before this commit
+                        if mvcc.versions.install(("v", txv.vid), ts, None):
+                            installed += 1
+                        txv.stored.version = ts
+                    elif txv.dirty:
+                        if mvcc.versions.install(
+                            ("v", txv.vid), ts, txv.mvcc_preimage
+                        ):
+                            installed += 1
+                        txv.stored.version = ts
+                for txe in self._edges.values():
+                    if txe.created and txe.deleted:
+                        continue
+                    if txe.deleted:
+                        if mvcc.versions.install(
+                            ("e", txe.dptr), ts, txe.mvcc_preimage
+                        ):
+                            installed += 1
+                    elif txe.created:
+                        if mvcc.versions.install(("e", txe.dptr), ts, None):
+                            installed += 1
+                        txe.stored.version = ts
+                    elif txe.dirty:
+                        if mvcc.versions.install(
+                            ("e", txe.dptr), ts, txe.mvcc_preimage
+                        ):
+                            installed += 1
+                        txe.stored.version = ts
+                if installed:
+                    ctx.rt.trace.record_versions_installed(
+                        ctx.rank, installed
+                    )
         # Apply phase.  Heavy edge holders first so endpoint slots never
         # dangle; all dirty edge holders write back in one batched flush,
         # and all deleted ones clear their headers in another.
@@ -1311,6 +1687,10 @@ class Transaction:
         # Fully applied (and mirrored): the record is now permanent, a
         # later failure (e.g. during lock release) must not tombstone it.
         self._logged_seq = None
+        if mvcc is not None and ts:
+            mvcc.note_applied(ts)
+            self._commit_ts = None
+            mvcc.maybe_collect(ctx)
 
     def _abort_logged_commit(self) -> None:
         """Withdraw a commit that failed between log append and apply end.
@@ -1324,6 +1704,15 @@ class Transaction:
         if self._logged_seq is not None:
             self.db.commit_log.mark_aborted(self._logged_seq)
             self._logged_seq = None
+        if self._commit_ts is not None and self.db.mvcc is not None:
+            # Retire the timestamp so the watermark is never pinned by an
+            # aborted commit.  Its chain entries stay: they correctly
+            # record the pre-abort state, and snapshots below the ts read
+            # through them even when the apply was partial (the same
+            # roll-forward semantics the failover healer provides for
+            # the live blocks).
+            self.db.mvcc.note_applied(self._commit_ts)
+            self._commit_ts = None
         if self.db.replication is not None and self.write:
             self.db.replication.abort_commit(self.ctx)
 
@@ -1455,6 +1844,7 @@ class Transaction:
         self._abort_logged_commit()
         self._rollback_created()
         self._release_locks()
+        self._close_snapshot()
         self.open = False
         stats = self.db.stats[self.ctx.rank]
         stats.aborted += 1

@@ -1,0 +1,36 @@
+"""MVCC snapshot reads for true HTAP (ROADMAP: versioned blocks).
+
+The paper's headline is OLTP *and* OLAP on one store; this package
+removes the remaining contention between them.  Write commits install
+pre-image version chains as part of commit write-back, a monotonic
+commit-timestamp authority piggybacks on the commit log's append order,
+and read-only transactions opened with ``snapshot=True`` resolve every
+holder read against a frozen watermark instead of taking read locks —
+so a write-heavy storm never blocks (and is never blocked by) an
+analytics scan.  A watermark GC reclaims superseded versions once no
+live snapshot can see them, keeping memory bounded.
+
+Layout:
+
+* :mod:`repro.mvcc.versions` — :class:`VersionStore`, the thread-safe
+  pre-image chains keyed by storage object, with the visibility rule
+  and watermark pruning.
+* :mod:`repro.mvcc.snapshot` — :class:`SnapshotManager` (timestamp
+  authority, applied-watermark tracking, live-snapshot registry,
+  unpublish tombstones for deleted vertices, GC driver) and the
+  :class:`Snapshot` handle read-only transactions carry.
+
+The manager is a *control-path shared structure* like the commit log
+and the vertex directory: rank 0 constructs it with the database and
+every rank reaches it through the shared ``db.mvcc`` reference, so
+version chains survive rank crashes the same way the log does — block
+repair restores the live images (version headers are copied verbatim
+by the mirror), the chains were never lost.
+"""
+
+from __future__ import annotations
+
+from .snapshot import Snapshot, SnapshotManager
+from .versions import VersionStore
+
+__all__ = ["Snapshot", "SnapshotManager", "VersionStore"]

@@ -1,0 +1,256 @@
+"""Commit-timestamp authority, watermark tracking, snapshots, and GC.
+
+Timestamps piggyback on the commit log's append order: a committing
+transaction calls :meth:`SnapshotManager.begin_commit` immediately
+after its log append, while it still holds every write lock, so the
+timestamp order *is* the serialization order of conflicting commits.
+The **applied watermark** is the largest ``W`` such that every commit
+with ``ts <= W`` has finished write-back (commits apply out of order
+across ranks, so the watermark is the contiguous applied prefix).  A
+snapshot taken at watermark ``W`` therefore sees a state that really
+existed: all of commits ``1..W``, none after.
+
+Crashed commits: a rank that dies between ``begin_commit`` and
+``note_applied`` would pin the watermark forever.  Each pending
+timestamp remembers its issuing rank; failover's heal step calls
+:meth:`force_apply` for the dead ranks once their shards are repaired
+and the log replayed — the replay re-applies surviving effects under
+*fresh* timestamps, so the orphaned one is safe to retire.
+
+GC: the reclamation floor is the smallest live snapshot watermark (or
+the applied watermark when no snapshot is open).  :meth:`collect`
+prunes version chains and unpublish tombstones up to the floor; it runs
+automatically every ``gc_interval`` applied commits and from the
+checkpoint machinery (:func:`repro.gda.recovery.take_checkpoint`), so
+long-lived version history is bounded by snapshot lifetime, not run
+length.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+
+from .versions import VersionStore
+
+__all__ = ["Snapshot", "SnapshotManager"]
+
+
+class Snapshot:
+    """A read-only transaction's frozen watermark (refcounted handle)."""
+
+    __slots__ = ("watermark", "manager", "closed")
+
+    def __init__(self, watermark: int, manager: "SnapshotManager") -> None:
+        self.watermark = watermark
+        self.manager = manager
+        self.closed = False
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.manager.release(self.watermark)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"Snapshot(watermark={self.watermark}, {state})"
+
+
+class SnapshotManager:
+    """Timestamp authority + snapshot registry + watermark GC driver.
+
+    One instance per database, shared by every rank (control path, like
+    the commit log).  All methods are thread-safe.
+    """
+
+    def __init__(self, gc_interval: int = 32) -> None:
+        self._lock = threading.Lock()
+        self.gc_interval = max(1, int(gc_interval))
+        self._last_ts = 0
+        self._watermark = 0
+        #: issued-but-not-applied commit ts -> issuing rank
+        self._pending: dict[int, int] = {}
+        #: applied ts above the watermark, awaiting the contiguous prefix
+        self._applied_ahead: set[int] = set()
+        #: live snapshot watermark -> refcount
+        self._live: dict[int, int] = {}
+        self.versions = VersionStore()
+        #: unpublish tombstones for deleted vertices, so snapshots can
+        #: still *find* and *enumerate* them: app_id -> [(delete_ts, vid)]
+        #: sorted by ts, and shard -> [(delete_ts, vid)] for directory
+        #: sweeps.  Pruned with the same GC floor as the chains.
+        self._unpublished: dict[int, list[tuple[int, int]]] = {}
+        self._deleted_by_shard: dict[int, list[tuple[int, int]]] = {}
+        self._applied_since_gc = 0
+        #: lifetime GC statistics (benchmark reporting)
+        self.total_reclaimed = 0
+        self.gc_floor_high = 0
+
+    # -- timestamp authority ----------------------------------------------
+    def begin_commit(self, rank: int) -> int:
+        """Allocate the next commit timestamp (call right after the log
+        append, while the write locks are still held)."""
+        with self._lock:
+            self._last_ts += 1
+            ts = self._last_ts
+            self._pending[ts] = rank
+            return ts
+
+    def note_applied(self, ts: int) -> None:
+        """Mark commit ``ts`` fully written back; advance the watermark
+        over the contiguous applied prefix."""
+        with self._lock:
+            self._pending.pop(ts, None)
+            self._applied_ahead.add(ts)
+            while self._watermark + 1 in self._applied_ahead:
+                self._watermark += 1
+                self._applied_ahead.discard(self._watermark)
+            self._applied_since_gc += 1
+
+    def force_apply(self, ranks) -> int:
+        """Retire pending timestamps issued by (now dead) ``ranks`` so
+        the watermark can advance past their orphaned commits.  Returns
+        how many were retired."""
+        dead = set(ranks)
+        with self._lock:
+            orphans = [t for t, r in self._pending.items() if r in dead]
+        for ts in orphans:
+            self.note_applied(ts)
+        return len(orphans)
+
+    @property
+    def watermark(self) -> int:
+        with self._lock:
+            return self._watermark
+
+    @property
+    def last_issued(self) -> int:
+        with self._lock:
+            return self._last_ts
+
+    # -- snapshot registry -------------------------------------------------
+    def begin_snapshot(self) -> Snapshot:
+        with self._lock:
+            w = self._watermark
+            self._live[w] = self._live.get(w, 0) + 1
+        return Snapshot(w, self)
+
+    def share(self, snap: Snapshot) -> Snapshot:
+        """Join an existing snapshot (collective transactions: rank 0
+        begins, the broadcast handle is shared by every other rank).
+        Returns a per-rank handle at the same watermark."""
+        with self._lock:
+            self._live[snap.watermark] = self._live.get(snap.watermark, 0) + 1
+        return Snapshot(snap.watermark, self)
+
+    def release(self, watermark: int) -> None:
+        with self._lock:
+            n = self._live.get(watermark, 0) - 1
+            if n > 0:
+                self._live[watermark] = n
+            else:
+                self._live.pop(watermark, None)
+
+    def live_snapshots(self) -> int:
+        with self._lock:
+            return sum(self._live.values())
+
+    # -- unpublish tombstones ---------------------------------------------
+    def note_unpublished(
+        self, app_id: int, vid: int, shard: int, ts: int
+    ) -> None:
+        """Record that the vertex ``vid`` (application ID ``app_id``,
+        homed on ``shard``) was deleted by commit ``ts`` — snapshots at
+        watermarks below ``ts`` still see it."""
+        with self._lock:
+            insort(
+                self._unpublished.setdefault(app_id, []), (ts, vid)
+            )
+            insort(
+                self._deleted_by_shard.setdefault(shard, []), (ts, vid)
+            )
+
+    def lookup_unpublished(self, app_id: int, watermark: int) -> int | None:
+        """The vid that carried ``app_id`` at ``watermark`` if a later
+        commit deleted it (DHT lookup misses it now)."""
+        with self._lock:
+            for ts, vid in self._unpublished.get(app_id, ()):
+                if ts > watermark:
+                    return vid
+        return None
+
+    def deleted_vids(self, shard: int, watermark: int) -> list[int]:
+        """Vids homed on ``shard`` that existed at ``watermark`` but
+        have since been deleted (missing from the live directory)."""
+        with self._lock:
+            return [
+                vid
+                for ts, vid in self._deleted_by_shard.get(shard, ())
+                if ts > watermark
+            ]
+
+    def rekey(self, mapping: dict[int, int]) -> None:
+        """Follow a relocation: version chains and tombstones move with
+        their vertices (``old vid -> new vid``)."""
+        self.versions.rekey({("v", old): ("v", new) for old, new in mapping.items()})
+        with self._lock:
+            for entries in self._unpublished.values():
+                for i, (ts, vid) in enumerate(entries):
+                    if vid in mapping:
+                        entries[i] = (ts, mapping[vid])
+            for entries in self._deleted_by_shard.values():
+                for i, (ts, vid) in enumerate(entries):
+                    if vid in mapping:
+                        entries[i] = (ts, mapping[vid])
+
+    # -- GC ----------------------------------------------------------------
+    def gc_floor(self) -> int:
+        """Reclamation floor: nothing at or below it is reachable."""
+        with self._lock:
+            if self._live:
+                return min(self._live)
+            return self._watermark
+
+    def collect(self, ctx=None) -> int:
+        """Prune version chains and tombstones up to the floor.
+
+        With ``ctx`` the reclaimed-entry count and the floor gauge are
+        recorded in the rank's trace counters.  Returns the number of
+        entries reclaimed.
+        """
+        floor = self.gc_floor()
+        reclaimed = self.versions.prune(floor)
+        with self._lock:
+            for app_id in list(self._unpublished):
+                entries = self._unpublished[app_id]
+                kept = [(t, v) for t, v in entries if t > floor]
+                reclaimed += len(entries) - len(kept)
+                if kept:
+                    self._unpublished[app_id] = kept
+                else:
+                    del self._unpublished[app_id]
+            for shard in list(self._deleted_by_shard):
+                entries = self._deleted_by_shard[shard]
+                kept = [(t, v) for t, v in entries if t > floor]
+                if kept:
+                    self._deleted_by_shard[shard] = kept
+                else:
+                    del self._deleted_by_shard[shard]
+            self.total_reclaimed += reclaimed
+            if floor > self.gc_floor_high:
+                self.gc_floor_high = floor
+        if ctx is not None:
+            if reclaimed:
+                ctx.rt.trace.record_versions_reclaimed(ctx.rank, reclaimed)
+            ctx.rt.trace.record_gc_watermark(ctx.rank, floor)
+        return reclaimed
+
+    def maybe_collect(self, ctx=None) -> int:
+        """Opportunistic GC: runs :meth:`collect` once every
+        ``gc_interval`` applied commits (called from commit write-back,
+        so a write-heavy storm reclaims as it goes)."""
+        with self._lock:
+            if self._applied_since_gc < self.gc_interval:
+                return 0
+            self._applied_since_gc = 0
+        return self.collect(ctx)

@@ -185,7 +185,12 @@ class QueryEngine:
         profile = query.mode == "profile"
         own_tx = tx is None
         if own_tx:
-            tx = self.db.start_transaction(ctx, write=query.writes)
+            # read-only plans ride an MVCC snapshot when the database has
+            # one (GdaConfig.mvcc): lock-free scans at a frozen watermark
+            # instead of read-locking every touched vertex
+            tx = self.db.start_transaction(
+                ctx, write=query.writes, snapshot=not query.writes
+            )
         try:
             ex = ExecState(self.db, ctx, tx, params)
             rows, stats, prof = execute_plan(plan, ex, profile=profile)

@@ -216,9 +216,12 @@ class LogicalPlan:
             desc = _describe(op)
             if profile is not None and i in profile:
                 p = profile[i]
+                snap = p.get("snapshot_reads", 0)
                 desc += (
                     f"  [rows={p['rows']} msgs={p['msgs']}"
-                    f" rma_bytes={p['rma_bytes']}]"
+                    f" rma_bytes={p['rma_bytes']}"
+                    + (f" snapshot_reads={snap}" if snap else "")
+                    + "]"
                 )
             lines.append("  " + desc)
         return "\n".join(lines)

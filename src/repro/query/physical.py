@@ -469,6 +469,7 @@ def execute_plan(
                 "rma_bytes": delta["bytes_put"]
                 + delta["bytes_got"]
                 + delta["bytes_batched"],
+                "snapshot_reads": delta["snapshot_reads"],
             }
         i += consumed
     if not projected:

@@ -244,17 +244,27 @@ class CollectiveEngine:
             slots[rank] = value
             self._arrived += 1
             if not self._try_publish(gen):
-                while gen not in self._ready:
-                    self._check_poison()
-                    if gen in self._aborted:
-                        self._raise_dead(
-                            "collective aborted: a participant crashed "
-                            "mid-collective"
-                        )
-                    self._scan_for_dead(gen)
-                    if gen in self._ready or gen in self._aborted:
-                        continue
-                    self._cond.wait(timeout=0.05)
+                # parked until the last participant arrives: tell the
+                # interleaving scheduler this rank cannot issue ops, so
+                # op-grant rounds must not stall waiting for it
+                sched = getattr(self._rt, "scheduler", None)
+                if sched is not None:
+                    sched.block(rank)
+                try:
+                    while gen not in self._ready:
+                        self._check_poison()
+                        if gen in self._aborted:
+                            self._raise_dead(
+                                "collective aborted: a participant crashed "
+                                "mid-collective"
+                            )
+                        self._scan_for_dead(gen)
+                        if gen in self._ready or gen in self._aborted:
+                            continue
+                        self._cond.wait(timeout=0.05)
+                finally:
+                    if sched is not None:
+                        sched.unblock(rank)
                 if gen in self._aborted:
                     self._raise_dead(
                         "collective aborted: a participant crashed "

@@ -57,18 +57,51 @@ class InterleavingScheduler:
     """Serializes one-sided operations in a seeded pseudo-random order.
 
     Each rank calls :meth:`step` (via the runtime hook) before every
-    one-sided operation and blocks until picked.  Among the currently
-    waiting ranks, the pick is a deterministic hash of ``(seed, round)``,
-    so different seeds explore different interleavings while a fixed seed
-    keeps the grant order stable for a given arrival pattern.
+    one-sided operation and blocks until picked.  A grant round closes
+    only once every *runnable* registered rank is waiting — ranks parked
+    in a collective (or dead, or done with their SPMD body) are marked
+    blocked and excluded — and the pick among them is a deterministic
+    hash of ``(seed, round)``.  Gating rounds on the full runnable set
+    is what makes the interleaving a pure function of the seed: picking
+    among whichever ranks happened to have arrived would let the OS
+    scheduler (a late-woken thread misses a round) leak real-time
+    nondeterminism into the serialization order.
     """
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._cond = threading.Condition()
         self._waiting: set[int] = set()
+        self._active: set[int] = set()
+        self._blocked: set[int] = set()
         self._round = 0
         self._stopped = False
+
+    def register(self, rank: int) -> None:
+        """Declare ``rank``'s thread live: rounds now wait for it."""
+        with self._cond:
+            self._active.add(rank)
+            self._cond.notify_all()
+
+    def deregister(self, rank: int) -> None:
+        """Declare ``rank`` finished (or dead): stop waiting for it."""
+        with self._cond:
+            self._active.discard(rank)
+            self._blocked.discard(rank)
+            self._waiting.discard(rank)
+            self._cond.notify_all()
+
+    def block(self, rank: int) -> None:
+        """Mark ``rank`` parked in a real wait (collective rendezvous):
+        it cannot issue ops, so rounds must not stall on it."""
+        with self._cond:
+            self._blocked.add(rank)
+            self._cond.notify_all()
+
+    def unblock(self, rank: int) -> None:
+        with self._cond:
+            self._blocked.discard(rank)
+            self._cond.notify_all()
 
     def step(self, rank: int) -> None:
         with self._cond:
@@ -80,14 +113,20 @@ class InterleavingScheduler:
                 if self._stopped:
                     self._waiting.discard(rank)
                     return
-                pick = min(
-                    self._waiting, key=lambda r: _mix(self.seed, self._round, r)
-                )
-                if pick == rank:
-                    self._waiting.discard(rank)
-                    self._round += 1
-                    self._cond.notify_all()
-                    return
+                # unregistered callers (no executor) fall back to picking
+                # among present waiters; under an executor every runnable
+                # rank must have arrived before the round closes
+                runnable = (self._active - self._blocked) or self._waiting
+                if self._waiting >= runnable:
+                    pick = min(
+                        self._waiting,
+                        key=lambda r: _mix(self.seed, self._round, r),
+                    )
+                    if pick == rank:
+                        self._waiting.discard(rank)
+                        self._round += 1
+                        self._cond.notify_all()
+                        return
                 self._cond.wait(timeout=0.05)
 
     def stop(self) -> None:
@@ -149,11 +188,21 @@ class ThreadExecutor:
                 runtime.collectives.poison(exc)
                 if runtime.scheduler is not None:
                     runtime.scheduler.stop()
+            finally:
+                if runtime.scheduler is not None:
+                    runtime.scheduler.deregister(rank)
 
         threads = [
             threading.Thread(target=body, args=(r,), daemon=self.daemon)
             for r in range(nranks)
         ]
+        # every rank joins the runnable set before any thread starts:
+        # registration racing the first grant rounds would let thread
+        # start order (an OS artifact) decide which ranks those rounds
+        # wait for, leaking real time into the serialization order
+        if runtime.scheduler is not None:
+            for r in range(nranks):
+                runtime.scheduler.register(r)
         for t in threads:
             t.start()
         for t in threads:

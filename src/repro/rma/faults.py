@@ -136,7 +136,9 @@ class FaultPlan:
         seed = same storm.
     transient_rate:
         Per-attempt probability that a one-sided operation fails
-        transiently (0 disables).
+        transiently (0 disables).  Draws are keyed on the issuing rank's
+        own op index so the schedule replays identically regardless of
+        cross-rank thread interleaving.
     op_retry_limit:
         Substrate-level retry budget per operation before the failure
         escalates to :class:`RmaTransientError`.
@@ -186,6 +188,7 @@ class FaultInjector:
         self.plan = plan
         self.dead: set[int] = set()
         self._n_ops = 0
+        self._origin_ops: dict[int, int] = {}
         self._corrupt_done = False
         self._lock = threading.Lock()
 
@@ -255,13 +258,23 @@ class FaultInjector:
             rt.trace.record_straggler(origin, extra)
         if p.transient_rate <= 0.0:
             return
+        # transient draws are keyed on the *issuer's own* op index, not the
+        # global counter: the global numbering depends on how the OS
+        # interleaves rank threads (even under the interleaving scheduler
+        # the grant order follows the arrival pattern), which would make
+        # the fault schedule — and thus terminal outcomes — irreproducible
+        # across same-seed replays.  Crash/corruption stay on the global
+        # counter: they model cluster-time events, not per-link noise.
+        with self._lock:
+            k = self._origin_ops.get(origin, 0) + 1
+            self._origin_ops[origin] = k
         for attempt in range(p.op_retry_limit):
-            if _uniform(p.seed, n, (origin << 16) ^ attempt) >= p.transient_rate:
+            if _uniform(p.seed, k, (origin << 16) ^ attempt) >= p.transient_rate:
                 return  # this attempt goes through
             rt.trace.record_fault(origin)
             if attempt + 1 >= p.op_retry_limit:
                 raise RmaTransientError(
-                    f"operation {n} from rank {origin} failed "
+                    f"op {k} from rank {origin} failed "
                     f"{p.op_retry_limit} attempts"
                 )
             delay = backoff_delay(
@@ -269,7 +282,7 @@ class FaultInjector:
                 attempt,
                 cap=p.op_backoff_cap,
                 seed=p.seed,
-                token=(n << 8) ^ origin,
+                token=(k << 8) ^ origin,
             )
             # the wasted attempt costs the op itself plus the backoff
             rt._charge(origin, opcost + delay)

@@ -91,6 +91,17 @@ class RankCounters:
     #: per-shard conflict accounting the hot-shard detector consumes.
     congestion_time: float = 0.0
     lock_conflicts: int = 0
+    #: MVCC accounting (:mod:`repro.mvcc`): ``snapshot_reads`` counts
+    #: holder reads served to snapshot transactions without touching lock
+    #: words, ``versions_installed`` the pre-image chain entries written
+    #: at commit write-back, ``versions_reclaimed`` the superseded
+    #: entries freed by the watermark GC, and ``gc_watermark`` the
+    #: highest reclamation floor the GC has advanced to (a max gauge,
+    #: not a sum).
+    snapshot_reads: int = 0
+    versions_installed: int = 0
+    versions_reclaimed: int = 0
+    gc_watermark: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -134,6 +145,10 @@ class RankCounters:
             "queue_depth_peak": self.queue_depth_peak,
             "congestion_time": self.congestion_time,
             "lock_conflicts": self.lock_conflicts,
+            "snapshot_reads": self.snapshot_reads,
+            "versions_installed": self.versions_installed,
+            "versions_reclaimed": self.versions_reclaimed,
+            "gc_watermark": self.gc_watermark,
         }
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -312,6 +327,25 @@ class TraceRecorder:
         """Account one failed lock attempt by ``origin`` on ``shard``."""
         self.counters[origin].lock_conflicts += 1
         self.shard_conflicts[shard] += 1
+
+    # -- MVCC accounting ----------------------------------------------------
+    def record_snapshot_read(self, origin: int, n: int = 1) -> None:
+        """Account ``n`` holder reads served through a snapshot watermark."""
+        self.counters[origin].snapshot_reads += n
+
+    def record_versions_installed(self, origin: int, n: int = 1) -> None:
+        """Account ``n`` pre-image versions installed at commit write-back."""
+        self.counters[origin].versions_installed += n
+
+    def record_versions_reclaimed(self, origin: int, n: int = 1) -> None:
+        """Account ``n`` superseded versions freed by the watermark GC."""
+        self.counters[origin].versions_reclaimed += n
+
+    def record_gc_watermark(self, origin: int, watermark: int) -> None:
+        """Track the highest GC reclamation floor reached (max gauge)."""
+        c = self.counters[origin]
+        if watermark > c.gc_watermark:
+            c.gc_watermark = watermark
 
     def shard_snapshot(self) -> dict[str, list[int]]:
         """Copy of the per-target-shard access counters (detector input)."""

@@ -128,17 +128,24 @@ class BoundedQueue:
             self._items.insert(pos, (seq, item))
             self._cond.notify()
 
-    def get(self, poll_interval: float = 0.05) -> Any | None:
+    def get(self, poll_interval: float = 0.05, on_pop=None) -> Any | None:
         """Dequeue the next item; ``None`` once closed and drained.
 
         The caller holds the item's lease until :meth:`task_done` (or
         :meth:`requeue_front`, if it cannot finish the work).
+
+        ``on_pop`` runs on the dequeued item *under the queue lock*, so
+        consumers can bind per-item state atomically with FIFO order —
+        without it, a consumer preempted between dequeue and binding
+        would let later items bind first, inverting the order.
         """
         with self._cond:
             while True:
                 if self._items:
                     seq, item = self._items.popleft()
                     self._leases[id(item)] = seq
+                    if on_pop is not None:
+                        on_pop(item)
                     return item
                 if self._closed:
                     return None

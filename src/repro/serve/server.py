@@ -21,13 +21,19 @@
   crosses the threshold the breaker opens and analytics-class queries
   are shed at admission while OLTP stays live.
 
-Time model: request latency is accounted in *simulated* seconds.  Each
-worker keeps a virtual clock ``vt``; serving a request advances it by
-the simulated execution time (measured on the rank's RMA clock), so
-``service start = max(vt, arrival)``, ``admission wait = start -
-arrival`` and ``completion = start + service`` compose into the same
-queueing behavior a real deployment would see, while OS threads provide
-genuine concurrency on the underlying lock-free structures.
+Time model: request latency is accounted in *simulated* seconds.  The
+workers' virtual clocks form a pool of interchangeable virtual servers:
+a dequeuing worker checks out the *earliest* availability in the pool,
+serves the request (advancing the slot by the simulated execution time
+measured on the rank's RMA clock), and returns the slot, so ``service
+start = max(slot, arrival)``, ``admission wait = start - arrival`` and
+``completion = start + service`` compose into the same M/G/c queueing
+behavior a real deployment would see.  Checking out the pool minimum —
+rather than a per-thread clock — matters because OS threads race to pop
+the queue in real time: a thread returning from a long analytics scan
+would otherwise bill its inflated clock to the next request while other
+workers sat virtually idle.  OS threads still provide genuine
+concurrency on the underlying lock-free structures.
 
 Worker crashes: a worker that dies mid-request (:class:`RmaRankDead`)
 hands its in-flight request back to the head of the queue before
@@ -37,6 +43,7 @@ ever hangs on a dead rank.
 
 from __future__ import annotations
 
+import heapq
 import threading
 from dataclasses import dataclass, field, replace
 from typing import Mapping
@@ -124,8 +131,16 @@ class GraphServer:
                 cooldown=self.config.breaker_cooldown,
                 recovery_probes=self.config.breaker_recovery_probes,
             )
-        #: worker rank -> virtual serving clock (simulated seconds)
+        #: worker rank -> virtual serving clock (simulated seconds);
+        #: diagnostic view of the server pool below
         self._vt: dict[int, float] = {}
+        #: free virtual-server availability times (min-heap); each
+        #: worker rank contributes one slot on its first dequeue and
+        #: holds at most one checked-out slot at a time
+        self._free: list[float] = []
+        self._pool_ranks: set[int] = set()
+        #: id(request) -> slot checked out for it at dequeue
+        self._assigned: dict[int, float] = {}
         self._lock = threading.Lock()
         #: terminal status -> count, across admission + execution
         self.outcomes: dict[str, int] = {}
@@ -141,6 +156,40 @@ class GraphServer:
         """Latest worker virtual clock (phase chaining / diagnostics)."""
         with self._lock:
             return max(self._vt.values(), default=0.0)
+
+    def _register_worker(self, rank: int) -> None:
+        """Contribute one virtual-server slot when a worker enters its
+        serve loop.  Registration is by *entry*, not by first dequeue:
+        the pool must represent provisioned capacity even when the OS
+        scheduler lets a few greedy threads win most of the real races
+        to pop the queue — the others' slots still serve, virtually."""
+        with self._lock:
+            if rank not in self._pool_ranks:
+                self._pool_ranks.add(rank)
+                heapq.heappush(self._free, 0.0)
+
+    def _checkout_slot(self, rank: int, req: Request) -> None:
+        """FIFO dispatch to the earliest-available virtual server (see
+        the module time-model note).  A popping worker always holds at
+        most one slot between checkout and return, so with every worker
+        registered the pool can never run dry.
+
+        Runs as the queue's ``on_pop`` hook — under the queue lock — so
+        slots are assigned in strict FIFO dequeue order: a worker
+        preempted between dequeue and checkout cannot let later
+        requests adopt an earlier availability than this one."""
+        with self._lock:
+            self._assigned[id(req)] = (
+                heapq.heappop(self._free) if self._free else 0.0
+            )
+
+    def _return_slot(self, rank: int, vt: float) -> None:
+        """Return a slot to the pool.  Not called on the worker-crash
+        path: a dead worker's slot dies with it, shrinking the virtual
+        pool in step with the real one."""
+        with self._lock:
+            heapq.heappush(self._free, vt)
+            self._vt[rank] = vt
 
     def stats(self) -> dict:
         """Aggregate serving statistics (terminal counts + gauges)."""
@@ -223,8 +272,11 @@ class GraphServer:
         server is closed and the queue drained.  Returns the number of
         requests this worker brought to a terminal state."""
         served = 0
+        self._register_worker(ctx.rank)
         while True:
-            req = self.queue.get()
+            req = self.queue.get(
+                on_pop=lambda r: self._checkout_slot(ctx.rank, r)
+            )
             if req is None:
                 return served
             # the lease survives _execute's crash path: RmaRankDead
@@ -236,13 +288,15 @@ class GraphServer:
 
     def _execute(self, ctx, req: Request) -> None:
         trace = ctx.rt.trace
-        vt = self._vt.get(ctx.rank, 0.0)
+        with self._lock:
+            vt = self._assigned.pop(id(req), 0.0)
         start = max(vt, req.arrival)
         wait = start - req.arrival
         if self.breaker is not None and self.breaker.observe_wait(start, wait):
             trace.record_breaker_trip(ctx.rank)
         if req.deadline is not None and start >= req.deadline:
             # doomed before it ran: shed the work, don't burn a worker
+            self._return_slot(ctx.rank, vt)
             trace.record_deadline_miss(ctx.rank)
             self._finish(
                 req,
@@ -266,6 +320,11 @@ class GraphServer:
                 self.db,
                 lambda tx: self.engine.run(ctx, req.text, req.params, tx=tx),
                 write=plan.query.writes,
+                # read-only requests (the analytics class above all) run
+                # lock-free on an MVCC snapshot when the database has one:
+                # an OLAP scan then neither blocks nor aborts against the
+                # concurrent OLTP write traffic
+                snapshot=not plan.query.writes,
                 policy=policy,
             )
         except RmaRankDead:
@@ -275,7 +334,7 @@ class GraphServer:
             raise
         except RetryDeadlineExceeded as exc:
             completion = start + (ctx.clock - c0)
-            self._vt[ctx.rank] = completion
+            self._return_slot(ctx.rank, completion)
             trace.record_deadline_miss(ctx.rank)
             self._finish(
                 req,
@@ -290,7 +349,7 @@ class GraphServer:
             return
         except (GdiTransactionCritical, RmaTransientError) as exc:
             completion = start + (ctx.clock - c0)
-            self._vt[ctx.rank] = completion
+            self._return_slot(ctx.rank, completion)
             self._finish(
                 req,
                 FAILED,
@@ -304,7 +363,7 @@ class GraphServer:
             return
         except QueryError as exc:
             completion = start + (ctx.clock - c0)
-            self._vt[ctx.rank] = completion
+            self._return_slot(ctx.rank, completion)
             self._finish(
                 req,
                 ERROR,
@@ -317,7 +376,7 @@ class GraphServer:
             return
         service = ctx.clock - c0
         completion = start + service
-        self._vt[ctx.rank] = completion
+        self._return_slot(ctx.rank, completion)
         self._finish(
             req,
             OK,

@@ -71,14 +71,23 @@ def load_local_adjacency(
     OLTP mutations added or removed vertices.
     """
     db = graph.db
-    tx = db.start_collective_transaction(ctx)
-    local_vids = db.directory.local_vertices(ctx)
+    # With MVCC enabled the whole load runs on one frozen watermark:
+    # every rank reads the same committed prefix, so a concurrent OLTP
+    # storm can neither tear the adjacency nor abort the collective.
+    tx = db.start_collective_transaction(
+        ctx, snapshot=db.mvcc is not None
+    )
+    local_vids = tx.visible_vertices(
+        db.directory.local_vertices(ctx), ctx.rank
+    )
     # One batched read pipelines every local holder fetch (coalesced
     # per home rank) instead of one round trip per vertex.
-    handles = tx.associate_vertices(local_vids)
-    local_map: dict[int, int] = {
-        vid: h.app_id for vid, h in zip(local_vids, handles)
-    }
+    handles = tx.associate_vertices(local_vids, missing_ok=True)
+    pairs = [
+        (vid, h) for vid, h in zip(local_vids, handles) if h is not None
+    ]
+    handles = [h for _, h in pairs]
+    local_map: dict[int, int] = {vid: h.app_id for vid, h in pairs}
     app_of: dict[int, int] = {}
     owner: dict[int, int] = {}
     for rank, part in enumerate(ctx.allgather(local_map)):
@@ -381,10 +390,18 @@ def load_local_weighted_adjacency(
     Returns ``(adjacency, weights)`` with parallel neighbor/weight lists.
     """
     db = graph.db
-    tx = db.start_collective_transaction(ctx)
-    local_vids = db.directory.local_vertices(ctx)
-    handles = tx.associate_vertices(local_vids)
-    local_map = {vid: h.app_id for vid, h in zip(local_vids, handles)}
+    tx = db.start_collective_transaction(
+        ctx, snapshot=db.mvcc is not None
+    )
+    local_vids = tx.visible_vertices(
+        db.directory.local_vertices(ctx), ctx.rank
+    )
+    handles = tx.associate_vertices(local_vids, missing_ok=True)
+    pairs = [
+        (vid, h) for vid, h in zip(local_vids, handles) if h is not None
+    ]
+    handles = [h for _, h in pairs]
+    local_map = {vid: h.app_id for vid, h in pairs}
     app_of: dict[int, int] = {}
     owner: dict[int, int] = {}
     for rank, part in enumerate(ctx.allgather(local_map)):

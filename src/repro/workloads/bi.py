@@ -110,18 +110,26 @@ def filtered_two_hop_count(
             total = engine.run(ctx, text, params=params).scalar()
         ctx.barrier()
         return total if ctx.rank == 0 else 0
-    tx = db.start_collective_transaction(ctx)
+    # BI traversals run on one frozen watermark when MVCC is enabled:
+    # lock-free, abort-free, and consistent under concurrent OLTP
+    tx = db.start_collective_transaction(
+        ctx, snapshot=db.mvcc is not None
+    )
     if index is not None:
         candidates = index.local_vertices(ctx)
     else:
-        candidates = db.directory.local_vertices(ctx)
+        candidates = tx.visible_vertices(
+            db.directory.local_vertices(ctx), ctx.rank
+        )
     edge_constraint = (
         Constraint.has_label(edge_label.int_id) if edge_label else None
     )
     local_count = 0
     sources: list[tuple[object, list[int]]] = []
     frontier: list[int] = []
-    for v in tx.associate_vertices(candidates):
+    for v in tx.associate_vertices(candidates, missing_ok=True):
+        if v is None:
+            continue
         if index is None and not v.has_label(src_label):
             continue
         if src_ptype is not None:
@@ -132,12 +140,17 @@ def filtered_two_hop_count(
         sources.append((v, nvids))
         frontier.extend(nvids)
     # Batched second hop: every surviving source's neighborhood is
-    # pipelined in one read; the check loop below hits the cache.
-    tx.associate_vertices(frontier)
+    # pipelined in one read; the check loop below hits the cache.  A
+    # neighbor can be absent at the snapshot's watermark (created after
+    # it, or adjacency observed ahead of the frozen vertex state) — those
+    # simply don't match.
+    hop2 = dict(zip(frontier, tx.associate_vertices(frontier, missing_ok=True)))
     for v, nvids in sources:
         matched = False
         for nvid in nvids:
-            n = tx.associate_vertex(nvid)
+            n = hop2.get(nvid)
+            if n is None:
+                continue
             if dst_label is not None and not n.has_label(dst_label):
                 continue
             if dst_ptype is not None:
@@ -253,9 +266,12 @@ def group_count_by_label(
                     counts[label.name] = n
         return ctx.bcast(counts, root=0)
     replica = db.replica(ctx)
-    tx = db.start_collective_transaction(ctx)
+    tx = db.start_collective_transaction(ctx, snapshot=db.mvcc is not None)
+    local_vids = tx.visible_vertices(db.directory.local_vertices(ctx), ctx.rank)
     partial: dict[str, tuple[int]] = {}
-    for v in tx.associate_vertices(db.directory.local_vertices(ctx)):
+    for v in tx.associate_vertices(local_vids, missing_ok=True):
+        if v is None:
+            continue
         for label in v.labels():
             key = label.name
             partial[key] = (partial.get(key, (0,))[0] + 1,)
@@ -311,9 +327,12 @@ def aggregate_property_by_label(
                         "mean": s / c,
                     }
         return ctx.bcast(stats, root=0)
-    tx = db.start_collective_transaction(ctx)
+    tx = db.start_collective_transaction(ctx, snapshot=db.mvcc is not None)
+    local_vids = tx.visible_vertices(db.directory.local_vertices(ctx), ctx.rank)
     partial: dict[str, tuple] = {}
-    for v in tx.associate_vertices(db.directory.local_vertices(ctx)):
+    for v in tx.associate_vertices(local_vids, missing_ok=True):
+        if v is None:
+            continue
         value = v.property(ptype)
         if value is None:
             continue

@@ -1,0 +1,230 @@
+"""Integration tests: snapshot transactions against a live database.
+
+Covers the visibility rule end to end — frozen vertex/edge state, deleted
+objects still reachable through unpublish tombstones, created-after
+objects invisible, collective snapshots sharing one watermark, watermark
+GC reclaiming superseded versions, and lock freedom (a snapshot read
+never blocks on or aborts against a concurrent writer's lock).
+"""
+
+from repro.gda import GdaConfig, GdaDatabase
+from repro.gdi import Datatype, EdgeOrientation
+from repro.rma import run_spmd
+
+CFG = GdaConfig(blocks_per_rank=2048, mvcc=True)
+
+
+def _schema(ctx, db):
+    if ctx.rank == 0:
+        db.create_label(ctx, "red")
+        db.create_label(ctx, "blue")
+        db.create_label(ctx, "owns")
+        db.create_property_type(ctx, "x", dtype=Datatype.INT64)
+    ctx.barrier()
+    db.replica(ctx).sync()
+    return (
+        db.label(ctx, "red"),
+        db.label(ctx, "blue"),
+        db.label(ctx, "owns"),
+        db.property_type(ctx, "x"),
+    )
+
+
+def test_snapshot_sees_frozen_state_across_later_commits():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        red, blue, owns, x = _schema(ctx, db)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            for app in range(8):
+                v = tx.create_vertex(app, properties=[(x, app)])
+                v.add_label(red)
+            tx.commit()
+
+            snap = db.start_transaction(ctx, snapshot=True)
+            w = snap.snapshot_watermark
+            assert w is not None and w >= 1
+
+            # later commits: delete 0, relabel 1, update 2, create 100
+            tx = db.start_transaction(ctx, write=True)
+            tx.delete_vertex(tx.find_vertex(0))
+            v1 = tx.find_vertex(1)
+            v1.remove_label(red)
+            v1.add_label(blue)
+            tx.find_vertex(2).set_property(x, 999)
+            tx.create_vertex(100)
+            tx.commit()
+
+            # the open snapshot still reads the pre-commit state:
+            v0 = snap.find_vertex(0)  # deleted later; tombstone recovers it
+            assert v0 is not None and v0.property(x) == 0
+            v1 = snap.find_vertex(1)
+            assert {l.name for l in v1.labels()} == {"red"}
+            assert snap.find_vertex(2).property(x) == 2
+            assert snap.find_vertex(100) is None  # created after W
+            snap.commit()
+
+            # a fresh snapshot sees the post-commit state
+            snap2 = db.start_transaction(ctx, snapshot=True)
+            assert snap2.snapshot_watermark > w
+            assert snap2.find_vertex(0) is None
+            assert {l.name for l in snap2.find_vertex(1).labels()} == {"blue"}
+            assert snap2.find_vertex(2).property(x) == 999
+            assert snap2.find_vertex(100) is not None
+            snap2.commit()
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
+
+
+def test_snapshot_freezes_heavyweight_edge_properties():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        red, blue, owns, x = _schema(ctx, db)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            a = tx.create_vertex(1)
+            b = tx.create_vertex(2)
+            # properties force the heavyweight representation
+            tx.create_edge(a, b, label=owns, properties=[(x, 7)])
+            tx.commit()
+
+            snap = db.start_transaction(ctx, snapshot=True)
+
+            tx = db.start_transaction(ctx, write=True)
+            (e,) = tx.find_vertex(1).edges(EdgeOrientation.OUTGOING)
+            assert e.heavy
+            e.set_property(x, 8)
+            tx.commit()
+
+            (es,) = snap.find_vertex(1).edges(EdgeOrientation.OUTGOING)
+            assert es.property(x) == 7  # frozen pre-image
+            snap.commit()
+            tx = db.start_transaction(ctx)
+            (e,) = tx.find_vertex(1).edges(EdgeOrientation.OUTGOING)
+            assert e.property(x) == 8
+            tx.commit()
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
+
+
+def test_snapshot_read_never_blocks_on_writer_locks():
+    """A write transaction holds the vertex's write lock; a snapshot read
+    of the same vertex succeeds immediately (no lock word touched)."""
+
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        red, blue, owns, x = _schema(ctx, db)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            tx.create_vertex(1, properties=[(x, 1)])
+            tx.commit()
+
+            writer = db.start_transaction(ctx, write=True)
+            wv = writer.find_vertex(1)  # takes the write lock
+            wv.set_property(x, 2)
+
+            snap = db.start_transaction(ctx, snapshot=True)
+            sv = snap.find_vertex(1)
+            assert sv.property(x) == 1  # locked vertex read lock-free
+            snap.commit()
+            writer.commit()
+
+            # the uncommitted value was never visible; now it is
+            snap2 = db.start_transaction(ctx, snapshot=True)
+            assert snap2.find_vertex(1).property(x) == 2
+            snap2.commit()
+            assert ctx.rt.trace.counters[0].snapshot_reads > 0
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
+
+
+def test_collective_snapshot_shares_one_watermark():
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        red, blue, owns, x = _schema(ctx, db)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            for app in range(12):
+                tx.create_vertex(app, properties=[(x, app)])
+            tx.commit()
+        ctx.barrier()
+        stx = db.start_collective_transaction(ctx, snapshot=True)
+        w = stx.snapshot_watermark
+        ws = ctx.allgather(w)
+        assert all(v == w for v in ws)  # one broadcast watermark
+        vids = stx.visible_vertices(db.directory.local_vertices(ctx), ctx.rank)
+        handles = stx.associate_vertices(vids, missing_ok=True)
+        total = ctx.allreduce(sum(1 for h in handles if h is not None))
+        assert total == 12
+        stx.commit()
+        assert db.mvcc.live_snapshots() == 0  # every rank released its share
+        ctx.barrier()
+        return True
+
+    run_spmd(3, prog)
+
+
+def test_watermark_gc_reclaims_superseded_versions():
+    def prog(ctx):
+        # a tiny GC interval so the opportunistic pass runs mid-test
+        db = GdaDatabase.create(
+            ctx, GdaConfig(blocks_per_rank=2048, mvcc=True, mvcc_gc_interval=4)
+        )
+        red, blue, owns, x = _schema(ctx, db)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            tx.create_vertex(1, properties=[(x, 0)])
+            tx.commit()
+            # many superseding commits with no snapshot open: the
+            # opportunistic GC keeps the chain bounded as it goes
+            for i in range(20):
+                tx = db.start_transaction(ctx, write=True)
+                tx.find_vertex(1).set_property(x, i)
+                tx.commit()
+            assert db.mvcc.versions.chain_len(("v", 1)) < 20
+            assert db.mvcc.total_reclaimed > 0
+            # a final explicit pass empties the store entirely
+            db.mvcc.collect(ctx)
+            assert db.mvcc.versions.total_entries() == 0
+            c = ctx.rt.trace.counters[0]
+            assert c.versions_installed >= 20
+            assert c.versions_reclaimed > 0
+            assert c.gc_watermark == db.mvcc.watermark
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
+
+
+def test_abort_retires_timestamp_and_keeps_watermark_moving():
+    """An aborted logged commit must not pin the watermark (its chain
+    entries stay: they record the correct pre-abort state)."""
+
+    def prog(ctx):
+        db = GdaDatabase.create(ctx, CFG)
+        red, blue, owns, x = _schema(ctx, db)
+        if ctx.rank == 0:
+            tx = db.start_transaction(ctx, write=True)
+            tx.create_vertex(1, properties=[(x, 1)])
+            tx.commit()
+            w0 = db.mvcc.watermark
+            tx = db.start_transaction(ctx, write=True)
+            tx.find_vertex(1).set_property(x, 2)
+            tx.abort()
+            tx = db.start_transaction(ctx, write=True)
+            tx.find_vertex(1).set_property(x, 3)
+            tx.commit()
+            assert db.mvcc.watermark > w0  # no orphaned pending ts
+            snap = db.start_transaction(ctx, snapshot=True)
+            assert snap.find_vertex(1).property(x) == 3
+            snap.commit()
+        ctx.barrier()
+        return True
+
+    run_spmd(2, prog)
